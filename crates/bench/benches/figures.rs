@@ -1,0 +1,110 @@
+//! One Criterion bench per table/figure of the paper, at smoke scale.
+//!
+//! Each bench runs a miniature version of the corresponding experiment so
+//! `cargo bench` exercises every reproduction path end-to-end and tracks
+//! its runtime. Full-scale numbers come from the `experiments` binary
+//! (`cargo run --release -p metaai-bench --bin experiments`); see
+//! EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use metaai_bench::common::ExpContext;
+use metaai_bench::{exp_energy, exp_microbench, exp_overall, exp_parallel, exp_robustness, exp_sensors};
+use metaai_datasets::multisensor::MultiSensorId;
+use metaai_datasets::DatasetId;
+use std::hint::black_box;
+
+fn ctx() -> ExpContext {
+    ExpContext::quick(4242)
+}
+
+fn bench_tables(c: &mut Criterion) {
+    c.bench_function("table1/one_dataset_row", |b| {
+        b.iter(|| black_box(exp_overall::run_row(&ctx(), DatasetId::Afhq).metaai_proto))
+    });
+    c.bench_function("table2_table3/energy_model", |b| {
+        b.iter(|| {
+            let t2 = exp_energy::energy_table(&metaai::energy::Workload::mnist());
+            let t3 = exp_energy::energy_table(&metaai::energy::Workload::afhq());
+            black_box((t2.len(), t3.len()))
+        })
+    });
+}
+
+fn bench_micro_figures(c: &mut Criterion) {
+    c.bench_function("fig6/weight_coverage", |b| {
+        b.iter(|| black_box(exp_microbench::fig6(&ctx(), &[32, 128])))
+    });
+    c.bench_function("fig7/atom_sweep", |b| {
+        b.iter(|| black_box(exp_microbench::fig7(&ctx(), &[DatasetId::Afhq], &[64, 256])))
+    });
+    c.bench_function("fig12/sync_error_cdf", |b| {
+        b.iter(|| black_box(exp_microbench::fig12(&ctx())))
+    });
+    c.bench_function("fig13/cdfa_delay_sweep", |b| {
+        b.iter(|| black_box(exp_microbench::fig13(&ctx(), &[0.0, 4.0])))
+    });
+    c.bench_function("fig16/sync_schemes", |b| {
+        b.iter(|| black_box(exp_microbench::fig16(&ctx())))
+    });
+    c.bench_function("fig17/multipath_grid", |b| {
+        b.iter(|| black_box(exp_microbench::fig17(&ctx()).len()))
+    });
+    c.bench_function("fig29/stacked_pnn_layers", |b| {
+        b.iter(|| black_box(exp_microbench::fig29(&ctx(), &[1, 3])))
+    });
+    c.bench_function("fig30/wdd_sweep", |b| {
+        b.iter(|| black_box(exp_microbench::fig30(&ctx(), &[64, 256])))
+    });
+}
+
+fn bench_robustness_figures(c: &mut Criterion) {
+    c.bench_function("fig19/noise_alleviation", |b| {
+        b.iter(|| {
+            let (p_no, p_yes, _, _) = exp_robustness::fig19(&ctx(), 1);
+            black_box((p_no, p_yes))
+        })
+    });
+    c.bench_function("fig21/nlos_distance", |b| {
+        b.iter(|| black_box(exp_robustness::fig21(&ctx(), &[1.0, 10.0])))
+    });
+    c.bench_function("fig22/frequency_bands", |b| {
+        b.iter(|| black_box(exp_robustness::fig22(&ctx())))
+    });
+    c.bench_function("fig23/modulations", |b| {
+        b.iter(|| black_box(exp_robustness::fig23(&ctx()).len()))
+    });
+    c.bench_function("fig24/tx_distance", |b| {
+        b.iter(|| black_box(exp_robustness::fig24(&ctx(), &[1.0, 10.0])))
+    });
+    c.bench_function("fig25/tx_angle", |b| {
+        b.iter(|| black_box(exp_robustness::fig25(&ctx(), &[30.0, 80.0])))
+    });
+    c.bench_function("fig26/interference_regions", |b| {
+        b.iter(|| black_box(exp_robustness::fig26(&ctx()).len()))
+    });
+    c.bench_function("fig27/cross_room", |b| {
+        b.iter(|| black_box(exp_robustness::fig27(&ctx()).len()))
+    });
+}
+
+fn bench_parallel_and_sensors(c: &mut Criterion) {
+    c.bench_function("fig18/parallel_schemes", |b| {
+        b.iter(|| black_box(exp_parallel::fig18(&ctx(), &[DatasetId::Afhq]).len()))
+    });
+    c.bench_function("fig31/parallel_degree", |b| {
+        b.iter(|| black_box(exp_parallel::fig31(&ctx(), &[2, 4])))
+    });
+    c.bench_function("fig20/multi_sensor_fusion", |b| {
+        b.iter(|| black_box(exp_sensors::fig20_dataset(&ctx(), MultiSensorId::UscHad)))
+    });
+    c.bench_function("fig28/face_case_study", |b| {
+        b.iter(|| black_box(metaai_math::stats::mean(&exp_sensors::fig28(&ctx()))))
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = bench_tables, bench_micro_figures, bench_robustness_figures, bench_parallel_and_sensors
+}
+criterion_main!(figures);

@@ -1,0 +1,89 @@
+//! End-to-end energy/latency tables — Appendix A.4, Tables 2 and 3.
+
+use crate::common::csv_write;
+use metaai::energy::{estimate, DeviceConstants, EnergyReport, Model, Platform, Workload};
+use metaai_mts::control::ControlModel;
+
+/// One table row: platform, model, and the report.
+pub type EnergyRow = (&'static str, &'static str, EnergyReport);
+
+/// Computes all five rows of one energy table.
+pub fn energy_table(w: &Workload) -> Vec<EnergyRow> {
+    let k = DeviceConstants::default();
+    let c = ControlModel::default();
+    vec![
+        ("CPU", "ResNet-18", estimate(Platform::Cpu, Model::ResNet18, w, &k, &c)),
+        ("CPU", "LNN", estimate(Platform::Cpu, Model::Lnn, w, &k, &c)),
+        ("4080 GPU", "ResNet-18", estimate(Platform::Gpu, Model::ResNet18, w, &k, &c)),
+        ("4080 GPU", "LNN", estimate(Platform::Gpu, Model::Lnn, w, &k, &c)),
+        ("Meta-AI", "LNN", estimate(Platform::MetaAi, Model::Lnn, w, &k, &c)),
+    ]
+}
+
+fn print_table(title: &str, rows: &[EnergyRow]) -> Vec<String> {
+    println!("\n{title}");
+    println!(
+        "{:<10} {:<10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8} {:>9}",
+        "System", "Model", "Tx(ms)", "Srv(ms)", "Tot(ms)", "Tx(mJ)", "Srv(mJ)", "MTS(mJ)", "Tot(mJ)"
+    );
+    let mut csv = Vec::new();
+    for (sys, model, r) in rows {
+        println!(
+            "{:<10} {:<10} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>8.3} {:>9.3}",
+            sys,
+            model,
+            r.transmission_s * 1e3,
+            r.server_s * 1e3,
+            r.total_s * 1e3,
+            r.transmission_j * 1e3,
+            r.server_j * 1e3,
+            r.mts_j * 1e3,
+            r.total_j * 1e3
+        );
+        csv.push(format!(
+            "{},{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}",
+            sys,
+            model,
+            r.transmission_s * 1e3,
+            r.server_s * 1e3,
+            r.total_s * 1e3,
+            r.transmission_j * 1e3,
+            r.server_j * 1e3,
+            r.mts_j * 1e3,
+            r.total_j * 1e3
+        ));
+    }
+    csv
+}
+
+/// Prints and persists Table 2 (MNIST) and Table 3 (AFHQ).
+pub fn report_all(out_dir: &str) {
+    let header = "system,model,tx_ms,server_ms,total_ms,tx_mj,server_mj,mts_mj,total_mj";
+    let t2 = energy_table(&Workload::mnist());
+    let csv2 = print_table("Table 2: end-to-end performance, MNIST workload", &t2);
+    csv_write(out_dir, "table2", header, &csv2);
+
+    let t3 = energy_table(&Workload::afhq());
+    let csv3 = print_table("Table 3: end-to-end performance, AFHQ workload", &t3);
+    csv_write(out_dir, "table3", header, &csv3);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_tables_have_five_rows() {
+        assert_eq!(energy_table(&Workload::mnist()).len(), 5);
+        assert_eq!(energy_table(&Workload::afhq()).len(), 5);
+    }
+
+    #[test]
+    fn metaai_is_the_efficiency_winner_in_both() {
+        for w in [Workload::mnist(), Workload::afhq()] {
+            let rows = energy_table(&w);
+            let metaai = rows.last().expect("rows").2.total_j;
+            assert!(rows[..4].iter().all(|(_, _, r)| r.total_j > metaai));
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! The mobility race (Sec 7 of the paper): receiver speed vs the
+//! feedback-protocol recalibration loop.
+//!
+//! The paper frames mobility support as "a race between the target's
+//! speed and this recalibration latency". This experiment runs the race:
+//! a receiver arcs around the metasurface at a given tangential speed
+//! while the beacon-feedback protocol (`metaai::feedback`) retriggers
+//! beam scans and schedule re-solves. Reported per speed: inference
+//! accuracy, recalibration count, and the fraction of time lost to
+//! recalibration dead time.
+
+use crate::common::{csv_write, pct, ExpContext};
+use metaai::config::SystemConfig;
+use metaai::feedback::{track, FeedbackMonitor, TrackReport};
+use metaai::mobility::MobilityModel;
+use metaai::pipeline::MetaAiSystem;
+use metaai_datasets::DatasetId;
+use metaai_mts::control::ControlModel;
+use metaai_rf::geometry::{deg_to_rad, place_at, Point3};
+
+/// One mobility row.
+#[derive(Clone, Debug)]
+pub struct MobilityRow {
+    /// Tangential receiver speed, m/s.
+    pub speed_mps: f64,
+    /// Whether the mobility model predicts this speed is trackable.
+    pub predicted_trackable: bool,
+    /// Measured tracking report.
+    pub report: TrackReport,
+}
+
+/// Runs the race at each speed: the receiver sweeps a 50° arc at 3 m,
+/// one inference attempt per 200 ms.
+pub fn run(ctx: &ExpContext, speeds: &[f64]) -> Vec<MobilityRow> {
+    let (train, test) = ctx.dataset(DatasetId::Afhq);
+    let config = SystemConfig {
+        seed: ctx.seed,
+        ..SystemConfig::paper_default()
+    };
+    let system = MetaAiSystem::build(&train, &config, &ctx.train_config());
+    let control = ControlModel::default();
+    // The solve time measured on this machine dominates recalibration;
+    // 50 ms is representative (see `metaai deploy`).
+    let mobility = MobilityModel::paper_prototype(0.05);
+    let monitor = FeedbackMonitor::default();
+
+    let step_s = 0.2;
+    let radius = 3.0;
+    let arc_deg = 50.0;
+
+    speeds
+        .iter()
+        .map(|&speed| {
+            // Angular rate for this tangential speed.
+            let deg_per_step =
+                metaai_rf::geometry::rad_to_deg(speed * step_s / radius);
+            let steps = ((arc_deg / deg_per_step).ceil() as usize).clamp(8, 60);
+            let trajectory: Vec<Point3> = (0..steps)
+                .map(|k| {
+                    let angle = 40.0 - deg_per_step * k as f64;
+                    place_at(
+                        config.mts_center,
+                        radius,
+                        deg_to_rad(90.0 - angle),
+                        config.rx.z,
+                    )
+                })
+                .collect();
+            let report = track(
+                &system,
+                &test,
+                &trajectory,
+                step_s,
+                &monitor,
+                &control,
+                &mobility,
+            );
+            MobilityRow {
+                speed_mps: speed,
+                predicted_trackable: mobility.supports(&control, radius, speed),
+                report,
+            }
+        })
+        .collect()
+}
+
+/// Prints and persists the mobility table.
+pub fn report_all(ctx: &ExpContext) {
+    let rows = run(ctx, &[0.5, 1.5, 4.0, 10.0]);
+    println!("\nMobility: receiver speed vs the recalibration race");
+    println!(
+        "{:>10} {:>11} {:>8} {:>9} {:>9}",
+        "speed m/s", "trackable?", "acc", "recals", "downtime"
+    );
+    let mut csv = Vec::new();
+    for r in &rows {
+        println!(
+            "{:>10.1} {:>11} {:>8} {:>9} {:>8.0}%",
+            r.speed_mps,
+            if r.predicted_trackable { "yes" } else { "no" },
+            pct(r.report.accuracy),
+            r.report.recalibrations,
+            100.0 * r.report.downtime
+        );
+        csv.push(format!(
+            "{:.1},{},{},{},{:.3}",
+            r.speed_mps,
+            r.predicted_trackable,
+            pct(r.report.accuracy),
+            r.report.recalibrations,
+            r.report.downtime
+        ));
+    }
+    csv_write(
+        &ctx.out_dir,
+        "mobility",
+        "speed_mps,predicted_trackable,accuracy,recalibrations,downtime",
+        &csv,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faster_receivers_force_more_recalibration_per_step() {
+        let ctx = ExpContext::quick(81);
+        let rows = run(&ctx, &[0.5, 6.0]);
+        let slow = &rows[0];
+        let fast = &rows[1];
+        // Recalibrations per traversed degree grow with speed (the fast
+        // run covers the same arc in fewer steps).
+        let slow_rate = slow.report.recalibrations as f64 / slow.report.steps.len() as f64;
+        let fast_rate = fast.report.recalibrations as f64 / fast.report.steps.len() as f64;
+        assert!(
+            fast_rate >= slow_rate,
+            "fast {fast_rate:.3} vs slow {slow_rate:.3} recalibrations/step"
+        );
+    }
+
+    #[test]
+    fn walking_speed_stays_accurate() {
+        let ctx = ExpContext::quick(82);
+        let rows = run(&ctx, &[1.0]);
+        assert!(
+            rows[0].report.accuracy > 0.5,
+            "walking-speed tracking accuracy {}",
+            rows[0].report.accuracy
+        );
+    }
+}

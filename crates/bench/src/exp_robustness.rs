@@ -1,0 +1,413 @@
+//! Robustness sweeps: Figs 19, 21–27.
+
+use crate::common::{csv_write, pct, ExpContext};
+use metaai::config::SystemConfig;
+use metaai::pipeline::{redeploy, MetaAiSystem};
+use metaai_datasets::DatasetId;
+use metaai_math::stats::percentile;
+use metaai_mts::array::Prototype;
+use metaai_nn::train::TrainConfig;
+use metaai_phy::Modulation;
+use metaai_rf::environment::{EnvChannel, Environment};
+use metaai_rf::interference::{InterferenceRegion, Interferer};
+use metaai_rf::noise::Awgn;
+use metaai_rf::walls::{penetration_amplitude, WallMaterial};
+
+fn build_default(ctx: &ExpContext) -> (MetaAiSystem, metaai_nn::data::ComplexDataset) {
+    let (train, test) = ctx.dataset(DatasetId::Mnist);
+    let config = SystemConfig {
+        seed: ctx.seed,
+        ..SystemConfig::paper_default()
+    };
+    (MetaAiSystem::build(&train, &config, &ctx.train_config()), test)
+}
+
+/// Fig 19: per-location accuracy distribution across Tx powers 5–30 dB,
+/// with and without the noise-alleviation training. Returns
+/// `(p80_without, p80_with, samples_without, samples_with)`.
+pub fn fig19(ctx: &ExpContext, locations: usize) -> (f64, f64, Vec<f64>, Vec<f64>) {
+    let (train, test) = ctx.dataset(DatasetId::Mnist);
+    let config = SystemConfig {
+        seed: ctx.seed,
+        ..SystemConfig::paper_default()
+    };
+    let plain_cfg = TrainConfig {
+        augmentations: vec![metaai_nn::augment::Augmentation::cdfa_default()],
+        ..ctx.train_config()
+    };
+    let sys_plain = MetaAiSystem::build(&train, &config, &plain_cfg);
+    let sys_robust = MetaAiSystem::build(&train, &config, &ctx.train_config());
+    let n = test.input_len();
+
+    let run = |sys: &MetaAiSystem, tag: &str| -> Vec<f64> {
+        let mut accs = Vec::new();
+        for loc in 0..locations {
+            for power_db in [5.0, 10.0, 15.0, 20.0, 25.0, 30.0] {
+                let label = format!("fig19-{tag}-{loc}-{power_db}");
+                let acc = sys.ota_accuracy_with(&test, &label, |rng| {
+                    let mut c = sys.default_conditions(n, rng);
+                    // Transmitting (30 − P) dB below the reference power is
+                    // equivalent to raising the noise floor by the same
+                    // amount at fixed signal scale.
+                    c.awgn = Awgn {
+                        variance: sys.noise_floor
+                            * metaai_math::stats::from_db(30.0 - power_db),
+                    };
+                    c
+                });
+                accs.push(acc);
+            }
+        }
+        accs
+    };
+
+    let without = run(&sys_plain, "plain");
+    let with = run(&sys_robust, "robust");
+    // The paper reports the 80th-percentile accuracy; we match by taking
+    // the 20th percentile from below (80 % of measurements exceed it).
+    let p80_without = percentile(&without, 20.0);
+    let p80_with = percentile(&with, 20.0);
+    (p80_without, p80_with, without, with)
+}
+
+/// Fig 21: NLoS corner — accuracy vs MTS–Rx distance with the direct
+/// Tx–Rx ray blocked.
+pub fn fig21(ctx: &ExpContext, distances: &[f64]) -> Vec<(f64, f64)> {
+    let (sys0, test) = build_default(ctx);
+    let n = test.input_len();
+    distances
+        .iter()
+        .map(|&d| {
+            let config = SystemConfig {
+                seed: ctx.seed,
+                ..SystemConfig::paper_default()
+            }
+            .with_rx_at(d, 40.0);
+            let sys = redeploy(&sys0, &config);
+            let acc = sys.ota_accuracy_with(&test, &format!("fig21-{d}"), |rng| {
+                let mut c = sys.default_conditions(n, rng);
+                let mut env = Environment::paper_default(
+                    config.environment,
+                    config.tx,
+                    config.rx,
+                    config.freq_hz,
+                );
+                env.line_of_sight = false; // the corner blocks Tx–Rx
+                c.env = EnvChannel::from_environment(&env, n, rng);
+                c
+            });
+            (d, acc)
+        })
+        .collect()
+}
+
+/// Fig 22: accuracy per frequency band, using the band-appropriate
+/// prototype (dual-band for 2.4/5 GHz, single-band for 3.5 GHz).
+pub fn fig22(ctx: &ExpContext) -> Vec<(f64, f64)> {
+    let (train, test) = ctx.dataset(DatasetId::Mnist);
+    [2.4e9, 3.5e9, 5.0e9]
+        .iter()
+        .map(|&f| {
+            let prototype = if Prototype::DualBand.supports(f) {
+                Prototype::DualBand
+            } else {
+                Prototype::SingleBand35
+            };
+            let config = SystemConfig {
+                freq_hz: f,
+                prototype,
+                seed: ctx.seed,
+                ..SystemConfig::paper_default()
+            };
+            let sys = MetaAiSystem::build(&train, &config, &ctx.train_config());
+            (f, sys.ota_accuracy(&test, &format!("fig22-{f}")))
+        })
+        .collect()
+}
+
+/// Fig 23: accuracy per modulation scheme.
+///
+/// Real MNIST pixels are near-binary (saturated strokes on empty canvas),
+/// which makes the pixel → symbol map equally linear-friendly under every
+/// modulation — the property behind the paper's flat Fig 23. Our standard
+/// stand-in has continuous pixel values, so this experiment binarizes it
+/// first (threshold at mid-grey), matching the statistics of the real
+/// dataset; see EXPERIMENTS.md for the discussion.
+pub fn fig23(ctx: &ExpContext) -> Vec<(Modulation, f64)> {
+    let mut split = metaai_datasets::generate(DatasetId::Mnist, ctx.scale, ctx.seed);
+    let mut flip_rng = metaai_math::rng::SimRng::derive(ctx.seed, "fig23-flips");
+    for part in [&mut split.train, &mut split.test] {
+        for sample in &mut part.samples {
+            for b in sample.iter_mut() {
+                let bit = *b >= 128;
+                // 8 % salt-and-pepper: binarized sensors still misfire.
+                let bit = if flip_rng.chance(0.08) { !bit } else { bit };
+                *b = if bit { 225 } else { 30 };
+            }
+        }
+    }
+    Modulation::all()
+        .iter()
+        .map(|&m| {
+            let (train, test) = split.modulate(m);
+            let config = SystemConfig {
+                modulation: m,
+                seed: ctx.seed,
+                ..SystemConfig::paper_default()
+            };
+            let sys = MetaAiSystem::build(&train, &config, &ctx.train_config());
+            (m, sys.ota_accuracy(&test, &format!("fig23-{}", m.name())))
+        })
+        .collect()
+}
+
+/// Fig 24: accuracy vs Tx–MTS distance (Tx moving along the 30° azimuth).
+pub fn fig24(ctx: &ExpContext, distances: &[f64]) -> Vec<(f64, f64)> {
+    let (sys0, test) = build_default(ctx);
+    distances
+        .iter()
+        .map(|&d| {
+            let config = SystemConfig {
+                seed: ctx.seed,
+                ..SystemConfig::paper_default()
+            }
+            .with_tx_at(d, 30.0);
+            let sys = redeploy(&sys0, &config);
+            (d, sys.ota_accuracy(&test, &format!("fig24-{d}")))
+        })
+        .collect()
+}
+
+/// Fig 25: accuracy vs Tx–MTS incidence angle (1 m radius, 0–80°).
+pub fn fig25(ctx: &ExpContext, angles_deg: &[f64]) -> Vec<(f64, f64)> {
+    let (sys0, test) = build_default(ctx);
+    angles_deg
+        .iter()
+        .map(|&a| {
+            let config = SystemConfig {
+                seed: ctx.seed,
+                ..SystemConfig::paper_default()
+            }
+            .with_tx_at(1.0, a);
+            let sys = redeploy(&sys0, &config);
+            (a, sys.ota_accuracy(&test, &format!("fig25-{a}")))
+        })
+        .collect()
+}
+
+/// Fig 26: dynamic interference — a person walking in regions R1–R4.
+pub fn fig26(ctx: &ExpContext) -> Vec<(InterferenceRegion, f64)> {
+    let (sys, test) = build_default(ctx);
+    let n = test.input_len();
+    let cfg = sys.config.clone();
+    InterferenceRegion::all()
+        .iter()
+        .map(|&region| {
+            let acc = sys.ota_accuracy_with(&test, &format!("fig26-{}", region.name()), |rng| {
+                let mut c = sys.default_conditions(n, rng);
+                let walker = Interferer::in_region(region, cfg.tx, cfg.mts_center, cfg.rx);
+                // Start the walk at a random point of a 4 s stroll so
+                // different samples see different walker positions.
+                let t0 = rng.uniform_range(0.0, 4.0);
+                let shifted = Interferer {
+                    start: walker.position_at(t0),
+                    ..walker
+                };
+                let (extra_env, mts_factor) = shifted.realize(
+                    n,
+                    cfg.symbol_period_s(),
+                    cfg.tx,
+                    cfg.mts_center,
+                    cfg.rx,
+                    cfg.freq_hz,
+                    rng,
+                );
+                c.env.add_component(&extra_env);
+                c.mts_factor = mts_factor;
+                c
+            });
+            (region, acc)
+        })
+        .collect()
+}
+
+/// Fig 27: cross-room — 18 receiver positions across three offices,
+/// separated by drywall partitions.
+pub fn fig27(ctx: &ExpContext) -> Vec<(usize, f64, f64)> {
+    let (sys0, test) = build_default(ctx);
+    let n = test.input_len();
+    (0..18)
+        .map(|p| {
+            // Rooms are 4 m deep: P1–P6 in room 1 (3–6 m), P7–P12 in room
+            // 2 (7–10 m, one brick wall), P13–P18 in room 3 (two walls).
+            let room = p / 6;
+            let within = (p % 6) as f64;
+            let distance = 3.0 + room as f64 * 4.0 + within * 0.55;
+            let angle = -25.0 + 10.0 * (p % 6) as f64;
+            let walls = vec![WallMaterial::Brick; room];
+            let config = SystemConfig {
+                seed: ctx.seed,
+                ..SystemConfig::paper_default()
+            }
+            .with_rx_at(distance, angle);
+            let mut sys = redeploy(&sys0, &config);
+            // Walls attenuate the MTS→Rx leg of the computation path.
+            let wall_amp = penetration_amplitude(&walls);
+            sys.channels.scale_mut(wall_amp);
+            let acc = sys.ota_accuracy_with(&test, &format!("fig27-{p}"), |rng| {
+                let mut c = sys.default_conditions(n, rng);
+                let mut env = Environment::paper_default(
+                    config.environment,
+                    config.tx,
+                    config.rx,
+                    config.freq_hz,
+                );
+                env.bulk_attenuation = wall_amp;
+                env.line_of_sight = room == 0;
+                c.env = EnvChannel::from_environment(&env, n, rng);
+                // The fixed noise floor does the rest: deeper rooms see a
+                // weaker signal over the same thermal noise.
+                c
+            });
+            (p + 1, distance, acc)
+        })
+        .collect()
+}
+
+/// Prints and persists all robustness sweeps.
+pub fn report_all(ctx: &ExpContext) {
+    let (p80_no, p80_yes, _, _) = fig19(ctx, 6);
+    println!(
+        "\nFig 19: noise alleviation — 80th-pct accuracy {} → {}",
+        pct(p80_no),
+        pct(p80_yes)
+    );
+    csv_write(
+        &ctx.out_dir,
+        "fig19",
+        "scheme,p80_accuracy",
+        &[
+            format!("without,{}", pct(p80_no)),
+            format!("with,{}", pct(p80_yes)),
+        ],
+    );
+
+    let dists: Vec<f64> = (0..8).map(|k| 1.0 + 3.0 * k as f64).collect();
+    let f21 = fig21(ctx, &dists);
+    println!("\nFig 21: NLoS accuracy vs MTS–Rx distance");
+    for (d, a) in &f21 {
+        println!("  {d:>5.1} m: {}", pct(*a));
+    }
+    csv_write(
+        &ctx.out_dir,
+        "fig21",
+        "distance_m,accuracy",
+        &f21.iter().map(|(d, a)| format!("{d:.1},{}", pct(*a))).collect::<Vec<_>>(),
+    );
+
+    let f22 = fig22(ctx);
+    println!("\nFig 22: frequency bands");
+    for (f, a) in &f22 {
+        println!("  {:.1} GHz: {}", f / 1e9, pct(*a));
+    }
+    csv_write(
+        &ctx.out_dir,
+        "fig22",
+        "freq_ghz,accuracy",
+        &f22.iter()
+            .map(|(f, a)| format!("{:.1},{}", f / 1e9, pct(*a)))
+            .collect::<Vec<_>>(),
+    );
+
+    let f23 = fig23(ctx);
+    println!("\nFig 23: modulation schemes");
+    for (m, a) in &f23 {
+        println!("  {:<8}: {}", m.name(), pct(*a));
+    }
+    csv_write(
+        &ctx.out_dir,
+        "fig23",
+        "modulation,accuracy",
+        &f23.iter()
+            .map(|(m, a)| format!("{},{}", m.name(), pct(*a)))
+            .collect::<Vec<_>>(),
+    );
+
+    let f24 = fig24(ctx, &dists);
+    println!("\nFig 24: Tx–MTS distance");
+    for (d, a) in &f24 {
+        println!("  {d:>5.1} m: {}", pct(*a));
+    }
+    csv_write(
+        &ctx.out_dir,
+        "fig24",
+        "distance_m,accuracy",
+        &f24.iter().map(|(d, a)| format!("{d:.1},{}", pct(*a))).collect::<Vec<_>>(),
+    );
+
+    let angles: Vec<f64> = (0..9).map(|k| 10.0 * k as f64).collect();
+    let f25 = fig25(ctx, &angles);
+    println!("\nFig 25: Tx–MTS angle");
+    for (ang, a) in &f25 {
+        println!("  {ang:>4.0}°: {}", pct(*a));
+    }
+    csv_write(
+        &ctx.out_dir,
+        "fig25",
+        "angle_deg,accuracy",
+        &f25.iter()
+            .map(|(ang, a)| format!("{ang:.0},{}", pct(*a)))
+            .collect::<Vec<_>>(),
+    );
+
+    let f26 = fig26(ctx);
+    println!("\nFig 26: dynamic interference by region");
+    for (r, a) in &f26 {
+        println!("  {}: {}", r.name(), pct(*a));
+    }
+    csv_write(
+        &ctx.out_dir,
+        "fig26",
+        "region,accuracy",
+        &f26.iter()
+            .map(|(r, a)| format!("{},{}", r.name(), pct(*a)))
+            .collect::<Vec<_>>(),
+    );
+
+    let f27 = fig27(ctx);
+    println!("\nFig 27: cross-room positions");
+    for (p, d, a) in &f27 {
+        println!("  P{p:<3} ({d:>4.1} m): {}", pct(*a));
+    }
+    csv_write(
+        &ctx.out_dir,
+        "fig27",
+        "position,distance_m,accuracy",
+        &f27.iter()
+            .map(|(p, d, a)| format!("{p},{d:.1},{}", pct(*a)))
+            .collect::<Vec<_>>(),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig25_fov_cliff_beyond_60_degrees() {
+        let ctx = ExpContext::quick(11);
+        let f = fig25(&ctx, &[30.0, 80.0]);
+        assert!(
+            f[0].1 > f[1].1,
+            "accuracy must fall past the FoV: {f:?}"
+        );
+    }
+
+    #[test]
+    fn fig22_all_bands_work() {
+        let ctx = ExpContext::quick(12);
+        for (f, a) in fig22(&ctx) {
+            assert!(a > 0.3, "band {:.1} GHz accuracy {a}", f / 1e9);
+        }
+    }
+}

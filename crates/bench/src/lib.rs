@@ -1,0 +1,20 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! Each `exp_*` module produces the rows/series of one table or figure as
+//! plain data structures; the `experiments` binary prints them and writes
+//! CSVs, and the Criterion benches reuse scaled-down versions. See
+//! DESIGN.md §5 for the experiment ↔ module index and EXPERIMENTS.md for
+//! recorded paper-vs-measured results.
+
+pub mod common;
+pub mod exp_ablation;
+pub mod exp_energy;
+pub mod exp_microbench;
+pub mod exp_mobility;
+pub mod exp_overall;
+pub mod exp_parallel;
+pub mod exp_privacy;
+pub mod exp_robustness;
+pub mod exp_sensors;
+
+pub use common::{csv_write, ExpContext};

@@ -1,0 +1,104 @@
+//! Minimal flag parsing for the `metaai` CLI — no external dependency.
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand, positional arguments, and
+/// `--key value` / `--flag` options.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    /// The subcommand (first non-flag argument).
+    pub command: Option<String>,
+    /// Remaining positional arguments.
+    pub positional: Vec<String>,
+    /// `--key value` pairs; bare flags map to `"true"`.
+    pub options: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses an iterator of arguments (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Args {
+        let mut out = Args::default();
+        let mut iter = args.into_iter().peekable();
+        while let Some(a) = iter.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let value = match iter.peek() {
+                    Some(v) if !v.starts_with("--") => iter.next().expect("peeked"),
+                    _ => "true".to_string(),
+                };
+                out.options.insert(key.to_string(), value);
+            } else if out.command.is_none() {
+                out.command = Some(a);
+            } else {
+                out.positional.push(a);
+            }
+        }
+        out
+    }
+
+    /// Parses the process arguments.
+    pub fn from_env() -> Args {
+        Args::parse(std::env::args().skip(1))
+    }
+
+    /// A string option with a default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.options.get(key).map(String::as_str).unwrap_or(default)
+    }
+
+    /// A parsed numeric option with a default; exits with a message on a
+    /// malformed value.
+    pub fn num_or<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        match self.options.get(key) {
+            None => default,
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("error: --{key} expects a number, got {v:?}");
+                std::process::exit(2);
+            }),
+        }
+    }
+
+    /// Whether a bare flag is present.
+    pub fn flag(&self, key: &str) -> bool {
+        self.options.contains_key(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn subcommand_and_options() {
+        let a = parse("train --dataset mnist --epochs 25 --quiet");
+        assert_eq!(a.command.as_deref(), Some("train"));
+        assert_eq!(a.get_or("dataset", "x"), "mnist");
+        assert_eq!(a.num_or::<usize>("epochs", 1), 25);
+        assert!(a.flag("quiet"));
+        assert!(!a.flag("verbose"));
+    }
+
+    #[test]
+    fn positionals_after_command() {
+        let a = parse("infer model.bin sample.bin");
+        assert_eq!(a.command.as_deref(), Some("infer"));
+        assert_eq!(a.positional, vec!["model.bin", "sample.bin"]);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse("eval");
+        assert_eq!(a.get_or("scale", "default"), "default");
+        assert_eq!(a.num_or::<u64>("seed", 42), 42);
+    }
+
+    #[test]
+    fn flag_followed_by_flag_is_bare() {
+        let a = parse("train --quiet --dataset mnist");
+        assert!(a.flag("quiet"));
+        assert_eq!(a.get_or("dataset", "?"), "mnist");
+    }
+}

@@ -1,0 +1,409 @@
+//! The `metaai` subcommands.
+
+use crate::args::Args;
+use metaai::config::SystemConfig;
+use metaai::pipeline::MetaAiSystem;
+use metaai_datasets::{generate, DatasetId, Scale};
+use metaai_math::rng::SimRng;
+use metaai_mts::control::ControlModel;
+use metaai_nn::augment::Augmentation;
+use metaai_nn::complex_lnn::ComplexLnn;
+use metaai_nn::data::ComplexDataset;
+use metaai_nn::io::{load_model, save_model};
+use metaai_nn::metrics::ConfusionMatrix;
+use metaai_nn::train::{train_complex_with_stats, TrainConfig};
+
+fn parse_dataset(name: &str) -> Result<DatasetId, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "mnist" => Ok(DatasetId::Mnist),
+        "fashion" => Ok(DatasetId::Fashion),
+        "fruits" | "fruits360" | "fruits-360" => Ok(DatasetId::Fruits360),
+        "afhq" => Ok(DatasetId::Afhq),
+        "celeba" => Ok(DatasetId::CelebA),
+        "widar" | "widar3" | "widar3.0" => Ok(DatasetId::Widar3),
+        other => Err(format!(
+            "unknown dataset {other:?} (expected mnist|fashion|fruits|afhq|celeba|widar)"
+        )),
+    }
+}
+
+fn parse_scale(name: &str) -> Result<Scale, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "quick" => Ok(Scale::Quick),
+        "default" => Ok(Scale::Default),
+        "paper" => Ok(Scale::Paper),
+        other => Err(format!("unknown scale {other:?}")),
+    }
+}
+
+fn fail(msg: &str) -> i32 {
+    eprintln!("error: {msg}");
+    2
+}
+
+struct Setup {
+    config: SystemConfig,
+    train: ComplexDataset,
+    test: ComplexDataset,
+}
+
+fn setup(args: &Args) -> Result<Setup, String> {
+    let id = parse_dataset(args.get_or("dataset", "mnist"))?;
+    let scale = parse_scale(args.get_or("scale", "default"))?;
+    let seed: u64 = args.num_or("seed", 42);
+    let config = SystemConfig {
+        seed,
+        ..SystemConfig::paper_default()
+    };
+    let (train, test) = generate(id, scale, seed).modulate(config.modulation);
+    Ok(Setup {
+        config,
+        train,
+        test,
+    })
+}
+
+fn robust_train_config(args: &Args) -> TrainConfig {
+    TrainConfig {
+        epochs: args.num_or("epochs", 25),
+        seed: args.num_or("seed", 42),
+        ..TrainConfig::default()
+    }
+    .with_augmentation(Augmentation::cdfa_default())
+    .with_augmentation(Augmentation::noise_default())
+}
+
+fn load(args: &Args) -> Result<ComplexLnn, String> {
+    let path = args
+        .options
+        .get("model")
+        .ok_or("missing --model <file>")?;
+    load_model(path).map_err(|e| format!("cannot load {path}: {e}"))
+}
+
+/// `metaai train`
+pub fn train(args: &Args) -> i32 {
+    let s = match setup(args) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+    let tcfg = robust_train_config(args);
+    println!(
+        "training on {} samples ({} classes, U = {} symbols), {} epochs…",
+        s.train.len(),
+        s.train.num_classes,
+        s.train.input_len(),
+        tcfg.epochs
+    );
+    let t0 = std::time::Instant::now();
+    let (net, stats) = train_complex_with_stats(&s.train, &tcfg);
+    let last = stats.last().expect("at least one epoch");
+    println!(
+        "done in {:.1?}: train loss {:.4}, train accuracy {:.2} %",
+        t0.elapsed(),
+        last.loss,
+        100.0 * last.accuracy
+    );
+    println!(
+        "test (digital) accuracy: {:.2} %",
+        100.0 * metaai_nn::train::evaluate(&net, &s.test)
+    );
+    let out = args.get_or("out", "model.bin");
+    match save_model(&net, out) {
+        Ok(()) => {
+            println!("model written to {out}");
+            0
+        }
+        Err(e) => fail(&format!("cannot write {out}: {e}")),
+    }
+}
+
+/// `metaai eval`
+pub fn eval(args: &Args) -> i32 {
+    let s = match setup(args) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+    let net = match load(args) {
+        Ok(n) => n,
+        Err(e) => return fail(&e),
+    };
+    if net.input_len() != s.test.input_len() || net.num_classes() != s.test.num_classes {
+        return fail(&format!(
+            "model shape {}×{} does not match dataset {}×{}",
+            net.num_classes(),
+            net.input_len(),
+            s.test.num_classes,
+            s.test.input_len()
+        ));
+    }
+    let digital = metaai_nn::train::evaluate(&net, &s.test);
+    println!("digital (simulation) accuracy: {:.2} %", 100.0 * digital);
+
+    let system = MetaAiSystem::from_network(net, &s.config);
+    println!(
+        "deployed on {} atoms; realization error {:.3} %",
+        system.array.num_atoms(),
+        100.0 * system.realization_error()
+    );
+    let ota = system.ota_accuracy(&s.test, "cli-eval");
+    println!("over-the-air (prototype) accuracy: {:.2} %", 100.0 * ota);
+
+    if args.flag("confusion") {
+        let n = s.test.input_len();
+        let mut cm = ConfusionMatrix::new(s.test.num_classes);
+        for i in 0..s.test.len() {
+            let mut rng = SimRng::derive(s.config.seed, &format!("cli-confusion-{i}"));
+            let cond = system.default_conditions(n, &mut rng);
+            let pred = system.infer(&s.test.inputs[i], &cond, &mut rng);
+            cm.record(s.test.labels[i], pred);
+        }
+        println!("\nconfusion matrix (over the air):\n{}", cm.render());
+        println!("macro F1: {:.3}", cm.macro_f1());
+        if let Some((t, p, c)) = cm.worst_confusion() {
+            println!("worst confusion: true {t} → predicted {p} ({c} times)");
+        }
+    }
+    0
+}
+
+/// `metaai deploy`
+pub fn deploy(args: &Args) -> i32 {
+    let s = match setup(args) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+    let net = match load(args) {
+        Ok(n) => n,
+        Err(e) => return fail(&e),
+    };
+    let t0 = std::time::Instant::now();
+    let system = MetaAiSystem::from_network(net, &s.config);
+    let solve_time = t0.elapsed();
+
+    let control = ControlModel::default();
+    let u = system.schedule.num_symbols();
+    let r = system.schedule.num_outputs();
+    println!("schedule solved in {solve_time:.1?}");
+    println!("  outputs × symbols: {r} × {u} ({} configurations)", r * u);
+    println!(
+        "  weight scale σ = {:.3e}, RMS residual {:.3} (normalized)",
+        system.schedule.scale, system.schedule.rms_residual
+    );
+    println!(
+        "  relative realization error: {:.3} %",
+        100.0 * system.realization_error()
+    );
+    println!(
+        "  per-inference airtime: {:.3} ms, MTS control energy {:.3} mJ",
+        1e3 * (r * u) as f64 / s.config.symbol_rate,
+        1e3 * control.inference_energy_j(r * u, 2)
+    );
+    let bits = control.pattern_bits(&system.schedule.codes[0][0]);
+    println!(
+        "  controller: {} groups × {} bits per pattern, {:.0} ns load at 100 MHz",
+        bits.len(),
+        bits[0].len(),
+        1e9 * control.load_time_s(system.array.num_atoms(), 100e6)
+    );
+    0
+}
+
+/// `metaai infer`
+pub fn infer(args: &Args) -> i32 {
+    let s = match setup(args) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+    let net = match load(args) {
+        Ok(n) => n,
+        Err(e) => return fail(&e),
+    };
+    let idx: usize = args.num_or("sample", 0);
+    if idx >= s.test.len() {
+        return fail(&format!(
+            "--sample {idx} out of range (test set has {} samples)",
+            s.test.len()
+        ));
+    }
+    let system = MetaAiSystem::from_network(net, &s.config);
+    let x = &s.test.inputs[idx];
+    let mut rng = SimRng::derive(s.config.seed, &format!("cli-infer-{idx}"));
+    let cond = system.default_conditions(x.len(), &mut rng);
+    let trace = metaai::trace::traced_inference(&system.channels, x, &cond, &mut rng);
+
+    println!("sample {idx} (true class {}):", s.test.labels[idx]);
+    for (class, score) in trace.scores.iter().enumerate() {
+        let mark = if class == trace.predicted { "  ← predicted" } else { "" };
+        println!("  class {class}: {score:.4e}{mark}");
+    }
+    let verdict = if trace.predicted == s.test.labels[idx] {
+        "correct"
+    } else {
+        "WRONG"
+    };
+    println!("decision: class {} ({verdict})", trace.predicted);
+
+    if let Some(path) = args.options.get("trace") {
+        let file = match std::fs::File::create(path) {
+            Ok(f) => f,
+            Err(e) => return fail(&format!("cannot create {path}: {e}")),
+        };
+        if let Err(e) = metaai::trace::write_csv(&trace, std::io::BufWriter::new(file)) {
+            return fail(&format!("cannot write trace: {e}"));
+        }
+        println!("per-symbol trace written to {path} ({} rows)", trace.rows.len());
+    }
+    0
+}
+
+/// `metaai scan`
+pub fn scan(args: &Args) -> i32 {
+    let angle: f64 = args.num_or("angle", 25.0);
+    let config = SystemConfig::paper_default().with_rx_at(3.0, angle);
+    let mut array = metaai_mts::array::MtsArray::paper_prototype(
+        config.prototype,
+        config.mts_center,
+    );
+    let link = metaai_mts::channel::MtsLink::new(&array, config.tx, config.rx, config.freq_hz);
+    let est = metaai_mts::beamscan::estimate_receiver_angle(
+        &mut array,
+        &link,
+        metaai_rf::geometry::deg_to_rad(-60.0),
+        metaai_rf::geometry::deg_to_rad(60.0),
+        121,
+    );
+    println!(
+        "receiver placed at {angle:.1}° — beam scan estimates {:.1}°",
+        metaai_rf::geometry::rad_to_deg(est)
+    );
+    0
+}
+
+/// `metaai export`
+pub fn export(args: &Args) -> i32 {
+    let id = match parse_dataset(args.get_or("dataset", "mnist")) {
+        Ok(id) => id,
+        Err(e) => return fail(&e),
+    };
+    let scale = match parse_scale(args.get_or("scale", "quick")) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+    let seed: u64 = args.num_or("seed", 42);
+    let per_class: usize = args.num_or("per-class", 8);
+    let out = args.get_or("out", "contact_sheet.pgm");
+
+    let split = metaai_datasets::generate(id, scale, seed);
+    let spec = metaai_datasets::DatasetSpec::of(id, scale);
+    let (sheet, w, h) = metaai_datasets::export::contact_sheet(
+        &split.train.samples,
+        &split.train.labels,
+        spec.classes,
+        spec.width,
+        spec.height,
+        per_class,
+    );
+    match metaai_datasets::export::write_pgm(&sheet, w, h, out) {
+        Ok(()) => {
+            println!(
+                "{}: {} classes × {per_class} samples → {out} ({w}×{h} PGM)",
+                id.name(),
+                spec.classes
+            );
+            0
+        }
+        Err(e) => fail(&format!("cannot write {out}: {e}")),
+    }
+}
+
+/// `metaai wdd`
+pub fn wdd(args: &Args) -> i32 {
+    let atoms: Vec<usize> = args
+        .get_or("atoms", "16,32,64,128,256,512")
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+    if atoms.is_empty() {
+        return fail("--atoms expects a comma-separated list of counts");
+    }
+    let cfg = metaai_mts::wdd::WddConfig::default();
+    let seed: u64 = args.num_or("seed", 42);
+    println!("WDD (ε = {}, {} samples per point):", cfg.epsilon, cfg.samples);
+    for (m, w) in metaai_mts::wdd::wdd_sweep(&atoms, &cfg, seed) {
+        println!("  M = {m:<5} WDD = {w:.3}");
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_names_parse() {
+        assert_eq!(parse_dataset("MNIST").expect("ok"), DatasetId::Mnist);
+        assert_eq!(parse_dataset("fruits-360").expect("ok"), DatasetId::Fruits360);
+        assert!(parse_dataset("imagenet").is_err());
+    }
+
+    #[test]
+    fn scales_parse() {
+        assert_eq!(parse_scale("quick").expect("ok"), Scale::Quick);
+        assert!(parse_scale("enormous").is_err());
+    }
+
+    #[test]
+    fn end_to_end_train_then_eval_through_files() {
+        let dir = std::env::temp_dir().join("metaai-cli-test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let model = dir.join("model.bin");
+        let model_s = model.to_str().expect("utf8").to_string();
+
+        let train_args = crate::args::Args::parse(
+            format!("train --dataset afhq --scale quick --epochs 8 --out {model_s}")
+                .split_whitespace()
+                .map(String::from),
+        );
+        assert_eq!(train(&train_args), 0);
+        assert!(model.exists());
+
+        let eval_args = crate::args::Args::parse(
+            format!("eval --dataset afhq --scale quick --model {model_s}")
+                .split_whitespace()
+                .map(String::from),
+        );
+        assert_eq!(eval(&eval_args), 0);
+        let _ = std::fs::remove_file(&model);
+    }
+
+    #[test]
+    fn eval_rejects_shape_mismatch() {
+        let dir = std::env::temp_dir().join("metaai-cli-test2");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let model = dir.join("model.bin");
+        let model_s = model.to_str().expect("utf8").to_string();
+        // Train on AFHQ (3 classes), evaluate against MNIST (10 classes).
+        let train_args = crate::args::Args::parse(
+            format!("train --dataset afhq --scale quick --epochs 2 --out {model_s}")
+                .split_whitespace()
+                .map(String::from),
+        );
+        assert_eq!(train(&train_args), 0);
+        let eval_args = crate::args::Args::parse(
+            format!("eval --dataset mnist --scale quick --model {model_s}")
+                .split_whitespace()
+                .map(String::from),
+        );
+        assert_eq!(eval(&eval_args), 2);
+        let _ = std::fs::remove_file(&model);
+    }
+
+    #[test]
+    fn scan_command_runs() {
+        let args = crate::args::Args::parse(
+            "scan --angle 20".split_whitespace().map(String::from),
+        );
+        assert_eq!(scan(&args), 0);
+    }
+}

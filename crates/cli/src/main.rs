@@ -1,0 +1,68 @@
+//! `metaai` — train, deploy, and run over-the-air classifiers.
+//!
+//! ```text
+//! metaai train  --dataset mnist --scale default --epochs 25 --out model.bin
+//! metaai eval   --model model.bin --dataset mnist [--confusion]
+//! metaai deploy --model model.bin
+//! metaai infer  --model model.bin --dataset mnist --sample 0 [--trace t.csv]
+//! metaai scan   [--angle 25]
+//! metaai export --dataset mnist --scale quick --out sheet.pgm
+//! metaai wdd    [--atoms 16,64,256]
+//! ```
+//!
+//! Every command is deterministic in `--seed` (default 42).
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn main() {
+    let args = Args::from_env();
+    let code = match args.command.as_deref() {
+        Some("train") => commands::train(&args),
+        Some("eval") => commands::eval(&args),
+        Some("deploy") => commands::deploy(&args),
+        Some("infer") => commands::infer(&args),
+        Some("scan") => commands::scan(&args),
+        Some("export") => commands::export(&args),
+        Some("wdd") => commands::wdd(&args),
+        Some("help") | None => {
+            print_help();
+            0
+        }
+        Some(other) => {
+            eprintln!("error: unknown command {other:?}\n");
+            print_help();
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn print_help() {
+    println!(
+        "metaai — over-the-air neural networks via programmable metasurfaces
+
+USAGE:
+  metaai <COMMAND> [OPTIONS]
+
+COMMANDS:
+  train    Train a complex linear classifier on a synthetic dataset
+  eval     Evaluate a saved model digitally and over the air
+  deploy   Solve the metasurface schedule for a saved model and report
+           realization quality and control-budget numbers
+  infer    Run one traced over-the-air inference
+  scan     Beam-scan demo: estimate the receiver angle
+  export   Dump a dataset contact sheet as a PGM image
+  wdd      Weight-distribution-density sweep (Appendix A.2)
+  help     Show this message
+
+COMMON OPTIONS:
+  --dataset <mnist|fashion|fruits|afhq|celeba|widar>   (default mnist)
+  --scale   <quick|default|paper>                      (default default)
+  --seed    <N>                                        (default 42)
+
+See README.md for the full workflow."
+    );
+}

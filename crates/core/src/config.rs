@@ -1,0 +1,153 @@
+//! System configuration: geometry, radio parameters, and scheme toggles.
+
+use metaai_mts::array::Prototype;
+use metaai_phy::sync::SyncErrorModel;
+use metaai_phy::Modulation;
+use metaai_rf::environment::EnvironmentKind;
+use metaai_rf::geometry::{deg_to_rad, place_at, Point3};
+
+/// Full deployment configuration of one MetaAI installation.
+///
+/// Defaults mirror the paper's setup (Sec 4): dual-band prototype at
+/// 5.25 GHz, 256-QAM at 1 Msym/s, Tx–MTS 1 m at 30° incidence, MTS–Rx 3 m
+/// at 40° emergence, all devices at 1.1 m height, office environment.
+#[derive(Clone, Debug)]
+pub struct SystemConfig {
+    /// Which fabricated metasurface prototype to model.
+    pub prototype: Prototype,
+    /// Carrier frequency, Hz.
+    pub freq_hz: f64,
+    /// Data modulation.
+    pub modulation: Modulation,
+    /// Symbol rate, symbols per second.
+    pub symbol_rate: f64,
+    /// Metasurface centre position.
+    pub mts_center: Point3,
+    /// Transmitter position.
+    pub tx: Point3,
+    /// Receiver position.
+    pub rx: Point3,
+    /// Propagation environment archetype.
+    pub environment: EnvironmentKind,
+    /// Safety factor mapping the largest network weight onto the
+    /// hardware's reachable radius (κ < 1 keeps the solver away from the
+    /// boundary where quantization error grows).
+    pub kappa: f64,
+    /// Receiver SNR anchored to the MTS-path signal power, dB.
+    pub snr_db: f64,
+    /// Per-atom fabrication phase error σ, radians (hardware noise `N_d`).
+    pub atom_phase_noise: f64,
+    /// Whether the intra-symbol multipath cancellation scheme is active.
+    pub cancellation: bool,
+    /// Residual clock-synchronization error left after coarse-grained
+    /// detection (`None` models a perfectly shared clock). The default is
+    /// the Gamma fit of Fig 12; CDFA's fine-grained adjustment is the
+    /// matching training augmentation.
+    pub sync_error: Option<SyncErrorModel>,
+    /// Experiment master seed.
+    pub seed: u64,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig::paper_default()
+    }
+}
+
+impl SystemConfig {
+    /// The paper's default experimental setup.
+    pub fn paper_default() -> Self {
+        let mts_center = Point3::new(0.0, 0.0, 1.1);
+        // Azimuths measured from the array broadside (+y): Tx at −30°,
+        // Rx at +40°, both in front of the surface.
+        let tx = place_at(mts_center, 1.0, deg_to_rad(90.0 + 30.0), 1.1);
+        let rx = place_at(mts_center, 3.0, deg_to_rad(90.0 - 40.0), 1.1);
+        SystemConfig {
+            prototype: Prototype::DualBand,
+            freq_hz: 5.25e9,
+            modulation: Modulation::Qam256,
+            symbol_rate: 1e6,
+            mts_center,
+            tx,
+            rx,
+            environment: EnvironmentKind::Office,
+            kappa: 0.7,
+            snr_db: 20.0,
+            atom_phase_noise: 0.08,
+            cancellation: true,
+            sync_error: Some(SyncErrorModel::default()),
+            seed: 1,
+        }
+    }
+
+    /// Symbol duration, seconds.
+    pub fn symbol_period_s(&self) -> f64 {
+        1.0 / self.symbol_rate
+    }
+
+    /// Moves the receiver to `distance` metres from the MTS at `angle_deg`
+    /// azimuth from broadside, keeping the height.
+    pub fn with_rx_at(mut self, distance: f64, angle_deg: f64) -> Self {
+        self.rx = place_at(
+            self.mts_center,
+            distance,
+            deg_to_rad(90.0 - angle_deg),
+            self.mts_center.z,
+        );
+        self
+    }
+
+    /// Moves the transmitter to `distance` metres from the MTS at
+    /// `angle_deg` azimuth from broadside.
+    pub fn with_tx_at(mut self, distance: f64, angle_deg: f64) -> Self {
+        self.tx = place_at(
+            self.mts_center,
+            distance,
+            deg_to_rad(90.0 + angle_deg),
+            self.mts_center.z,
+        );
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_geometry() {
+        let c = SystemConfig::paper_default();
+        assert!((c.tx.distance(c.mts_center) - 1.0).abs() < 1e-9);
+        assert!((c.rx.distance(c.mts_center) - 3.0).abs() < 1e-9);
+        assert_eq!(c.tx.z, 1.1);
+        assert!((c.freq_hz - 5.25e9).abs() < 1.0);
+        assert_eq!(c.modulation, Modulation::Qam256);
+    }
+
+    #[test]
+    fn symbol_period_at_1msps() {
+        let c = SystemConfig::paper_default();
+        assert!((c.symbol_period_s() - 1e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn with_rx_at_moves_receiver() {
+        let c = SystemConfig::paper_default().with_rx_at(10.0, 0.0);
+        assert!((c.rx.distance(c.mts_center) - 10.0).abs() < 1e-9);
+        // Broadside: straight out along +y.
+        assert!(c.rx.y > 9.9);
+    }
+
+    #[test]
+    fn with_tx_at_moves_transmitter() {
+        let c = SystemConfig::paper_default().with_tx_at(5.0, 60.0);
+        assert!((c.tx.distance(c.mts_center) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tx_and_rx_are_in_front_of_the_surface() {
+        let c = SystemConfig::paper_default();
+        assert!(c.tx.y > 0.0, "Tx must face the array broadside");
+        assert!(c.rx.y > 0.0, "Rx must face the array broadside");
+    }
+}

@@ -1,0 +1,41 @@
+//! MetaAI — over-the-air neural network inference through a programmable
+//! metasurface.
+//!
+//! This crate is the paper's primary contribution: it glues the substrates
+//! (`metaai-rf`, `metaai-mts`, `metaai-phy`, `metaai-nn`,
+//! `metaai-datasets`) into the end-to-end system of Fig 1(c):
+//!
+//! 1. a complex linear network is trained digitally ([`metaai_nn`]),
+//! 2. its weights are mapped onto per-symbol metasurface configurations
+//!    ([`mapper`], Eqns 5–8),
+//! 3. an IoT transmitter sends its raw modulated data; the metasurface
+//!    reprograms the channel symbol-by-symbol so the receiver's
+//!    accumulation *is* the network's output ([`ota`], Eqn 3),
+//! 4. with multipath cancellation via zero-mean chips, CDFA clock
+//!    synchronization, and noise-alleviation training layered on top.
+//!
+//! Higher-level capabilities: antenna- and subcarrier-parallelism
+//! ([`parallel`], Eqns 9–10), multi-sensor fusion ([`fusion`],
+//! Eqns 11–12), the end-to-end energy/latency model of Appendix A.4
+//! ([`energy`]), receiver-mobility recalibration ([`mobility`]), and the
+//! confidence-feedback reconfiguration protocol ([`feedback`]).
+//!
+//! Start with [`config::SystemConfig`] and [`pipeline::MetaAiSystem`]; the
+//! `examples/` directory of the workspace shows complete flows.
+
+pub mod config;
+pub mod energy;
+pub mod feedback;
+pub mod fusion;
+pub mod mapper;
+pub mod mobility;
+pub mod ota;
+pub mod parallel;
+pub mod pipeline;
+pub mod privacy;
+pub mod trace;
+
+pub use config::SystemConfig;
+pub use mapper::{WeightMapper, WeightSchedule};
+pub use ota::{OtaConditions, OtaReceiver};
+pub use pipeline::MetaAiSystem;

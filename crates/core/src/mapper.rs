@@ -1,0 +1,209 @@
+//! Mapping trained network weights onto metasurface schedules.
+//!
+//! After digital training produces `H_des ∈ ℂ^{R×U}`, the mapper:
+//!
+//! 1. picks one *global* scale σ placing the largest weight at
+//!    `κ · reachable radius` — a common factor across all outputs, which
+//!    is classification-invariant (Sec 3.2 of the paper);
+//! 2. solves Eqn 7 per (output, symbol) for the 2-bit configuration whose
+//!    channel sum approximates `σ·w_{r,i}` (optionally Eqn 8's
+//!    multipath-aware variant, offsetting a known static `H_e`);
+//! 3. records both the code schedule (what the controller loads) and the
+//!    achieved complex sums (what the physics will deliver).
+
+use crate::config::SystemConfig;
+use metaai_math::{C64, CMat};
+use metaai_mts::array::MtsArray;
+use metaai_mts::atom::PhaseCode;
+use metaai_mts::channel::MtsLink;
+use metaai_mts::solver::WeightSolver;
+use rayon::prelude::*;
+
+/// The complete metasurface programme for one trained network: one
+/// configuration per (output class, input symbol).
+#[derive(Clone, Debug)]
+pub struct WeightSchedule {
+    /// `codes[r][i]` is the atom configuration realizing weight `(r, i)`.
+    pub codes: Vec<Vec<Vec<PhaseCode>>>,
+    /// Achieved normalized channel sums (`Σ e^{j(φ^p+φ)}`), `R × U`.
+    pub achieved: CMat,
+    /// The global weight scale σ applied before solving.
+    pub scale: f64,
+    /// RMS solver residual across all weights (normalized units).
+    pub rms_residual: f64,
+}
+
+impl WeightSchedule {
+    /// Number of output classes.
+    pub fn num_outputs(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Number of input symbols.
+    pub fn num_symbols(&self) -> usize {
+        self.codes.first().map_or(0, |c| c.len())
+    }
+}
+
+/// Builds [`WeightSchedule`]s for a fixed link geometry.
+pub struct WeightMapper {
+    /// The far-field link the schedule is solved against.
+    pub link: MtsLink,
+    /// Single-target solver sharing the link's path phasors.
+    solver: WeightSolver,
+    /// Safe reachable radius (normalized units).
+    pub reach: f64,
+    /// κ safety factor.
+    pub kappa: f64,
+}
+
+impl WeightMapper {
+    /// Creates a mapper for the system's default geometry.
+    pub fn new(config: &SystemConfig, array: &MtsArray) -> Self {
+        let link = MtsLink::new(array, config.tx, config.rx, config.freq_hz);
+        WeightMapper::from_link(link, config.kappa)
+    }
+
+    /// Creates a mapper from an explicit link.
+    pub fn from_link(link: MtsLink, kappa: f64) -> Self {
+        assert!((0.0..=1.0).contains(&kappa), "κ must be in (0, 1]");
+        let solver = WeightSolver::single(link.path_phasors.clone(), 2);
+        let reach = solver.reachable_radius(0);
+        WeightMapper {
+            link,
+            solver,
+            reach,
+            kappa,
+        }
+    }
+
+    /// The global scale σ for a weight matrix: `κ·reach / max|w|`.
+    pub fn weight_scale(&self, weights: &CMat) -> f64 {
+        let max_w = weights.max_abs();
+        assert!(max_w > 0.0, "cannot map an all-zero weight matrix");
+        self.kappa * self.reach / max_w
+    }
+
+    /// Solves the full schedule for `weights` (Eqn 7). `h_env_offset` is
+    /// the Eqn 8 compensation term in *normalized* units (`H_e / α_p`),
+    /// or zero when the cancellation scheme handles multipath instead.
+    pub fn map(&self, weights: &CMat, h_env_offset: C64) -> WeightSchedule {
+        let scale = self.weight_scale(weights);
+        let r = weights.rows();
+        let u = weights.cols();
+
+        // Solve each (r, i) independently — embarrassingly parallel.
+        let results: Vec<(Vec<PhaseCode>, C64, f64)> = (0..r * u)
+            .into_par_iter()
+            .map(|idx| {
+                let (row, col) = (idx / u, idx % u);
+                let target = weights[(row, col)] * scale - h_env_offset;
+                let res = self.solver.solve_one(target);
+                (res.codes, res.achieved[0], res.residual)
+            })
+            .collect();
+
+        let mut codes = vec![vec![Vec::new(); u]; r];
+        let mut achieved = CMat::zeros(r, u);
+        let mut sq_sum = 0.0;
+        for (idx, (c, a, resid)) in results.into_iter().enumerate() {
+            let (row, col) = (idx / u, idx % u);
+            codes[row][col] = c;
+            achieved[(row, col)] = a;
+            sq_sum += resid * resid;
+        }
+
+        WeightSchedule {
+            codes,
+            achieved,
+            scale,
+            rms_residual: (sq_sum / (r * u) as f64).sqrt(),
+        }
+    }
+
+    /// Relative weight-realization error: RMS residual divided by the RMS
+    /// of the scaled targets. Small values (≪ 1) mean the hardware
+    /// faithfully reproduces the trained network.
+    pub fn relative_error(&self, weights: &CMat, schedule: &WeightSchedule) -> f64 {
+        let rms_target =
+            schedule.scale * weights.fro_norm() / ((weights.rows() * weights.cols()) as f64).sqrt();
+        schedule.rms_residual / rms_target
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaai_math::rng::SimRng;
+    use metaai_mts::array::Prototype;
+
+    fn small_mapper() -> WeightMapper {
+        let config = SystemConfig::paper_default();
+        let array = MtsArray::paper_prototype(Prototype::DualBand, config.mts_center);
+        WeightMapper::new(&config, &array)
+    }
+
+    fn random_weights(r: usize, u: usize, seed: u64) -> CMat {
+        let mut rng = SimRng::seed_from_u64(seed);
+        CMat::from_fn(r, u, |_, _| rng.complex_gaussian(1.0))
+    }
+
+    #[test]
+    fn scale_places_max_weight_at_kappa_reach() {
+        let m = small_mapper();
+        let w = random_weights(3, 8, 1);
+        let s = m.weight_scale(&w);
+        assert!((s * w.max_abs() - m.kappa * m.reach).abs() < 1e-9);
+    }
+
+    #[test]
+    fn schedule_covers_all_weights() {
+        let m = small_mapper();
+        let w = random_weights(3, 6, 2);
+        let sched = m.map(&w, C64::ZERO);
+        assert_eq!(sched.num_outputs(), 3);
+        assert_eq!(sched.num_symbols(), 6);
+        assert_eq!(sched.codes[2][5].len(), 256);
+    }
+
+    #[test]
+    fn achieved_sums_track_scaled_targets() {
+        let m = small_mapper();
+        let w = random_weights(2, 5, 3);
+        let sched = m.map(&w, C64::ZERO);
+        let rel = m.relative_error(&w, &sched);
+        assert!(rel < 0.02, "relative realization error {rel}");
+    }
+
+    #[test]
+    fn env_offset_shifts_targets() {
+        // With Eqn 8 compensation, achieved ≈ σ·w − H_e/α.
+        let m = small_mapper();
+        let w = random_weights(2, 3, 4);
+        let offset = C64::new(5.0, -3.0);
+        let sched = m.map(&w, offset);
+        let expect = w[(1, 2)] * sched.scale - offset;
+        let got = sched.achieved[(1, 2)];
+        assert!(
+            (expect - got).abs() < 2.0,
+            "expected ≈{expect}, got {got}"
+        );
+    }
+
+    #[test]
+    fn mapping_is_deterministic() {
+        let m = small_mapper();
+        let w = random_weights(2, 4, 5);
+        let a = m.map(&w, C64::ZERO);
+        let b = m.map(&w, C64::ZERO);
+        assert_eq!(a.achieved, b.achieved);
+        assert_eq!(a.codes, b.codes);
+    }
+
+    #[test]
+    #[should_panic(expected = "all-zero weight")]
+    fn rejects_zero_weights() {
+        let m = small_mapper();
+        m.weight_scale(&CMat::zeros(2, 2));
+    }
+}

@@ -1,0 +1,112 @@
+//! Receiver mobility and recalibration — the Sec 7 discussion made
+//! concrete.
+//!
+//! When the receiver moves, the precomputed mapping between MTS
+//! configurations and logical weights goes stale. Recovery requires a beam
+//! scan (angle re-estimation) plus a full schedule re-solve; the system
+//! supports a target only while that recalibration loop outruns the
+//! receiver's angular drift. This module quantifies the race and models
+//! the paper's feedback-protocol reconfiguration.
+
+use crate::config::SystemConfig;
+use metaai_mts::control::ControlModel;
+
+/// Parameters of the recalibration race.
+#[derive(Clone, Copy, Debug)]
+pub struct MobilityModel {
+    /// Beam-scan steps per recalibration.
+    pub scan_steps: usize,
+    /// Measured time to re-solve the schedule, seconds.
+    pub solve_time_s: f64,
+    /// Angular tolerance before accuracy degrades, radians. Roughly the
+    /// array's beamwidth: λ / (N·d) ≈ 2/N for a half-wave-spaced array.
+    pub angle_tolerance_rad: f64,
+}
+
+impl MobilityModel {
+    /// Defaults for the 16 × 16 prototype: a 121-step scan and the
+    /// array's ≈ 7° beamwidth.
+    pub fn paper_prototype(solve_time_s: f64) -> Self {
+        MobilityModel {
+            scan_steps: 121,
+            solve_time_s,
+            angle_tolerance_rad: 2.0 / 16.0,
+        }
+    }
+
+    /// Total recalibration latency, seconds.
+    pub fn recalibration_s(&self, control: &ControlModel) -> f64 {
+        control.recalibration_time_s(self.scan_steps, self.solve_time_s)
+    }
+
+    /// The maximum tangential receiver speed (m/s) the system can track at
+    /// `distance` metres: the receiver must not cross the angular
+    /// tolerance within one recalibration period.
+    pub fn max_trackable_speed(&self, control: &ControlModel, distance_m: f64) -> f64 {
+        assert!(distance_m > 0.0, "distance must be positive");
+        self.angle_tolerance_rad * distance_m / self.recalibration_s(control)
+    }
+
+    /// Whether a receiver moving at `speed_mps` tangentially at
+    /// `distance_m` stays within tolerance between recalibrations.
+    pub fn supports(&self, control: &ControlModel, distance_m: f64, speed_mps: f64) -> bool {
+        speed_mps <= self.max_trackable_speed(control, distance_m)
+    }
+}
+
+/// How stale a schedule becomes when the receiver moves from the solved
+/// position: the fraction of the angular tolerance consumed.
+pub fn staleness(config: &SystemConfig, new_rx_angle_rad: f64, model: &MobilityModel) -> f64 {
+    let old = (config.rx.x - config.mts_center.x)
+        .atan2(config.rx.y - config.mts_center.y);
+    (new_rx_angle_rad - old).abs() / model.angle_tolerance_rad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recalibration_dominated_by_solve_time() {
+        let m = MobilityModel::paper_prototype(0.05);
+        let c = ControlModel::default();
+        let t = m.recalibration_s(&c);
+        assert!(t > 0.05 && t < 0.06, "recalibration {t}");
+    }
+
+    #[test]
+    fn walking_speed_is_trackable_at_room_scale() {
+        // With a 50 ms solve, a receiver at 3 m can move ≈ 7 m/s — a
+        // walking user (1.5 m/s) is comfortably supported.
+        let m = MobilityModel::paper_prototype(0.05);
+        let c = ControlModel::default();
+        assert!(m.supports(&c, 3.0, 1.5));
+    }
+
+    #[test]
+    fn fast_targets_at_close_range_are_not() {
+        let m = MobilityModel::paper_prototype(0.5);
+        let c = ControlModel::default();
+        // A drone at 0.5 m doing 10 m/s crosses the beam far faster than a
+        // half-second recalibration.
+        assert!(!m.supports(&c, 0.5, 10.0));
+    }
+
+    #[test]
+    fn max_speed_scales_with_distance() {
+        let m = MobilityModel::paper_prototype(0.1);
+        let c = ControlModel::default();
+        let near = m.max_trackable_speed(&c, 1.0);
+        let far = m.max_trackable_speed(&c, 10.0);
+        assert!((far / near - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn staleness_zero_at_current_angle() {
+        let cfg = SystemConfig::paper_default();
+        let m = MobilityModel::paper_prototype(0.05);
+        let angle = (cfg.rx.x - cfg.mts_center.x).atan2(cfg.rx.y - cfg.mts_center.y);
+        assert!(staleness(&cfg, angle, &m) < 1e-12);
+        assert!(staleness(&cfg, angle + 0.2, &m) > 1.0);
+    }
+}

@@ -1,0 +1,228 @@
+//! The end-to-end MetaAI system: train → map → realize → infer over the
+//! air.
+
+use crate::config::SystemConfig;
+use crate::mapper::{WeightMapper, WeightSchedule};
+use crate::ota::{realize_channels, signal_power, OtaConditions, OtaReceiver};
+use metaai_math::rng::SimRng;
+use metaai_math::{C64, CMat, CVec};
+use metaai_mts::array::MtsArray;
+use metaai_nn::complex_lnn::ComplexLnn;
+use metaai_nn::data::ComplexDataset;
+use metaai_nn::train::{train_complex, TrainConfig};
+use metaai_rf::environment::{EnvChannel, Environment};
+use metaai_rf::noise::Awgn;
+use rayon::prelude::*;
+
+/// A fully deployed MetaAI installation: the trained digital network, the
+/// metasurface programme realizing it, and the physical channels the
+/// receiver will see.
+pub struct MetaAiSystem {
+    /// Deployment configuration.
+    pub config: SystemConfig,
+    /// The metasurface (with fabrication phase errors drawn from the
+    /// config's seed).
+    pub array: MtsArray,
+    /// The weight mapper for this geometry.
+    pub mapper: WeightMapper,
+    /// The digitally trained network ("simulation model").
+    pub net: ComplexLnn,
+    /// The solved metasurface schedule.
+    pub schedule: WeightSchedule,
+    /// Realized physical channels `H[r, i]` ("prototype model").
+    pub channels: CMat,
+    /// Receiver noise variance — a *fixed* thermal floor, anchored so the
+    /// reference geometry sees `config.snr_db`. Redeployments keep the
+    /// floor: moving the receiver changes signal power, not noise.
+    pub noise_floor: f64,
+}
+
+impl MetaAiSystem {
+    /// Deploys an already-trained network.
+    pub fn from_network(net: ComplexLnn, config: &SystemConfig) -> Self {
+        Self::from_network_with_atoms(net, config, 256)
+    }
+
+    /// Deploys with an explicit meta-atom count (the Fig 7 sweep).
+    pub fn from_network_with_atoms(
+        net: ComplexLnn,
+        config: &SystemConfig,
+        num_atoms: usize,
+    ) -> Self {
+        let mut array =
+            MtsArray::with_atom_count(config.prototype, num_atoms, config.mts_center);
+        if config.atom_phase_noise > 0.0 {
+            let mut rng = SimRng::derive(config.seed, "atom-phase-noise");
+            array.inject_phase_noise(config.atom_phase_noise, &mut rng);
+        }
+        let mapper = WeightMapper::new(config, &array);
+        let schedule = mapper.map(&net.weights, C64::ZERO);
+        let channels = realize_channels(&schedule, &mapper.link, &array);
+        let noise_floor =
+            signal_power(&channels) / metaai_math::stats::from_db(config.snr_db);
+        MetaAiSystem {
+            config: config.clone(),
+            array,
+            mapper,
+            net,
+            schedule,
+            channels,
+            noise_floor,
+        }
+    }
+
+    /// Trains the network on `train` and deploys it.
+    pub fn build(train: &ComplexDataset, config: &SystemConfig, tcfg: &TrainConfig) -> Self {
+        let net = train_complex(train, tcfg);
+        MetaAiSystem::from_network(net, config)
+    }
+
+    /// Accuracy of the digital network ("simulation" column of Table 1).
+    pub fn digital_accuracy(&self, test: &ComplexDataset) -> f64 {
+        metaai_nn::train::evaluate(&self.net, test)
+    }
+
+    /// Default channel conditions for this deployment: the configured
+    /// environment realized over `n_symbols`, AWGN anchored to the MTS
+    /// signal power at the configured SNR, perfect coarse sync.
+    pub fn default_conditions(&self, n_symbols: usize, rng: &mut SimRng) -> OtaConditions {
+        let env = Environment::paper_default(
+            self.config.environment,
+            self.config.tx,
+            self.config.rx,
+            self.config.freq_hz,
+        );
+        let sync_shift = match self.config.sync_error {
+            Some(model) => model.sample_residual_symbols(self.config.symbol_rate, rng),
+            None => 0,
+        };
+        OtaConditions {
+            env: EnvChannel::from_environment(&env, n_symbols, rng),
+            mts_factor: vec![1.0; n_symbols],
+            awgn: Awgn {
+                variance: self.noise_floor,
+            },
+            sync_shift,
+            cancellation: self.config.cancellation,
+        }
+    }
+
+    /// Classifies one input over the air under explicit conditions.
+    pub fn infer(&self, x: &CVec, cond: &OtaConditions, rng: &mut SimRng) -> usize {
+        OtaReceiver::predict(&self.channels, x, cond, rng)
+    }
+
+    /// Over-the-air accuracy under per-sample conditions built by
+    /// `make_cond` (called with a sample-derived RNG). Parallel over
+    /// samples; fully deterministic in `label`.
+    pub fn ota_accuracy_with<F>(&self, test: &ComplexDataset, label: &str, make_cond: F) -> f64
+    where
+        F: Fn(&mut SimRng) -> OtaConditions + Sync,
+    {
+        if test.is_empty() {
+            return 0.0;
+        }
+        let correct: usize = (0..test.len())
+            .into_par_iter()
+            .filter(|&i| {
+                let mut rng =
+                    SimRng::derive(self.config.seed, &format!("ota-{label}-sample-{i}"));
+                let cond = make_cond(&mut rng);
+                self.infer(&test.inputs[i], &cond, &mut rng) == test.labels[i]
+            })
+            .count();
+        correct as f64 / test.len() as f64
+    }
+
+    /// Over-the-air accuracy under the deployment's default conditions
+    /// ("prototype" column of Table 1).
+    pub fn ota_accuracy(&self, test: &ComplexDataset, label: &str) -> f64 {
+        let n = test.input_len();
+        self.ota_accuracy_with(test, label, |rng| self.default_conditions(n, rng))
+    }
+
+    /// Relative weight-realization error of the deployed schedule.
+    pub fn realization_error(&self) -> f64 {
+        self.mapper.relative_error(&self.net.weights, &self.schedule)
+    }
+}
+
+/// Re-deploys an existing system at a new geometry (e.g. after the
+/// receiver moved): re-solves the schedule against the new link. The
+/// receiver's thermal noise floor is *kept* from the original deployment —
+/// moving devices changes signal power, not the noise.
+pub fn redeploy(system: &MetaAiSystem, config: &SystemConfig) -> MetaAiSystem {
+    let mut moved = MetaAiSystem::from_network(system.net.clone(), config);
+    moved.noise_floor = system.noise_floor;
+    moved
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaai_nn::train::toy_problem;
+
+    fn quick_system() -> (MetaAiSystem, ComplexDataset) {
+        let train = toy_problem(3, 32, 40, 0.35, 50, 150);
+        let test = toy_problem(3, 32, 20, 0.35, 50, 250);
+        let cfg = SystemConfig::paper_default();
+        let tcfg = TrainConfig {
+            epochs: 20,
+            ..TrainConfig::default()
+        }
+        .with_augmentation(metaai_nn::augment::Augmentation::cdfa_default());
+        (MetaAiSystem::build(&train, &cfg, &tcfg), test)
+    }
+
+    #[test]
+    fn digital_and_ota_accuracy_are_close() {
+        let (sys, test) = quick_system();
+        let digital = sys.digital_accuracy(&test);
+        let ota = sys.ota_accuracy(&test, "t1");
+        assert!(digital > 0.9, "digital accuracy {digital}");
+        // The prototype gap in the paper is ≤ 7 points.
+        assert!(
+            ota > digital - 0.15,
+            "OTA {ota} too far below digital {digital}"
+        );
+    }
+
+    #[test]
+    fn realization_error_is_small() {
+        let (sys, _) = quick_system();
+        let rel = sys.realization_error();
+        assert!(rel < 0.05, "realization error {rel}");
+    }
+
+    #[test]
+    fn ota_is_deterministic_per_label() {
+        let (sys, test) = quick_system();
+        let a = sys.ota_accuracy(&test, "same");
+        let b = sys.ota_accuracy(&test, "same");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ideal_conditions_match_digital_decisions() {
+        let (sys, test) = quick_system();
+        let n = test.input_len();
+        let ideal = sys.ota_accuracy_with(&test, "ideal", |_| OtaConditions::ideal(n));
+        let digital = sys.digital_accuracy(&test);
+        // Quantization at M=256 is tiny: ideal OTA ≈ digital.
+        assert!(
+            (ideal - digital).abs() < 0.08,
+            "ideal OTA {ideal} vs digital {digital}"
+        );
+    }
+
+    #[test]
+    fn redeploy_preserves_the_network() {
+        let (sys, test) = quick_system();
+        let moved = SystemConfig::paper_default().with_rx_at(5.0, 10.0);
+        let sys2 = redeploy(&sys, &moved);
+        assert_eq!(sys2.net.weights, sys.net.weights);
+        // New geometry → new channels, but still functional.
+        let ota = sys2.ota_accuracy(&test, "moved");
+        assert!(ota > 0.6, "accuracy after redeploy {ota}");
+    }
+}

@@ -1,0 +1,173 @@
+//! Quantifying the "structurally private" claim.
+//!
+//! The paper's introduction argues MetaAI is privacy-preserving because
+//! the edge server "only receives pre-processed AI inference results …
+//! avoiding the transmission of raw data". This module makes that claim
+//! measurable: given everything the server legitimately holds — the
+//! deployed channel matrix `H ∈ ℂ^{R×U}` and the `R` complex
+//! accumulations `y = H·x` of one inference — how well can it reconstruct
+//! the raw input `x ∈ ℂ^U`?
+//!
+//! The best linear-unbiased attack is the minimum-norm least-squares
+//! solution `x̂ = Hᴴ(HHᴴ)⁻¹y`: exact on the `R`-dimensional row space of
+//! `H`, blind to the `(U − R)`-dimensional null space. With `R = 10`
+//! classes and `U = 784` symbols the server can recover at most ~1.3 % of
+//! the signal energy — that is the structural privacy, measured.
+
+use metaai_math::{CMat, CVec};
+
+/// Result of one reconstruction attack.
+#[derive(Clone, Copy, Debug)]
+pub struct ReconstructionReport {
+    /// Fraction of the input's energy the attacker recovered, in `[0, 1]`
+    /// (1 = perfect reconstruction; raw-data transmission scores 1).
+    pub recovered_energy: f64,
+    /// Normalized mean-squared reconstruction error
+    /// `‖x − x̂‖² / ‖x‖²` (1 when the attacker learns nothing beyond 0).
+    pub nmse: f64,
+    /// Dimensions the observation exposes (`R`) vs hides (`U − R`).
+    pub exposed_dims: usize,
+    /// Hidden dimensions.
+    pub hidden_dims: usize,
+}
+
+/// Runs the min-norm least-squares reconstruction attack for one input.
+///
+/// Returns `None` when the Gram matrix `HHᴴ` is singular (degenerate
+/// channel rows).
+pub fn reconstruction_attack(h: &CMat, x: &CVec) -> Option<ReconstructionReport> {
+    let r = h.rows();
+    let u = h.cols();
+    assert_eq!(u, x.len(), "one channel per symbol");
+    assert!(r <= u, "more observations than unknowns is out of scope");
+
+    // What the server observes.
+    let y = h.matvec(x);
+
+    // Min-norm LS: x̂ = Hᴴ (H Hᴴ)⁻¹ y.
+    let gram = h.matmul(&h.hermitian());
+    let z = gram.solve(&y)?;
+    let x_hat = h.hermitian().matvec(&z);
+
+    let total: f64 = x.norm() * x.norm();
+    if total == 0.0 {
+        return None;
+    }
+    let err = (&x_hat - x).norm();
+    let nmse = (err * err) / total;
+    let recovered = (x_hat.norm() * x_hat.norm()) / total;
+
+    Some(ReconstructionReport {
+        recovered_energy: recovered,
+        nmse,
+        exposed_dims: r,
+        hidden_dims: u - r,
+    })
+}
+
+/// Average reconstruction report over a set of inputs.
+pub fn attack_dataset(h: &CMat, inputs: &[CVec]) -> Option<ReconstructionReport> {
+    let mut recovered = 0.0;
+    let mut nmse = 0.0;
+    let mut n = 0usize;
+    let mut dims = (0usize, 0usize);
+    for x in inputs {
+        let rep = reconstruction_attack(h, x)?;
+        recovered += rep.recovered_energy;
+        nmse += rep.nmse;
+        dims = (rep.exposed_dims, rep.hidden_dims);
+        n += 1;
+    }
+    if n == 0 {
+        return None;
+    }
+    Some(ReconstructionReport {
+        recovered_energy: recovered / n as f64,
+        nmse: nmse / n as f64,
+        exposed_dims: dims.0,
+        hidden_dims: dims.1,
+    })
+}
+
+/// The theoretical expected recovered-energy fraction for an isotropic
+/// input: `R / U` — the row-space share of the signal space.
+pub fn isotropic_bound(r: usize, u: usize) -> f64 {
+    r as f64 / u as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaai_math::rng::SimRng;
+
+    fn random_channel(r: usize, u: usize, seed: u64) -> CMat {
+        let mut rng = SimRng::seed_from_u64(seed);
+        CMat::from_fn(r, u, |_, _| rng.complex_gaussian(1.0))
+    }
+
+    fn random_input(u: usize, seed: u64) -> CVec {
+        let mut rng = SimRng::seed_from_u64(seed);
+        CVec::from_fn(u, |_| rng.complex_gaussian(1.0))
+    }
+
+    #[test]
+    fn recovery_matches_the_row_space_share() {
+        let (r, u) = (10, 784);
+        let h = random_channel(r, u, 1);
+        let inputs: Vec<CVec> = (0..20).map(|k| random_input(u, 100 + k)).collect();
+        let rep = attack_dataset(&h, &inputs).expect("attack runs");
+        let bound = isotropic_bound(r, u);
+        assert!(
+            (rep.recovered_energy - bound).abs() < 0.01,
+            "recovered {:.4} vs R/U = {bound:.4}",
+            rep.recovered_energy
+        );
+        assert!(rep.nmse > 0.95, "NMSE {}", rep.nmse);
+        assert_eq!(rep.hidden_dims, u - r);
+    }
+
+    #[test]
+    fn square_channel_reconstructs_perfectly() {
+        // With R = U the observation is invertible: zero privacy.
+        let h = random_channel(8, 8, 2);
+        let x = random_input(8, 3);
+        let rep = reconstruction_attack(&h, &x).expect("invertible");
+        assert!(rep.nmse < 1e-9, "NMSE {}", rep.nmse);
+        assert!((rep.recovered_energy - 1.0).abs() < 1e-9);
+        assert_eq!(rep.hidden_dims, 0);
+    }
+
+    #[test]
+    fn reconstruction_is_exact_on_the_row_space() {
+        // An input built from the channel's rows is fully exposed.
+        let h = random_channel(4, 32, 4);
+        let coeffs = random_input(4, 5);
+        let x = h.hermitian().matvec(&coeffs);
+        let rep = reconstruction_attack(&h, &x).expect("attack runs");
+        assert!(rep.nmse < 1e-9, "row-space input must reconstruct: {}", rep.nmse);
+    }
+
+    #[test]
+    fn degenerate_channel_is_reported() {
+        // Two identical rows → singular Gram matrix.
+        let mut h = random_channel(2, 8, 6);
+        for c in 0..8 {
+            let v = h[(0, c)];
+            h[(1, c)] = v;
+        }
+        assert!(reconstruction_attack(&h, &random_input(8, 7)).is_none());
+    }
+
+    #[test]
+    fn more_outputs_leak_more() {
+        let u = 128;
+        let x: Vec<CVec> = (0..10).map(|k| random_input(u, 200 + k)).collect();
+        let leak_at = |r: usize| {
+            attack_dataset(&random_channel(r, u, r as u64), &x)
+                .expect("attack")
+                .recovered_energy
+        };
+        assert!(leak_at(4) < leak_at(32));
+        assert!(leak_at(32) < leak_at(96));
+    }
+}

@@ -1,0 +1,127 @@
+//! Sample export for visual inspection: binary PGM (P5) images.
+//!
+//! Synthetic data is only trustworthy if you can look at it. This module
+//! dumps any byte sample as a portable graymap so the class structure,
+//! foreground masks, and noise levels are inspectable with any image
+//! viewer:
+//!
+//! ```sh
+//! cargo run --release -p metaai-cli --bin metaai -- train --dataset mnist …
+//! # or programmatically:
+//! ```
+//!
+//! ```no_run
+//! use metaai_datasets::{generate, DatasetId, Scale};
+//! use metaai_datasets::export::write_pgm;
+//! let split = generate(DatasetId::Mnist, Scale::Quick, 1);
+//! write_pgm(&split.train.samples[0], 28, 28, "sample0.pgm").unwrap();
+//! ```
+
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Writes one `width × height` byte image as binary PGM (P5).
+pub fn write_pgm<P: AsRef<Path>>(
+    pixels: &[u8],
+    width: usize,
+    height: usize,
+    path: P,
+) -> io::Result<()> {
+    let mut f = io::BufWriter::new(std::fs::File::create(path)?);
+    write_pgm_to(pixels, width, height, &mut f)
+}
+
+/// Writes PGM bytes into any writer.
+pub fn write_pgm_to<W: Write>(
+    pixels: &[u8],
+    width: usize,
+    height: usize,
+    w: &mut W,
+) -> io::Result<()> {
+    if pixels.len() != width * height {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "pixel count {} does not match {width}×{height}",
+                pixels.len()
+            ),
+        ));
+    }
+    write!(w, "P5\n{width} {height}\n255\n")?;
+    w.write_all(pixels)
+}
+
+/// Tiles the first `per_class` samples of every class into one contact
+/// sheet (classes as rows), for a quick visual check of a whole dataset.
+pub fn contact_sheet(
+    samples: &[Vec<u8>],
+    labels: &[usize],
+    num_classes: usize,
+    width: usize,
+    height: usize,
+    per_class: usize,
+) -> (Vec<u8>, usize, usize) {
+    assert_eq!(samples.len(), labels.len(), "one label per sample");
+    let sheet_w = width * per_class;
+    let sheet_h = height * num_classes;
+    let mut sheet = vec![0u8; sheet_w * sheet_h];
+    let mut placed = vec![0usize; num_classes];
+    for (sample, &label) in samples.iter().zip(labels) {
+        let col = placed[label];
+        if col >= per_class {
+            continue;
+        }
+        placed[label] += 1;
+        let x0 = col * width;
+        let y0 = label * height;
+        for y in 0..height {
+            let dst = (y0 + y) * sheet_w + x0;
+            let src = y * width;
+            sheet[dst..dst + width].copy_from_slice(&sample[src..src + width]);
+        }
+    }
+    (sheet, sheet_w, sheet_h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pgm_header_and_payload() {
+        let pixels: Vec<u8> = (0..12).map(|i| (i * 20) as u8).collect();
+        let mut buf = Vec::new();
+        write_pgm_to(&pixels, 4, 3, &mut buf).expect("write");
+        let header_end = buf.windows(4).position(|w| w == b"255\n").expect("header") + 4;
+        assert_eq!(&buf[..3], b"P5\n");
+        assert_eq!(&buf[header_end..], &pixels[..]);
+    }
+
+    #[test]
+    fn pgm_rejects_wrong_size() {
+        let mut buf = Vec::new();
+        assert!(write_pgm_to(&[0u8; 5], 4, 3, &mut buf).is_err());
+    }
+
+    #[test]
+    fn contact_sheet_places_rows_by_class() {
+        // Two classes, 2×2 images: class 0 all 10s, class 1 all 200s.
+        let samples = vec![vec![10u8; 4], vec![200u8; 4], vec![10u8; 4]];
+        let labels = vec![0, 1, 0];
+        let (sheet, w, h) = contact_sheet(&samples, &labels, 2, 2, 2, 2);
+        assert_eq!((w, h), (4, 4));
+        // Top-left block = first class-0 sample.
+        assert_eq!(sheet[0], 10);
+        // Bottom-left block (row 2) = class-1 sample.
+        assert_eq!(sheet[2 * 4], 200);
+    }
+
+    #[test]
+    fn contact_sheet_ignores_overflow_samples() {
+        let samples = vec![vec![1u8; 1]; 5];
+        let labels = vec![0usize; 5];
+        let (sheet, w, h) = contact_sheet(&samples, &labels, 1, 1, 1, 2);
+        assert_eq!((w, h), (2, 1));
+        assert_eq!(sheet, vec![1, 1]);
+    }
+}

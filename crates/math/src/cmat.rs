@@ -1,0 +1,342 @@
+//! Dense row-major complex matrices.
+
+use crate::complex::C64;
+use crate::cvec::CVec;
+
+/// A dense, row-major complex matrix.
+///
+/// Sized for the workloads in this workspace: LNN weight matrices
+/// (`classes × input_len`, e.g. 10 × 784) and stacked-metasurface
+/// propagation kernels (≤ 1024 × 1024). All operations are straightforward
+/// triple loops; clarity beats blocking at these sizes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CMat {
+    rows: usize,
+    cols: usize,
+    data: Vec<C64>,
+}
+
+impl CMat {
+    /// An all-zero `rows × cols` matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CMat {
+            rows,
+            cols,
+            data: vec![C64::ZERO; rows * cols],
+        }
+    }
+
+    /// The `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = CMat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = C64::ONE;
+        }
+        m
+    }
+
+    /// Builds a matrix from a function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> C64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        CMat { rows, cols, data }
+    }
+
+    /// Builds a matrix from row-major data. Panics when sizes disagree.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<C64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "from_rows: size mismatch");
+        CMat { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable view of the row-major buffer.
+    pub fn as_slice(&self) -> &[C64] {
+        &self.data
+    }
+
+    /// Mutable view of the row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [C64] {
+        &mut self.data
+    }
+
+    /// Immutable view of one row.
+    pub fn row(&self, r: usize) -> &[C64] {
+        assert!(r < self.rows, "row index out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of one row.
+    pub fn row_mut(&mut self, r: usize) -> &mut [C64] {
+        assert!(r < self.rows, "row index out of bounds");
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies one row into a [`CVec`].
+    pub fn row_vec(&self, r: usize) -> CVec {
+        CVec::from_vec(self.row(r).to_vec())
+    }
+
+    /// Matrix–vector product `A·x`.
+    pub fn matvec(&self, x: &CVec) -> CVec {
+        assert_eq!(self.cols, x.len(), "matvec: dimension mismatch");
+        let xs = x.as_slice();
+        CVec::from_fn(self.rows, |r| {
+            self.row(r)
+                .iter()
+                .zip(xs)
+                .fold(C64::ZERO, |acc, (&a, &b)| acc.mul_add(a, b))
+        })
+    }
+
+    /// Matrix–matrix product `A·B`.
+    pub fn matmul(&self, rhs: &CMat) -> CMat {
+        assert_eq!(self.cols, rhs.rows, "matmul: dimension mismatch");
+        let mut out = CMat::zeros(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(r, k)];
+                if a == C64::ZERO {
+                    continue;
+                }
+                let rhs_row = rhs.row(k);
+                let out_row = out.row_mut(r);
+                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                    *o = o.mul_add(a, b);
+                }
+            }
+        }
+        out
+    }
+
+    /// Conjugate transpose `Aᴴ`.
+    pub fn hermitian(&self) -> CMat {
+        CMat::from_fn(self.cols, self.rows, |r, c| self[(c, r)].conj())
+    }
+
+    /// Plain transpose `Aᵀ` (no conjugation).
+    pub fn transpose(&self) -> CMat {
+        CMat::from_fn(self.cols, self.rows, |r, c| self[(c, r)])
+    }
+
+    /// Frobenius norm.
+    pub fn fro_norm(&self) -> f64 {
+        self.data
+            .iter()
+            .map(|z| z.norm_sq())
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Largest element magnitude.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().map(|z| z.abs()).fold(0.0, f64::max)
+    }
+
+    /// Scales every element by a real factor in place.
+    pub fn scale_mut(&mut self, k: f64) {
+        for z in &mut self.data {
+            *z = z.scale(k);
+        }
+    }
+
+    /// Solves the square linear system `A·x = b` by Gaussian elimination
+    /// with partial pivoting. Returns `None` when the matrix is singular
+    /// to working precision. Intended for the small (≤ tens of unknowns)
+    /// systems that arise in subcarrier weight synthesis.
+    pub fn solve(&self, b: &CVec) -> Option<CVec> {
+        assert_eq!(self.rows, self.cols, "solve requires a square matrix");
+        assert_eq!(b.len(), self.rows, "right-hand side length mismatch");
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut x = b.clone();
+        for col in 0..n {
+            // Partial pivot.
+            let mut pivot = col;
+            for r in (col + 1)..n {
+                if a[(r, col)].abs() > a[(pivot, col)].abs() {
+                    pivot = r;
+                }
+            }
+            if a[(pivot, col)].abs() < 1e-14 {
+                return None;
+            }
+            if pivot != col {
+                for c in 0..n {
+                    let tmp = a[(col, c)];
+                    a[(col, c)] = a[(pivot, c)];
+                    a[(pivot, c)] = tmp;
+                }
+                let tmp = x[col];
+                x[col] = x[pivot];
+                x[pivot] = tmp;
+            }
+            // Eliminate below.
+            let inv = a[(col, col)].recip();
+            for r in (col + 1)..n {
+                let factor = a[(r, col)] * inv;
+                if factor == C64::ZERO {
+                    continue;
+                }
+                for c in col..n {
+                    let v = a[(col, c)];
+                    a[(r, c)] -= factor * v;
+                }
+                let xc = x[col];
+                x[r] -= factor * xc;
+            }
+        }
+        // Back substitution.
+        for col in (0..n).rev() {
+            let mut v = x[col];
+            for c in (col + 1)..n {
+                v -= a[(col, c)] * x[c];
+            }
+            x[col] = v * a[(col, col)].recip();
+        }
+        Some(x)
+    }
+
+    /// `self + k·other`, in place. Used for gradient steps.
+    pub fn axpy(&mut self, k: f64, other: &CMat) {
+        assert_eq!(self.rows, other.rows, "axpy: shape mismatch");
+        assert_eq!(self.cols, other.cols, "axpy: shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b * k;
+        }
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for CMat {
+    type Output = C64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &C64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for CMat {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut C64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: C64, b: C64) -> bool {
+        (a - b).abs() < 1e-10
+    }
+
+    #[test]
+    fn identity_matvec_is_noop() {
+        let i3 = CMat::identity(3);
+        let x = CVec::from_fn(3, |k| C64::new(k as f64, -(k as f64)));
+        let y = i3.matvec(&x);
+        for k in 0..3 {
+            assert!(approx(y[k], x[k]));
+        }
+    }
+
+    #[test]
+    fn matmul_associates_with_matvec() {
+        let a = CMat::from_fn(2, 3, |r, c| C64::new((r + c) as f64, r as f64 - c as f64));
+        let b = CMat::from_fn(3, 2, |r, c| C64::new(r as f64, c as f64 + 1.0));
+        let x = CVec::from_fn(2, |k| C64::new(1.0, k as f64));
+        let lhs = a.matmul(&b).matvec(&x);
+        let rhs = a.matvec(&b.matvec(&x));
+        for k in 0..2 {
+            assert!(approx(lhs[k], rhs[k]));
+        }
+    }
+
+    #[test]
+    fn hermitian_involution() {
+        let a = CMat::from_fn(3, 2, |r, c| C64::new(r as f64 + 0.5, c as f64 - 0.25));
+        let back = a.hermitian().hermitian();
+        assert_eq!(a, back);
+    }
+
+    #[test]
+    fn transpose_swaps_indices() {
+        let a = CMat::from_fn(2, 3, |r, c| C64::new(r as f64, c as f64));
+        let t = a.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t[(2, 1)], a[(1, 2)]);
+    }
+
+    #[test]
+    fn fro_norm_of_identity() {
+        assert!((CMat::identity(4).fro_norm() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn axpy_adds_scaled() {
+        let mut a = CMat::zeros(2, 2);
+        let b = CMat::identity(2);
+        a.axpy(3.0, &b);
+        assert!(approx(a[(0, 0)], C64::real(3.0)));
+        assert!(approx(a[(0, 1)], C64::ZERO));
+    }
+
+    #[test]
+    fn row_vec_extracts_row() {
+        let a = CMat::from_fn(2, 3, |r, c| C64::real((r * 10 + c) as f64));
+        let row1 = a.row_vec(1);
+        assert_eq!(row1.len(), 3);
+        assert_eq!(row1[2].re, 12.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matvec_rejects_bad_shapes() {
+        let _ = CMat::zeros(2, 3).matvec(&CVec::zeros(4));
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = CMat::from_fn(4, 4, |r, c| {
+            C64::new((r * 3 + c) as f64 % 5.0 + 1.0, (r as f64 - c as f64) * 0.5)
+        });
+        let x_true = CVec::from_fn(4, |i| C64::new(i as f64 + 0.5, -(i as f64)));
+        let b = a.matvec(&x_true);
+        let x = a.solve(&b).expect("non-singular");
+        for i in 0..4 {
+            assert!(approx(x[i], x_true[i]), "x[{i}] = {} vs {}", x[i], x_true[i]);
+        }
+    }
+
+    #[test]
+    fn solve_identity_is_passthrough() {
+        let b = CVec::from_fn(3, |i| C64::new(i as f64, 1.0));
+        let x = CMat::identity(3).solve(&b).expect("identity");
+        for i in 0..3 {
+            assert!(approx(x[i], b[i]));
+        }
+    }
+
+    #[test]
+    fn solve_detects_singularity() {
+        let mut a = CMat::zeros(2, 2);
+        a[(0, 0)] = C64::ONE;
+        a[(1, 0)] = C64::ONE; // rank 1
+        assert!(a.solve(&CVec::zeros(2)).is_none());
+    }
+}

@@ -1,0 +1,268 @@
+//! Dense complex vectors.
+
+use crate::complex::C64;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// A dense, heap-allocated complex vector.
+///
+/// Used for baseband symbol streams, per-output weight rows, and network
+/// activations. Element access is by `v[i]`; bulk operations are methods.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct CVec {
+    data: Vec<C64>,
+}
+
+impl CVec {
+    /// An all-zero vector of length `n`.
+    pub fn zeros(n: usize) -> Self {
+        CVec {
+            data: vec![C64::ZERO; n],
+        }
+    }
+
+    /// Wraps an existing buffer.
+    pub fn from_vec(data: Vec<C64>) -> Self {
+        CVec { data }
+    }
+
+    /// Builds a vector from a function of the index.
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize) -> C64) -> Self {
+        CVec {
+            data: (0..n).map(&mut f).collect(),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the vector has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying slice.
+    pub fn as_slice(&self) -> &[C64] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying slice.
+    pub fn as_mut_slice(&mut self) -> &mut [C64] {
+        &mut self.data
+    }
+
+    /// Consumes the vector, returning its buffer.
+    pub fn into_vec(self) -> Vec<C64> {
+        self.data
+    }
+
+    /// Iterator over elements.
+    pub fn iter(&self) -> std::slice::Iter<'_, C64> {
+        self.data.iter()
+    }
+
+    /// Unconjugated dot product `Σ aᵢ·bᵢ`.
+    ///
+    /// This is the accumulation the over-the-air receiver performs (Eqn 3 of
+    /// the paper): weights times symbols, no conjugation.
+    pub fn dot(&self, rhs: &CVec) -> C64 {
+        assert_eq!(self.len(), rhs.len(), "dot: length mismatch");
+        self.data
+            .iter()
+            .zip(&rhs.data)
+            .fold(C64::ZERO, |acc, (&a, &b)| acc.mul_add(a, b))
+    }
+
+    /// Hermitian inner product `Σ conj(aᵢ)·bᵢ`.
+    pub fn dot_conj(&self, rhs: &CVec) -> C64 {
+        assert_eq!(self.len(), rhs.len(), "dot_conj: length mismatch");
+        self.data
+            .iter()
+            .zip(&rhs.data)
+            .fold(C64::ZERO, |acc, (&a, &b)| acc.mul_add(a.conj(), b))
+    }
+
+    /// Euclidean norm `√(Σ |aᵢ|²)`.
+    pub fn norm(&self) -> f64 {
+        self.data
+            .iter()
+            .map(|z| z.norm_sq())
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Largest element magnitude, or 0 for the empty vector.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().map(|z| z.abs()).fold(0.0, f64::max)
+    }
+
+    /// Scales every element by a real factor in place.
+    pub fn scale_mut(&mut self, k: f64) {
+        for z in &mut self.data {
+            *z = z.scale(k);
+        }
+    }
+
+    /// Returns a copy with every element scaled by a complex factor.
+    pub fn scaled(&self, k: C64) -> CVec {
+        CVec::from_fn(self.len(), |i| self.data[i] * k)
+    }
+
+    /// Element-wise magnitudes.
+    pub fn abs(&self) -> Vec<f64> {
+        self.data.iter().map(|z| z.abs()).collect()
+    }
+
+    /// Mean of the elements, or zero for the empty vector.
+    pub fn mean(&self) -> C64 {
+        if self.data.is_empty() {
+            return C64::ZERO;
+        }
+        self.data.iter().copied().sum::<C64>() / self.data.len() as f64
+    }
+
+    /// Cyclically rotates the vector left by `shift` positions.
+    ///
+    /// Used by the CDFA fine-grained adjustment: synchronization error is
+    /// modelled as a cyclic shift of the data relative to the weights.
+    pub fn cyclic_shift(&self, shift: usize) -> CVec {
+        let n = self.len();
+        if n == 0 {
+            return self.clone();
+        }
+        let s = shift % n;
+        CVec::from_fn(n, |i| self.data[(i + s) % n])
+    }
+
+    /// Cyclic rotation by a *signed* amount: positive shifts left,
+    /// negative shifts right. Residual synchronization error after
+    /// preamble centring has both signs.
+    pub fn cyclic_shift_signed(&self, shift: isize) -> CVec {
+        let n = self.len();
+        if n == 0 {
+            return self.clone();
+        }
+        let s = shift.rem_euclid(n as isize) as usize;
+        self.cyclic_shift(s)
+    }
+}
+
+impl Index<usize> for CVec {
+    type Output = C64;
+    fn index(&self, i: usize) -> &C64 {
+        &self.data[i]
+    }
+}
+
+impl IndexMut<usize> for CVec {
+    fn index_mut(&mut self, i: usize) -> &mut C64 {
+        &mut self.data[i]
+    }
+}
+
+impl Add for &CVec {
+    type Output = CVec;
+    fn add(self, rhs: &CVec) -> CVec {
+        assert_eq!(self.len(), rhs.len(), "add: length mismatch");
+        CVec::from_fn(self.len(), |i| self.data[i] + rhs.data[i])
+    }
+}
+
+impl Sub for &CVec {
+    type Output = CVec;
+    fn sub(self, rhs: &CVec) -> CVec {
+        assert_eq!(self.len(), rhs.len(), "sub: length mismatch");
+        CVec::from_fn(self.len(), |i| self.data[i] - rhs.data[i])
+    }
+}
+
+impl Mul<f64> for &CVec {
+    type Output = CVec;
+    fn mul(self, k: f64) -> CVec {
+        CVec::from_fn(self.len(), |i| self.data[i] * k)
+    }
+}
+
+impl FromIterator<C64> for CVec {
+    fn from_iter<T: IntoIterator<Item = C64>>(iter: T) -> Self {
+        CVec {
+            data: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(parts: &[(f64, f64)]) -> CVec {
+        CVec::from_vec(parts.iter().map(|&(r, i)| C64::new(r, i)).collect())
+    }
+
+    #[test]
+    fn zeros_and_len() {
+        let z = CVec::zeros(5);
+        assert_eq!(z.len(), 5);
+        assert!(!z.is_empty());
+        assert_eq!(z.norm(), 0.0);
+        assert!(CVec::zeros(0).is_empty());
+    }
+
+    #[test]
+    fn dot_is_unconjugated() {
+        // (j)·(j) = -1 without conjugation, +1 with.
+        let a = v(&[(0.0, 1.0)]);
+        assert!((a.dot(&a) - C64::new(-1.0, 0.0)).abs() < 1e-12);
+        assert!((a.dot_conj(&a) - C64::ONE).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dot_linearity() {
+        let a = v(&[(1.0, 0.0), (0.0, 2.0)]);
+        let b = v(&[(3.0, -1.0), (0.5, 0.5)]);
+        let c = v(&[(1.0, 1.0), (2.0, 0.0)]);
+        let lhs = a.dot(&(&b + &c));
+        let rhs = a.dot(&b) + a.dot(&c);
+        assert!((lhs - rhs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn norm_matches_dot_conj() {
+        let a = v(&[(3.0, 4.0), (0.0, -2.0)]);
+        assert!((a.norm() * a.norm() - a.dot_conj(&a).re).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cyclic_shift_wraps() {
+        let a = v(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]);
+        let s = a.cyclic_shift(1);
+        assert_eq!(s[0].re, 1.0);
+        assert_eq!(s[2].re, 0.0);
+        // Shift by the length is the identity.
+        assert_eq!(a.cyclic_shift(3), a);
+        // Shifts compose modulo n.
+        assert_eq!(a.cyclic_shift(4), a.cyclic_shift(1));
+    }
+
+    #[test]
+    fn mean_and_scale() {
+        let mut a = v(&[(1.0, 1.0), (3.0, -1.0)]);
+        assert!((a.mean() - C64::new(2.0, 0.0)).abs() < 1e-12);
+        a.scale_mut(2.0);
+        assert!((a[0] - C64::new(2.0, 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_abs_finds_peak() {
+        let a = v(&[(1.0, 0.0), (3.0, 4.0), (0.0, -2.0)]);
+        assert_eq!(a.max_abs(), 5.0);
+        assert_eq!(CVec::zeros(0).max_abs(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_rejects_mismatched_lengths() {
+        let _ = CVec::zeros(2).dot(&CVec::zeros(3));
+    }
+}

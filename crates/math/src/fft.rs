@@ -1,0 +1,146 @@
+//! In-place radix-2 decimation-in-time FFT.
+//!
+//! OFDM modulation/demodulation in `metaai-phy` needs forward and inverse
+//! transforms over power-of-two subcarrier counts. The implementation is the
+//! classic iterative Cooley–Tukey with bit-reversal permutation; sizes are
+//! small (≤ 4096) so twiddle factors are computed on the fly.
+
+use crate::complex::C64;
+
+/// Returns true when `n` is a power of two (and nonzero).
+pub fn is_power_of_two(n: usize) -> bool {
+    n != 0 && n & (n - 1) == 0
+}
+
+fn bit_reverse_permute(buf: &mut [C64]) {
+    let n = buf.len();
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            buf.swap(i, j);
+        }
+    }
+}
+
+fn transform(buf: &mut [C64], inverse: bool) {
+    let n = buf.len();
+    assert!(is_power_of_two(n), "FFT size must be a power of two, got {n}");
+    bit_reverse_permute(buf);
+
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * std::f64::consts::TAU / len as f64;
+        let wlen = C64::cis(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = C64::ONE;
+            for k in 0..len / 2 {
+                let u = buf[start + k];
+                let v = buf[start + k + len / 2] * w;
+                buf[start + k] = u + v;
+                buf[start + k + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+        len <<= 1;
+    }
+
+    if inverse {
+        let scale = 1.0 / n as f64;
+        for z in buf {
+            *z = z.scale(scale);
+        }
+    }
+}
+
+/// Forward FFT, in place. `buf.len()` must be a power of two.
+pub fn fft(buf: &mut [C64]) {
+    transform(buf, false);
+}
+
+/// Inverse FFT, in place (includes the `1/N` normalization).
+pub fn ifft(buf: &mut [C64]) {
+    transform(buf, true);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: C64, b: C64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn power_of_two_detection() {
+        assert!(is_power_of_two(1));
+        assert!(is_power_of_two(64));
+        assert!(!is_power_of_two(0));
+        assert!(!is_power_of_two(12));
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat_spectrum() {
+        let mut buf = vec![C64::ZERO; 8];
+        buf[0] = C64::ONE;
+        fft(&mut buf);
+        for z in &buf {
+            assert!(close(*z, C64::ONE));
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_on_one_bin() {
+        let n = 16;
+        let k = 3;
+        let mut buf: Vec<C64> = (0..n)
+            .map(|t| C64::cis(std::f64::consts::TAU * k as f64 * t as f64 / n as f64))
+            .collect();
+        fft(&mut buf);
+        for (bin, z) in buf.iter().enumerate() {
+            if bin == k {
+                assert!((z.abs() - n as f64).abs() < 1e-9);
+            } else {
+                assert!(z.abs() < 1e-9, "leakage at bin {bin}: {z}");
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_restores_signal() {
+        let n = 64;
+        let orig: Vec<C64> = (0..n)
+            .map(|t| C64::new((t as f64 * 0.37).sin(), (t as f64 * 0.11).cos()))
+            .collect();
+        let mut buf = orig.clone();
+        fft(&mut buf);
+        ifft(&mut buf);
+        for (a, b) in buf.iter().zip(&orig) {
+            assert!(close(*a, *b));
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conserved() {
+        let n = 32;
+        let time: Vec<C64> = (0..n).map(|t| C64::new(t as f64, -(t as f64) / 2.0)).collect();
+        let e_time: f64 = time.iter().map(|z| z.norm_sq()).sum();
+        let mut freq = time.clone();
+        fft(&mut freq);
+        let e_freq: f64 = freq.iter().map(|z| z.norm_sq()).sum::<f64>() / n as f64;
+        assert!((e_time - e_freq).abs() / e_time < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let mut buf = vec![C64::ZERO; 6];
+        fft(&mut buf);
+    }
+}

@@ -1,0 +1,28 @@
+//! Mathematical foundations for the MetaAI workspace.
+//!
+//! This crate deliberately owns its numerics instead of pulling in a large
+//! linear-algebra stack: the rest of the workspace needs exactly
+//!
+//! * complex arithmetic ([`C64`]) for baseband signals and channel weights,
+//! * small dense complex matrices/vectors ([`CMat`], [`CVec`]) for
+//!   linear-neural-network training and metasurface channel synthesis,
+//! * real dense matrices ([`RMat`]) for the digital deep baseline,
+//! * a radix-2 FFT ([`fft`]) for OFDM,
+//! * descriptive statistics ([`stats`]) for the experiment harness, and
+//! * deterministic, seedable random sources ([`rng`]).
+//!
+//! Everything is written for clarity first; the matrices involved are small
+//! (hundreds by tens), so cache-oblivious blocking or SIMD would be noise.
+
+pub mod cmat;
+pub mod complex;
+pub mod cvec;
+pub mod fft;
+pub mod rmat;
+pub mod rng;
+pub mod stats;
+
+pub use cmat::CMat;
+pub use complex::C64;
+pub use cvec::CVec;
+pub use rmat::RMat;

@@ -1,0 +1,189 @@
+//! Dense row-major real matrices for the digital deep baseline.
+
+/// A dense, row-major `f64` matrix.
+///
+/// The deep digital baseline (the stand-in for the paper's ResNet-18
+/// comparison point) is a real-valued MLP; its weights and activations live
+/// in [`RMat`] rather than dragging complex arithmetic through code that
+/// never needs it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RMat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl RMat {
+    /// An all-zero `rows × cols` matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        RMat {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds a matrix from a function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        RMat { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable view of one row.
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row index out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of one row.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        assert!(r < self.rows, "row index out of bounds");
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Immutable view of the row-major buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Matrix–vector product `A·x`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols, x.len(), "matvec: dimension mismatch");
+        (0..self.rows)
+            .map(|r| self.row(r).iter().zip(x).map(|(&a, &b)| a * b).sum())
+            .collect()
+    }
+
+    /// Transposed matrix–vector product `Aᵀ·y`.
+    pub fn matvec_t(&self, y: &[f64]) -> Vec<f64> {
+        assert_eq!(self.rows, y.len(), "matvec_t: dimension mismatch");
+        let mut out = vec![0.0; self.cols];
+        for (r, &yr) in y.iter().enumerate() {
+            if yr == 0.0 {
+                continue;
+            }
+            for (o, &a) in out.iter_mut().zip(self.row(r)) {
+                *o += a * yr;
+            }
+        }
+        out
+    }
+
+    /// `self += k·outer(y, x)` — a rank-1 gradient update.
+    pub fn add_outer(&mut self, k: f64, y: &[f64], x: &[f64]) {
+        assert_eq!(self.rows, y.len(), "add_outer: row mismatch");
+        assert_eq!(self.cols, x.len(), "add_outer: col mismatch");
+        for (r, &yr) in y.iter().enumerate() {
+            let kyr = k * yr;
+            if kyr == 0.0 {
+                continue;
+            }
+            for (o, &xc) in self.row_mut(r).iter_mut().zip(x) {
+                *o += kyr * xc;
+            }
+        }
+    }
+
+    /// `self + k·other`, in place.
+    pub fn axpy(&mut self, k: f64, other: &RMat) {
+        assert_eq!(self.rows, other.rows, "axpy: shape mismatch");
+        assert_eq!(self.cols, other.cols, "axpy: shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += k * b;
+        }
+    }
+
+    /// Scales every element in place.
+    pub fn scale_mut(&mut self, k: f64) {
+        for a in &mut self.data {
+            *a *= k;
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn fro_norm(&self) -> f64 {
+        self.data.iter().map(|a| a * a).sum::<f64>().sqrt()
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for RMat {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for RMat {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matvec_small_case() {
+        let a = RMat::from_fn(2, 3, |r, c| (r * 3 + c) as f64); // [[0,1,2],[3,4,5]]
+        let y = a.matvec(&[1.0, 1.0, 1.0]);
+        assert_eq!(y, vec![3.0, 12.0]);
+    }
+
+    #[test]
+    fn matvec_t_is_transpose_action() {
+        let a = RMat::from_fn(2, 3, |r, c| (r + c) as f64);
+        let y = vec![1.0, 2.0];
+        let direct = a.matvec_t(&y);
+        // Compare against explicit transpose.
+        let t = RMat::from_fn(3, 2, |r, c| a[(c, r)]);
+        assert_eq!(direct, t.matvec(&y));
+    }
+
+    #[test]
+    fn add_outer_is_rank_one() {
+        let mut a = RMat::zeros(2, 2);
+        a.add_outer(2.0, &[1.0, 3.0], &[4.0, 5.0]);
+        assert_eq!(a[(0, 0)], 8.0);
+        assert_eq!(a[(1, 1)], 30.0);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = RMat::from_fn(2, 2, |r, c| (r + c) as f64);
+        let b = a.clone();
+        a.axpy(1.0, &b);
+        a.scale_mut(0.5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fro_norm_unit_rows() {
+        let a = RMat::from_fn(1, 2, |_, c| if c == 0 { 3.0 } else { 4.0 });
+        assert!((a.fro_norm() - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,182 @@
+//! Individual programmable meta-atoms.
+
+use metaai_math::C64;
+
+/// A discrete phase code applied to one meta-atom.
+///
+/// The fabricated prototypes are 2-bit (four states); 1-bit and 3-bit
+/// variants are supported for the bit-depth ablation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PhaseCode {
+    /// The state index, `0 .. 2^bits`.
+    pub index: u8,
+    /// Bit depth of the phase shifter (1, 2, or 3).
+    pub bits: u8,
+}
+
+impl PhaseCode {
+    /// Creates a code, validating the index against the bit depth.
+    pub fn new(index: u8, bits: u8) -> Self {
+        assert!((1..=3).contains(&bits), "bit depth must be 1..=3");
+        assert!(
+            (index as usize) < (1usize << bits),
+            "state {index} out of range for {bits}-bit atom"
+        );
+        PhaseCode { index, bits }
+    }
+
+    /// A 2-bit code — the fabricated hardware.
+    pub fn two_bit(index: u8) -> Self {
+        PhaseCode::new(index, 2)
+    }
+
+    /// Number of states at this bit depth.
+    pub fn state_count(self) -> usize {
+        1 << self.bits
+    }
+
+    /// The nominal phase shift of this state: `index · 2π / 2^bits`
+    /// (0, π/2, π, 3π/2 for the 2-bit hardware).
+    pub fn phase(self) -> f64 {
+        self.index as f64 * std::f64::consts::TAU / self.state_count() as f64
+    }
+
+    /// The code at this depth whose phase is closest to `target` radians.
+    pub fn quantize(target: f64, bits: u8) -> Self {
+        assert!((1..=3).contains(&bits), "bit depth must be 1..=3");
+        let n = 1usize << bits;
+        let step = std::f64::consts::TAU / n as f64;
+        let idx = (target.rem_euclid(std::f64::consts::TAU) / step).round() as usize % n;
+        PhaseCode::new(idx as u8, bits)
+    }
+
+    /// The code π radians away (used by the intra-symbol weight flip —
+    /// π is representable at every supported bit depth except 1-bit where
+    /// it coincides with the other state).
+    pub fn flipped(self) -> Self {
+        let half = self.state_count() as u8 / 2;
+        PhaseCode::new((self.index + half) % self.state_count() as u8, self.bits)
+    }
+}
+
+/// One meta-atom: a programmable reflector with a discrete phase state,
+/// a fixed fabrication phase error, and an optional stuck-at fault.
+#[derive(Clone, Copy, Debug)]
+pub struct MetaAtom {
+    /// Programmed state.
+    pub code: PhaseCode,
+    /// Fixed fabrication phase error, radians (the hardware-noise term
+    /// `N_d` of Eqn 13).
+    pub phase_error: f64,
+    /// When set, the atom ignores programming and stays in this state.
+    pub stuck_at: Option<PhaseCode>,
+    /// Reflection amplitude (1.0 nominal; PIN diode losses reduce it).
+    pub amplitude: f64,
+}
+
+impl MetaAtom {
+    /// A pristine 2-bit atom in state 0.
+    pub fn pristine() -> Self {
+        MetaAtom {
+            code: PhaseCode::two_bit(0),
+            phase_error: 0.0,
+            stuck_at: None,
+            amplitude: 1.0,
+        }
+    }
+
+    /// Programs the atom; a stuck atom silently keeps its fault state.
+    pub fn program(&mut self, code: PhaseCode) {
+        self.code = code;
+    }
+
+    /// The state actually in effect (fault-aware).
+    pub fn effective_code(&self) -> PhaseCode {
+        self.stuck_at.unwrap_or(self.code)
+    }
+
+    /// The complex reflection coefficient this atom applies:
+    /// `amplitude · e^{j(φ_state + φ_error)}`.
+    pub fn reflection(&self) -> C64 {
+        C64::from_polar(self.amplitude, self.effective_code().phase() + self.phase_error)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI, TAU};
+
+    #[test]
+    fn two_bit_states_are_quarter_turns() {
+        let phases: Vec<f64> = (0..4).map(|i| PhaseCode::two_bit(i).phase()).collect();
+        assert_eq!(phases, vec![0.0, FRAC_PI_2, PI, 3.0 * FRAC_PI_2]);
+    }
+
+    #[test]
+    fn quantize_picks_nearest_state() {
+        assert_eq!(PhaseCode::quantize(0.1, 2).index, 0);
+        assert_eq!(PhaseCode::quantize(FRAC_PI_2 - 0.1, 2).index, 1);
+        assert_eq!(PhaseCode::quantize(PI + 0.3, 2).index, 2);
+        assert_eq!(PhaseCode::quantize(-0.1, 2).index, 0);
+        assert_eq!(PhaseCode::quantize(TAU - 0.4, 2).index, 0);
+    }
+
+    #[test]
+    fn quantize_error_is_bounded_by_half_step() {
+        for bits in 1u8..=3 {
+            let step = TAU / (1usize << bits) as f64;
+            for k in 0..100 {
+                let t = k as f64 * 0.0631;
+                let q = PhaseCode::quantize(t, bits).phase();
+                let mut err = (t - q).rem_euclid(TAU);
+                if err > PI {
+                    err = TAU - err;
+                }
+                assert!(err <= step / 2.0 + 1e-9, "bits={bits} t={t} err={err}");
+            }
+        }
+    }
+
+    #[test]
+    fn flip_is_pi_away() {
+        for i in 0..4u8 {
+            let c = PhaseCode::two_bit(i);
+            let d = (c.flipped().phase() - c.phase()).rem_euclid(TAU);
+            assert!((d - PI).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn flip_is_involution() {
+        for i in 0..4u8 {
+            let c = PhaseCode::two_bit(i);
+            assert_eq!(c.flipped().flipped(), c);
+        }
+    }
+
+    #[test]
+    fn reflection_includes_error_and_amplitude() {
+        let mut a = MetaAtom::pristine();
+        a.program(PhaseCode::two_bit(1));
+        a.phase_error = 0.05;
+        a.amplitude = 0.9;
+        let r = a.reflection();
+        assert!((r.abs() - 0.9).abs() < 1e-12);
+        assert!((r.arg() - (FRAC_PI_2 + 0.05)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stuck_atom_ignores_programming() {
+        let mut a = MetaAtom::pristine();
+        a.stuck_at = Some(PhaseCode::two_bit(3));
+        a.program(PhaseCode::two_bit(1));
+        assert_eq!(a.effective_code().index, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_invalid_state() {
+        PhaseCode::new(4, 2);
+    }
+}

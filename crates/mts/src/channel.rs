@@ -1,0 +1,238 @@
+//! Far-field channel synthesis through the metasurface — Eqn 4 of the paper.
+//!
+//! The channel through the MTS path is
+//!
+//! ```text
+//! H_mts = α_p · Σ_m e^{jφ_m^p} · e^{jφ_m}
+//! ```
+//!
+//! where `φ_m^p = −k₀(d_{Tx,m} + d_{m,Rx})` is the propagation phase
+//! through atom `m`, `φ_m` the programmed phase, and `α_p` the common
+//! far-field amplitude. We model `α_p` with the reflectarray link budget —
+//! the *product-distance* law `λ²·G/( (4π)²·d₁·d₂ )` — which is what makes
+//! the MTS path comparable in strength to the direct environmental leakage
+//! at room scale (and hence makes multipath cancellation matter, Fig 17).
+//!
+//! The element pattern of the atoms limits the field of view: beyond ±60°
+//! the per-atom gain collapses, reproducing the FoV cliff of Fig 25.
+
+use crate::array::MtsArray;
+use metaai_math::C64;
+use metaai_rf::geometry::Point3;
+use metaai_rf::pathloss::{wavelength, wavenumber};
+
+/// Effective per-atom scattering gain (linear amplitude, ≈ 6 dB), folding
+/// the atom aperture and reflection efficiency.
+pub const ATOM_GAIN: f64 = 4.0;
+
+/// Element-pattern amplitude at angle `theta` off broadside, with the FoV
+/// soft limit at `half_fov`.
+///
+/// Inside the FoV the pattern is the standard `cos θ` projected-aperture
+/// factor; outside it rolls off with a much steeper power, modelling the
+/// rapid gain collapse of a practical 2-bit reflectarray element.
+pub fn element_pattern(theta: f64, half_fov: f64) -> f64 {
+    let t = theta.abs();
+    if t >= std::f64::consts::FRAC_PI_2 {
+        return 0.0;
+    }
+    if t <= half_fov {
+        t.cos()
+    } else {
+        // Continuous at the FoV edge, then collapses as cos³.
+        let edge = half_fov.cos();
+        edge * (t.cos() / edge).powi(3)
+    }
+}
+
+/// A precomputed Tx → MTS → Rx far-field link at one carrier frequency.
+///
+/// Precomputation caches the per-atom propagation phasors `e^{jφ_m^p}` so
+/// the weight solver can iterate over atoms without recomputing geometry.
+#[derive(Clone, Debug)]
+pub struct MtsLink {
+    /// Transmitter position.
+    pub tx: Point3,
+    /// Receiver position.
+    pub rx: Point3,
+    /// Carrier frequency, Hz.
+    pub freq_hz: f64,
+    /// Common far-field amplitude per atom (`α_p` of Eqn 4).
+    pub alpha: f64,
+    /// Per-atom propagation phasors `e^{jφ_m^p}`.
+    pub path_phasors: Vec<C64>,
+}
+
+impl MtsLink {
+    /// Builds the link for a given array geometry and carrier.
+    pub fn new(array: &MtsArray, tx: Point3, rx: Point3, freq_hz: f64) -> Self {
+        let k0 = wavenumber(freq_hz);
+        let lam = wavelength(freq_hz);
+        let m = array.num_atoms();
+
+        let path_phasors: Vec<C64> = (0..m)
+            .map(|i| {
+                let p = array.atom_position(i);
+                let d = tx.distance(p) + p.distance(rx);
+                C64::cis(-k0 * d)
+            })
+            .collect();
+
+        // Far-field common amplitude: product-distance reflectarray law with
+        // the element pattern evaluated at the array-centre angles.
+        let d1 = tx.distance(array.center).max(0.05);
+        let d2 = array.center.distance(rx).max(0.05);
+        let th_in = array.off_boresight_angle(tx);
+        let th_out = array.off_boresight_angle(rx);
+        let pattern =
+            element_pattern(th_in, array.half_fov) * element_pattern(th_out, array.half_fov);
+        let alpha = ATOM_GAIN * lam * lam * pattern
+            / ((4.0 * std::f64::consts::PI).powi(2) * d1 * d2);
+
+        MtsLink {
+            tx,
+            rx,
+            freq_hz,
+            alpha,
+            path_phasors,
+        }
+    }
+
+    /// Number of atoms this link was computed for.
+    pub fn num_atoms(&self) -> usize {
+        self.path_phasors.len()
+    }
+
+    /// The channel `H_mts` for the array's current configuration (Eqn 4),
+    /// including per-atom fabrication errors and faults.
+    pub fn channel(&self, array: &MtsArray) -> C64 {
+        assert_eq!(array.num_atoms(), self.num_atoms(), "array/link mismatch");
+        let sum: C64 = array
+            .atoms
+            .iter()
+            .zip(&self.path_phasors)
+            .map(|(atom, &u)| atom.reflection() * u)
+            .sum();
+        sum * self.alpha
+    }
+
+    /// The *normalized* channel sum `Σ_m e^{j(φ_m^p + φ_m)}` (no `α_p`),
+    /// the quantity the weight solver manipulates.
+    pub fn normalized_sum(&self, array: &MtsArray) -> C64 {
+        self.channel(array) / self.alpha
+    }
+
+    /// Upper bound on the normalized channel magnitude: one per atom.
+    pub fn max_normalized(&self) -> f64 {
+        self.num_atoms() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::Prototype;
+    use crate::atom::PhaseCode;
+    use metaai_rf::geometry::{deg_to_rad, place_at};
+
+    fn paper_link() -> (MtsArray, MtsLink) {
+        let center = Point3::new(0.0, 0.0, 1.1);
+        let array = MtsArray::paper_prototype(Prototype::DualBand, center);
+        let tx = place_at(center, 1.0, deg_to_rad(90.0 - 30.0), 1.1);
+        let rx = place_at(center, 3.0, deg_to_rad(90.0 + 40.0), 1.1);
+        let link = MtsLink::new(&array, tx, rx, 5.25e9);
+        (array, link)
+    }
+
+    #[test]
+    fn path_phasors_are_unit() {
+        let (_, link) = paper_link();
+        for u in &link.path_phasors {
+            assert!((u.abs() - 1.0).abs() < 1e-12);
+        }
+        assert_eq!(link.num_atoms(), 256);
+    }
+
+    #[test]
+    fn channel_magnitude_bounded_by_alpha_m() {
+        let (array, link) = paper_link();
+        let h = link.channel(&array);
+        assert!(h.abs() <= link.alpha * 256.0 + 1e-12);
+    }
+
+    #[test]
+    fn phase_conjugation_beamforms_to_full_aperture() {
+        // Programming each atom to cancel its own path phase (continuous
+        // phases would align exactly; 2-bit states get within π/4) must
+        // push the channel magnitude close to the α·M upper bound.
+        let (mut array, link) = paper_link();
+        let codes: Vec<PhaseCode> = link
+            .path_phasors
+            .iter()
+            .map(|u| PhaseCode::quantize(-u.arg(), 2))
+            .collect();
+        array.configure(&codes);
+        let h = link.channel(&array);
+        let bound = link.alpha * 256.0;
+        assert!(
+            h.abs() > 0.85 * bound,
+            "beamformed |H| = {} vs bound {}",
+            h.abs(),
+            bound
+        );
+    }
+
+    #[test]
+    fn product_distance_law() {
+        let center = Point3::new(0.0, 0.0, 1.1);
+        let array = MtsArray::paper_prototype(Prototype::DualBand, center);
+        let tx = place_at(center, 1.0, deg_to_rad(90.0), 1.1);
+        let rx1 = place_at(center, 2.0, deg_to_rad(60.0), 1.1);
+        let rx2 = place_at(center, 4.0, deg_to_rad(60.0), 1.1);
+        let l1 = MtsLink::new(&array, tx, rx1, 5e9);
+        let l2 = MtsLink::new(&array, tx, rx2, 5e9);
+        assert!(
+            (l1.alpha / l2.alpha - 2.0).abs() < 1e-9,
+            "α falls as 1/(d1·d2)"
+        );
+    }
+
+    #[test]
+    fn element_pattern_fov_cliff() {
+        let fov = deg_to_rad(60.0);
+        let inside = element_pattern(deg_to_rad(50.0), fov);
+        let edge = element_pattern(deg_to_rad(60.0), fov);
+        let outside = element_pattern(deg_to_rad(75.0), fov);
+        assert!(inside > edge);
+        assert!(edge > outside);
+        // Beyond the FoV the collapse is much faster than cos θ.
+        assert!(outside < 0.5 * deg_to_rad(75.0).cos());
+        // Continuity at the edge.
+        let just_in = element_pattern(fov - 1e-6, fov);
+        let just_out = element_pattern(fov + 1e-6, fov);
+        assert!((just_in - just_out).abs() < 1e-4);
+    }
+
+    #[test]
+    fn grazing_angle_kills_the_link() {
+        assert_eq!(element_pattern(std::f64::consts::FRAC_PI_2, 1.0), 0.0);
+    }
+
+    #[test]
+    fn normalized_sum_strips_alpha() {
+        let (array, link) = paper_link();
+        let h = link.channel(&array);
+        let n = link.normalized_sum(&array);
+        assert!((n * link.alpha - h).abs() < 1e-15);
+        assert!(n.abs() <= link.max_normalized() + 1e-9);
+    }
+
+    #[test]
+    fn stuck_fault_changes_channel() {
+        let (mut array, link) = paper_link();
+        let h_before = link.channel(&array);
+        array.atoms[0].stuck_at = Some(PhaseCode::two_bit(2));
+        let h_after = link.channel(&array);
+        assert!((h_before - h_after).abs() > 0.0);
+    }
+}

@@ -1,0 +1,206 @@
+//! The complex-valued linear neural network (Sec 3.1 of the paper).
+//!
+//! One fully-connected layer `z = W·x` with `W ∈ ℂ^{R×U}`, magnitudes as
+//! class scores. Because every LNN collapses to a single layer, this is
+//! the complete model — the entire network the metasurface later embodies.
+
+use crate::loss::{magnitude_ce, MagnitudeCeLoss};
+use metaai_math::rng::SimRng;
+use metaai_math::{C64, CMat, CVec};
+
+/// A single-layer complex linear network.
+#[derive(Clone, Debug)]
+pub struct ComplexLnn {
+    /// Weight matrix, `num_classes × input_len`. Row `r` holds the
+    /// time-varying weights `H_r(t_i)` the metasurface will realize.
+    pub weights: CMat,
+}
+
+impl ComplexLnn {
+    /// Random complex-Gaussian initialization scaled by `1/√U`.
+    pub fn init(num_classes: usize, input_len: usize, rng: &mut SimRng) -> Self {
+        assert!(num_classes >= 2 && input_len >= 1, "degenerate shape");
+        let scale = 1.0 / (input_len as f64).sqrt();
+        ComplexLnn {
+            weights: CMat::from_fn(num_classes, input_len, |_, _| {
+                rng.complex_gaussian(scale * scale)
+            }),
+        }
+    }
+
+    /// Wraps an existing weight matrix.
+    pub fn from_weights(weights: CMat) -> Self {
+        ComplexLnn { weights }
+    }
+
+    /// Number of classes `R`.
+    pub fn num_classes(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Input length `U`.
+    pub fn input_len(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// Complex logits `z = W·x`.
+    pub fn logits(&self, x: &CVec) -> CVec {
+        self.weights.matvec(x)
+    }
+
+    /// Class scores `|z_r|` — what the over-the-air receiver measures.
+    pub fn scores(&self, x: &CVec) -> Vec<f64> {
+        self.logits(x).abs()
+    }
+
+    /// Predicted class.
+    pub fn predict(&self, x: &CVec) -> usize {
+        metaai_math::stats::argmax(&self.scores(x))
+    }
+
+    /// Forward + loss for one sample.
+    pub fn loss(&self, x: &CVec, label: usize) -> MagnitudeCeLoss {
+        magnitude_ce(&self.logits(x), label)
+    }
+
+    /// Accumulates the weight cogradient for one sample into `grad`
+    /// (same shape as `weights`) and returns the sample's loss/prediction.
+    ///
+    /// For `z = W·x`, the cogradient w.r.t. `W̄_{r,i}` is
+    /// `∂L/∂z̄_r · x̄_i`; the steepest-descent update for complex
+    /// parameters steps along `−∂L/∂W̄`.
+    pub fn accumulate_grad(&self, x: &CVec, label: usize, grad: &mut CMat) -> MagnitudeCeLoss {
+        let out = self.loss(x, label);
+        for r in 0..self.num_classes() {
+            let g = out.cograd[r];
+            if g == C64::ZERO {
+                continue;
+            }
+            let row = grad.row_mut(r);
+            for (gi, xi) in row.iter_mut().zip(x.iter()) {
+                *gi = gi.mul_add(g, xi.conj());
+            }
+        }
+        out
+    }
+
+    /// Classification accuracy over a labelled set.
+    pub fn accuracy(&self, inputs: &[CVec], labels: &[usize]) -> f64 {
+        assert_eq!(inputs.len(), labels.len(), "one label per input");
+        if inputs.is_empty() {
+            return 0.0;
+        }
+        let correct = inputs
+            .iter()
+            .zip(labels)
+            .filter(|(x, &l)| self.predict(x) == l)
+            .count();
+        correct as f64 / inputs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_input(u: usize, seed: u64) -> CVec {
+        let mut rng = SimRng::seed_from_u64(seed);
+        CVec::from_fn(u, |_| rng.complex_gaussian(1.0))
+    }
+
+    #[test]
+    fn shapes_are_consistent() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let net = ComplexLnn::init(4, 16, &mut rng);
+        assert_eq!(net.num_classes(), 4);
+        assert_eq!(net.input_len(), 16);
+        assert_eq!(net.logits(&toy_input(16, 2)).len(), 4);
+    }
+
+    #[test]
+    fn prediction_is_scale_invariant() {
+        // Scaling all weights by a common complex factor preserves argmax —
+        // the property that lets the MTS ignore the common α_p (Sec 3.2).
+        let mut rng = SimRng::seed_from_u64(3);
+        let net = ComplexLnn::init(5, 8, &mut rng);
+        let x = toy_input(8, 4);
+        let pred = net.predict(&x);
+        let mut scaled = net.weights.clone();
+        for w in scaled.as_mut_slice() {
+            *w = *w * C64::from_polar(3.7, 1.2);
+        }
+        let net2 = ComplexLnn::from_weights(scaled);
+        assert_eq!(net2.predict(&x), pred);
+    }
+
+    #[test]
+    fn weight_cograd_matches_numeric() {
+        let mut rng = SimRng::seed_from_u64(5);
+        let net = ComplexLnn::init(3, 4, &mut rng);
+        let x = toy_input(4, 6);
+        let label = 2;
+        let mut grad = CMat::zeros(3, 4);
+        net.accumulate_grad(&x, label, &mut grad);
+
+        let eps = 1e-6;
+        for r in 0..3 {
+            for c in 0..4 {
+                for part in 0..2 {
+                    let mut wp = net.weights.clone();
+                    let mut wm = net.weights.clone();
+                    let delta = if part == 0 {
+                        C64::real(eps)
+                    } else {
+                        C64::new(0.0, eps)
+                    };
+                    wp[(r, c)] += delta;
+                    wm[(r, c)] -= delta;
+                    let lp = ComplexLnn::from_weights(wp).loss(&x, label).loss;
+                    let lm = ComplexLnn::from_weights(wm).loss(&x, label).loss;
+                    let num = (lp - lm) / (2.0 * eps);
+                    let a = if part == 0 {
+                        2.0 * grad[(r, c)].re
+                    } else {
+                        2.0 * grad[(r, c)].im
+                    };
+                    assert!(
+                        (num - a).abs() < 1e-4,
+                        "({r},{c}) part {part}: numeric {num} vs analytic {a}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_step_reduces_loss() {
+        let mut rng = SimRng::seed_from_u64(7);
+        let mut net = ComplexLnn::init(3, 8, &mut rng);
+        let x = toy_input(8, 8);
+        let label = 1;
+        let before = net.loss(&x, label).loss;
+        let mut grad = CMat::zeros(3, 8);
+        net.accumulate_grad(&x, label, &mut grad);
+        net.weights.axpy(-0.1, &grad);
+        let after = net.loss(&x, label).loss;
+        assert!(after < before, "loss {before} → {after}");
+    }
+
+    #[test]
+    fn accuracy_on_separable_toy_problem() {
+        // Two classes keyed to two orthogonal inputs; a hand-built network
+        // must classify them perfectly.
+        let e0 = CVec::from_fn(2, |i| if i == 0 { C64::ONE } else { C64::ZERO });
+        let e1 = CVec::from_fn(2, |i| if i == 1 { C64::ONE } else { C64::ZERO });
+        let w = CMat::identity(2);
+        let net = ComplexLnn::from_weights(w);
+        assert_eq!(net.accuracy(&[e0, e1], &[0, 1]), 1.0);
+    }
+
+    #[test]
+    fn init_is_seeded() {
+        let a = ComplexLnn::init(3, 5, &mut SimRng::seed_from_u64(9));
+        let b = ComplexLnn::init(3, 5, &mut SimRng::seed_from_u64(9));
+        assert_eq!(a.weights, b.weights);
+    }
+}

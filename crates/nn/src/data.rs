@@ -1,0 +1,165 @@
+//! Dataset containers shared by the trainers.
+
+use metaai_math::CVec;
+
+/// A complex-valued classification dataset: one modulated symbol vector
+/// per sample.
+#[derive(Clone, Debug)]
+pub struct ComplexDataset {
+    /// Input symbol vectors, all of equal length `U`.
+    pub inputs: Vec<CVec>,
+    /// Class labels, `0 .. num_classes`.
+    pub labels: Vec<usize>,
+    /// Number of classes `R`.
+    pub num_classes: usize,
+}
+
+impl ComplexDataset {
+    /// Creates a dataset, validating shape consistency.
+    pub fn new(inputs: Vec<CVec>, labels: Vec<usize>, num_classes: usize) -> Self {
+        assert_eq!(inputs.len(), labels.len(), "one label per input");
+        assert!(num_classes >= 2, "need at least two classes");
+        if let Some(first) = inputs.first() {
+            let u = first.len();
+            assert!(
+                inputs.iter().all(|x| x.len() == u),
+                "all inputs must share one length"
+            );
+        }
+        assert!(
+            labels.iter().all(|&l| l < num_classes),
+            "label out of range"
+        );
+        ComplexDataset {
+            inputs,
+            labels,
+            num_classes,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// True when there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+
+    /// Input vector length `U` (0 for an empty dataset).
+    pub fn input_len(&self) -> usize {
+        self.inputs.first().map_or(0, |x| x.len())
+    }
+
+    /// Borrowing iterator over `(input, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&CVec, usize)> {
+        self.inputs.iter().zip(self.labels.iter().copied())
+    }
+
+    /// A new dataset holding the first `n` samples (or fewer).
+    pub fn take(&self, n: usize) -> ComplexDataset {
+        let n = n.min(self.len());
+        ComplexDataset {
+            inputs: self.inputs[..n].to_vec(),
+            labels: self.labels[..n].to_vec(),
+            num_classes: self.num_classes,
+        }
+    }
+}
+
+/// A real-valued classification dataset (used by the deep digital
+/// baseline, which consumes raw features rather than modulated symbols).
+#[derive(Clone, Debug)]
+pub struct RealDataset {
+    /// Feature vectors, all of equal length.
+    pub inputs: Vec<Vec<f64>>,
+    /// Class labels, `0 .. num_classes`.
+    pub labels: Vec<usize>,
+    /// Number of classes.
+    pub num_classes: usize,
+}
+
+impl RealDataset {
+    /// Creates a dataset, validating shape consistency.
+    pub fn new(inputs: Vec<Vec<f64>>, labels: Vec<usize>, num_classes: usize) -> Self {
+        assert_eq!(inputs.len(), labels.len(), "one label per input");
+        assert!(num_classes >= 2, "need at least two classes");
+        if let Some(first) = inputs.first() {
+            let u = first.len();
+            assert!(
+                inputs.iter().all(|x| x.len() == u),
+                "all inputs must share one length"
+            );
+        }
+        assert!(
+            labels.iter().all(|&l| l < num_classes),
+            "label out of range"
+        );
+        RealDataset {
+            inputs,
+            labels,
+            num_classes,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// True when there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+
+    /// Feature vector length.
+    pub fn input_len(&self) -> usize {
+        self.inputs.first().map_or(0, |x| x.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaai_math::C64;
+
+    fn cv(n: usize) -> CVec {
+        CVec::from_fn(n, |i| C64::real(i as f64))
+    }
+
+    #[test]
+    fn complex_dataset_validates() {
+        let ds = ComplexDataset::new(vec![cv(4), cv(4)], vec![0, 1], 2);
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.input_len(), 4);
+        assert!(!ds.is_empty());
+    }
+
+    #[test]
+    fn take_truncates() {
+        let ds = ComplexDataset::new(vec![cv(3); 5], vec![0, 1, 0, 1, 0], 2);
+        let t = ds.take(2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(ds.take(100).len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "share one length")]
+    fn rejects_ragged_inputs() {
+        ComplexDataset::new(vec![cv(3), cv(4)], vec![0, 1], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn rejects_bad_labels() {
+        ComplexDataset::new(vec![cv(3)], vec![5], 2);
+    }
+
+    #[test]
+    fn real_dataset_validates() {
+        let ds = RealDataset::new(vec![vec![1.0, 2.0], vec![3.0, 4.0]], vec![0, 1], 2);
+        assert_eq!(ds.input_len(), 2);
+        assert_eq!(ds.len(), 2);
+    }
+}

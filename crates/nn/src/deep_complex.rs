@@ -1,0 +1,377 @@
+//! Multi-layer complex networks — the paper's future-work direction.
+//!
+//! Sec 7 ("Model scalability"): "extending to deeper architectures …
+//! requires integrating non-linear components. We see this as a primary
+//! direction for future work." This module implements that extension so
+//! the accuracy gap can be quantified: a complex-valued MLP whose hidden
+//! layers use the **modReLU** activation
+//!
+//! ```text
+//! f(z) = max(0, |z| + b) · z / |z|
+//! ```
+//!
+//! — a magnitude nonlinearity with a trainable bias `b`, realizable in
+//! principle by a nonlinear relay stage (rectifying elements) between two
+//! metasurface passes. Gradients use the same Wirtinger conventions as
+//! the linear network, validated numerically in the tests.
+
+use crate::data::ComplexDataset;
+use crate::loss::magnitude_ce;
+use metaai_math::rng::SimRng;
+use metaai_math::stats::argmax;
+use metaai_math::{C64, CMat, CVec};
+
+/// A complex-valued MLP with modReLU hidden activations.
+#[derive(Clone, Debug)]
+pub struct DeepComplex {
+    /// Layer weights, each `out × in`.
+    pub layers: Vec<CMat>,
+    /// Per-hidden-layer modReLU biases (one per neuron).
+    pub biases: Vec<Vec<f64>>,
+}
+
+/// Training configuration for the deep complex network.
+#[derive(Clone, Debug)]
+pub struct DeepComplexConfig {
+    /// Hidden layer widths.
+    pub hidden: Vec<usize>,
+    /// Learning rate.
+    pub lr: f64,
+    /// Momentum coefficient.
+    pub momentum: f64,
+    /// Mini-batch size.
+    pub batch: usize,
+    /// Epochs.
+    pub epochs: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for DeepComplexConfig {
+    fn default() -> Self {
+        DeepComplexConfig {
+            hidden: vec![64],
+            lr: 2e-2,
+            momentum: 0.9,
+            batch: 64,
+            epochs: 30,
+            seed: 1,
+        }
+    }
+}
+
+/// modReLU forward: `max(0, |z| + b) · z/|z|` (0 at the origin).
+pub fn modrelu(z: C64, b: f64) -> C64 {
+    let m = z.abs();
+    if m < 1e-12 {
+        return C64::ZERO;
+    }
+    let out_m = (m + b).max(0.0);
+    z * (out_m / m)
+}
+
+/// Wirtinger cogradients of modReLU: given the output cogradient `g_out`
+/// (`∂L/∂ȳ`), returns `(g_in, dL/db)`.
+///
+/// For `y = z·(1 + b/|z|)` in the active region, with `r = |z|`, the
+/// Wirtinger partials are `∂y/∂z = 1 + b/(2r)` (real) and
+/// `∂y/∂z̄ = −b·z²/(2r³)`; the conjugate-cogradient chain rule for a real
+/// loss reads
+/// `∂L/∂z̄ = (∂L/∂y)·(∂y/∂z̄) + (∂L/∂ȳ)·(∂ȳ/∂z̄)`
+/// with `∂L/∂y = conj(g_out)` and `∂ȳ/∂z̄ = conj(∂y/∂z)`.
+/// The bias gradient is `dL/db = 2·Re(conj(g_out)·z/|z|)`.
+pub fn modrelu_backward(z: C64, b: f64, g_out: C64) -> (C64, f64) {
+    let r = z.abs();
+    if r < 1e-12 || r + b <= 0.0 {
+        return (C64::ZERO, 0.0);
+    }
+    let dy_dz = C64::real(1.0 + b / (2.0 * r));
+    let dy_dzbar = (z * z) * (-b / (2.0 * r * r * r));
+    let g_in = g_out * dy_dz + g_out.conj() * dy_dzbar;
+    let db = 2.0 * (g_out.conj() * (z / r)).re;
+    (g_in, db)
+}
+
+impl DeepComplex {
+    /// Glorot-style complex initialization.
+    pub fn init(input: usize, hidden: &[usize], classes: usize, rng: &mut SimRng) -> Self {
+        let mut sizes = vec![input];
+        sizes.extend_from_slice(hidden);
+        sizes.push(classes);
+        let mut layers = Vec::new();
+        let mut biases = Vec::new();
+        for w in sizes.windows(2) {
+            let (n_in, n_out) = (w[0], w[1]);
+            let var = 1.0 / n_in as f64;
+            layers.push(CMat::from_fn(n_out, n_in, |_, _| rng.complex_gaussian(var)));
+            biases.push(vec![0.0; n_out]);
+        }
+        // The output layer has no activation; its bias slot goes unused.
+        biases.pop();
+        DeepComplex { layers, biases }
+    }
+
+    /// Number of weight layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Forward trace: `(pre-activations per layer, activations per layer)`;
+    /// `acts[0]` is the input, `acts.last()` the complex logits.
+    fn forward_trace(&self, x: &CVec) -> (Vec<CVec>, Vec<CVec>) {
+        let mut pres = Vec::with_capacity(self.num_layers());
+        let mut acts = vec![x.clone()];
+        for (l, w) in self.layers.iter().enumerate() {
+            let z = w.matvec(acts.last().expect("non-empty"));
+            pres.push(z.clone());
+            if l < self.biases.len() {
+                let b = &self.biases[l];
+                acts.push(CVec::from_fn(z.len(), |i| modrelu(z[i], b[i])));
+            } else {
+                acts.push(z);
+            }
+        }
+        (pres, acts)
+    }
+
+    /// Complex logits.
+    pub fn logits(&self, x: &CVec) -> CVec {
+        self.forward_trace(x).1.pop().expect("non-empty")
+    }
+
+    /// Predicted class (argmax of logit magnitudes).
+    pub fn predict(&self, x: &CVec) -> usize {
+        argmax(&self.logits(x).abs())
+    }
+
+    /// Accuracy over a dataset.
+    pub fn accuracy(&self, data: &ComplexDataset) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let correct = data.iter().filter(|(x, l)| self.predict(x) == *l).count();
+        correct as f64 / data.len() as f64
+    }
+
+    /// Loss and gradients for one sample: per-layer weight cogradients and
+    /// per-hidden-layer bias gradients.
+    pub fn loss_and_grads(
+        &self,
+        x: &CVec,
+        label: usize,
+    ) -> (f64, Vec<CMat>, Vec<Vec<f64>>) {
+        let (pres, acts) = self.forward_trace(x);
+        let logits = acts.last().expect("non-empty");
+        let out = magnitude_ce(logits, label);
+
+        let mut grad_w: Vec<CMat> = self
+            .layers
+            .iter()
+            .map(|w| CMat::zeros(w.rows(), w.cols()))
+            .collect();
+        let mut grad_b: Vec<Vec<f64>> = self.biases.iter().map(|b| vec![0.0; b.len()]).collect();
+
+        // Cogradient at the logits.
+        let mut gamma = out.cograd;
+        for l in (0..self.num_layers()).rev() {
+            // Weight cogradient: ∂L/∂W̄ = γ · x̄ᵀ (outer product with the
+            // layer input's conjugate).
+            let input = &acts[l];
+            for r in 0..self.layers[l].rows() {
+                let g = gamma[r];
+                if g == C64::ZERO {
+                    continue;
+                }
+                let row = grad_w[l].row_mut(r);
+                for (o, xi) in row.iter_mut().zip(input.iter()) {
+                    *o = o.mul_add(g, xi.conj());
+                }
+            }
+            if l == 0 {
+                break;
+            }
+            // Back through the weights to the previous activation…
+            let gamma_act = self.layers[l].hermitian().matvec(&gamma);
+            // …and through the previous layer's modReLU.
+            let lb = l - 1;
+            gamma = CVec::from_fn(gamma_act.len(), |i| {
+                let (g_in, db) = modrelu_backward(pres[lb][i], self.biases[lb][i], gamma_act[i]);
+                grad_b[lb][i] += db;
+                g_in
+            });
+        }
+
+        (out.loss, grad_w, grad_b)
+    }
+}
+
+/// Trains a deep complex network with momentum SGD.
+pub fn train_deep_complex(data: &ComplexDataset, cfg: &DeepComplexConfig) -> DeepComplex {
+    assert!(!data.is_empty(), "cannot train on an empty dataset");
+    let mut rng = SimRng::derive(cfg.seed, "train-deep-complex");
+    let mut net = DeepComplex::init(data.input_len(), &cfg.hidden, data.num_classes, &mut rng);
+    let mut vel_w: Vec<CMat> = net
+        .layers
+        .iter()
+        .map(|w| CMat::zeros(w.rows(), w.cols()))
+        .collect();
+    let mut vel_b: Vec<Vec<f64>> = net.biases.iter().map(|b| vec![0.0; b.len()]).collect();
+
+    for _ in 0..cfg.epochs {
+        let order = rng.permutation(data.len());
+        for chunk in order.chunks(cfg.batch) {
+            let mut acc_w: Vec<CMat> = net
+                .layers
+                .iter()
+                .map(|w| CMat::zeros(w.rows(), w.cols()))
+                .collect();
+            let mut acc_b: Vec<Vec<f64>> = net.biases.iter().map(|b| vec![0.0; b.len()]).collect();
+            for &idx in chunk {
+                let (_, gw, gb) = net.loss_and_grads(&data.inputs[idx], data.labels[idx]);
+                for (a, g) in acc_w.iter_mut().zip(&gw) {
+                    a.axpy(1.0, g);
+                }
+                for (a, g) in acc_b.iter_mut().zip(&gb) {
+                    for (ai, gi) in a.iter_mut().zip(g) {
+                        *ai += gi;
+                    }
+                }
+            }
+            let inv = 1.0 / chunk.len() as f64;
+            for l in 0..net.layers.len() {
+                acc_w[l].scale_mut(inv);
+                vel_w[l].scale_mut(cfg.momentum);
+                vel_w[l].axpy(-cfg.lr, &acc_w[l]);
+                net.layers[l].axpy(1.0, &vel_w[l]);
+            }
+            for l in 0..net.biases.len() {
+                for i in 0..net.biases[l].len() {
+                    vel_b[l][i] = cfg.momentum * vel_b[l][i] - cfg.lr * acc_b[l][i] * inv;
+                    net.biases[l][i] += vel_b[l][i];
+                }
+            }
+        }
+    }
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::toy_problem;
+
+    #[test]
+    fn modrelu_preserves_phase_and_clamps() {
+        let z = C64::from_polar(2.0, 0.7);
+        let y = modrelu(z, -0.5);
+        assert!((y.abs() - 1.5).abs() < 1e-12);
+        assert!((y.arg() - 0.7).abs() < 1e-12);
+        // Deep in the dead zone → zero.
+        assert_eq!(modrelu(C64::from_polar(0.3, 1.0), -0.5), C64::ZERO);
+        assert_eq!(modrelu(C64::ZERO, 1.0), C64::ZERO);
+    }
+
+    #[test]
+    fn modrelu_backward_matches_numeric() {
+        // Check d|f|-style gradients through a scalar loss L = |y − t|².
+        let t = C64::new(0.4, -0.9);
+        let loss = |z: C64, b: f64| (modrelu(z, b) - t).norm_sq();
+        for &(zr, zi, b) in &[(1.0, 0.5, -0.3), (0.8, -1.1, 0.4), (2.0, 0.0, -0.5)] {
+            let z = C64::new(zr, zi);
+            // Cogradient of L at y: ∂L/∂ȳ = (y − t).
+            let g_out = modrelu(z, b) - t;
+            let (g_in, db) = modrelu_backward(z, b, g_out);
+            let eps = 1e-6;
+            let d_re =
+                (loss(z + C64::real(eps), b) - loss(z - C64::real(eps), b)) / (2.0 * eps);
+            let d_im =
+                (loss(z + C64::new(0.0, eps), b) - loss(z - C64::new(0.0, eps), b)) / (2.0 * eps);
+            let d_b = (loss(z, b + eps) - loss(z, b - eps)) / (2.0 * eps);
+            assert!(
+                (d_re - 2.0 * g_in.re).abs() < 1e-5,
+                "re: numeric {d_re} vs analytic {}",
+                2.0 * g_in.re
+            );
+            assert!(
+                (d_im - 2.0 * g_in.im).abs() < 1e-5,
+                "im: numeric {d_im} vs analytic {}",
+                2.0 * g_in.im
+            );
+            assert!((d_b - db).abs() < 1e-5, "b: numeric {d_b} vs analytic {db}");
+        }
+    }
+
+    #[test]
+    fn full_network_gradients_match_numeric() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let net = DeepComplex::init(4, &[5], 3, &mut rng);
+        let x = CVec::from_fn(4, |_| rng.complex_gaussian(1.0));
+        let label = 1;
+        let (_, gw, gb) = net.loss_and_grads(&x, label);
+        let eps = 1e-6;
+        // Spot-check several weight entries in both layers.
+        for (l, r, c) in [(0usize, 0usize, 1usize), (0, 4, 3), (1, 2, 4), (1, 0, 0)] {
+            for part in 0..2 {
+                let delta = if part == 0 {
+                    C64::real(eps)
+                } else {
+                    C64::new(0.0, eps)
+                };
+                let mut p = net.clone();
+                p.layers[l][(r, c)] += delta;
+                let mut m = net.clone();
+                m.layers[l][(r, c)] -= delta;
+                let num = (p.loss_and_grads(&x, label).0 - m.loss_and_grads(&x, label).0)
+                    / (2.0 * eps);
+                let a = if part == 0 {
+                    2.0 * gw[l][(r, c)].re
+                } else {
+                    2.0 * gw[l][(r, c)].im
+                };
+                assert!(
+                    (num - a).abs() < 1e-4,
+                    "layer {l} ({r},{c}) part {part}: numeric {num} vs analytic {a}"
+                );
+            }
+        }
+        // And a bias entry.
+        let mut p = net.clone();
+        p.biases[0][2] += eps;
+        let mut m = net.clone();
+        m.biases[0][2] -= eps;
+        let num = (p.loss_and_grads(&x, label).0 - m.loss_and_grads(&x, label).0) / (2.0 * eps);
+        assert!(
+            (num - gb[0][2]).abs() < 1e-4,
+            "bias: numeric {num} vs analytic {}",
+            gb[0][2]
+        );
+    }
+
+    #[test]
+    fn deep_complex_learns() {
+        let train = toy_problem(3, 16, 50, 0.5, 41, 141);
+        let test = toy_problem(3, 16, 25, 0.5, 41, 241);
+        let net = train_deep_complex(
+            &train,
+            &DeepComplexConfig {
+                epochs: 40,
+                ..DeepComplexConfig::default()
+            },
+        );
+        let acc = net.accuracy(&test);
+        assert!(acc > 0.8, "deep complex accuracy {acc}");
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let train = toy_problem(3, 8, 20, 0.4, 42, 142);
+        let cfg = DeepComplexConfig {
+            epochs: 3,
+            ..DeepComplexConfig::default()
+        };
+        let a = train_deep_complex(&train, &cfg);
+        let b = train_deep_complex(&train, &cfg);
+        assert_eq!(a.layers[0], b.layers[0]);
+        assert_eq!(a.biases, b.biases);
+    }
+}

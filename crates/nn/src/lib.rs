@@ -1,0 +1,41 @@
+//! Neural networks for MetaAI.
+//!
+//! The paper's model (Sec 3.1) is deliberately minimal: one complex-valued
+//! fully-connected layer whose `U × R` weights are later realized by the
+//! metasurface, trained with complex backpropagation and momentum SGD
+//! (lr 8 × 10⁻³, momentum 0.95, batch 64, 60 epochs). This crate provides
+//! that model and every training-time scheme the system needs:
+//!
+//! * the complex linear network with Wirtinger-calculus gradients
+//!   ([`complex_lnn`]),
+//! * magnitude + softmax cross-entropy loss ([`loss`]),
+//! * the training loop with augmentation hooks ([`train`]),
+//! * the CDFA cyclic-shift and SNR-degradation augmentations
+//!   ([`augment`]),
+//! * the DiscreteNN baseline trained with discrete weights from the start
+//!   ([`discrete`]),
+//! * the real-valued deep baseline standing in for the paper's ResNet-18
+//!   reference point ([`deep`]), and
+//! * the traditional stacked-metasurface PNN simulator used by
+//!   Appendix A.1 / Fig 29 ([`pnn_stack`]), and
+//! * the paper's future-work direction made concrete: a multi-layer
+//!   complex network with modReLU nonlinearities ([`deep_complex`]).
+//!
+//! Dataset containers live in [`data`]; the `metaai-datasets` crate fills
+//! them.
+
+pub mod augment;
+pub mod complex_lnn;
+pub mod data;
+pub mod deep;
+pub mod deep_complex;
+pub mod discrete;
+pub mod io;
+pub mod loss;
+pub mod metrics;
+pub mod pnn_stack;
+pub mod train;
+
+pub use complex_lnn::ComplexLnn;
+pub use data::{ComplexDataset, RealDataset};
+pub use train::{train_complex, TrainConfig};

@@ -1,0 +1,281 @@
+//! Traditional stacked-metasurface PNN simulator — Appendix A.1 / Fig 29.
+//!
+//! A conventional PNN processes all inputs in parallel through `L` stacked
+//! transmissive metasurfaces:
+//!
+//! ```text
+//! y = G_out · D_L · G_{L−1} · … · D_1 · G_in · x
+//! ```
+//!
+//! where each `D_l = diag(e^{jθ_{l,m}})` is one programmable layer and the
+//! `G` matrices are *fixed* free-space propagation kernels (`β ~ G(d, s)` in
+//! the paper's notation: a function of layer distance `d` and element
+//! spacing `s`). Because superposed inputs hit each meta-atom together, one
+//! layer cannot assign independent weights per input; Appendix A.1 shows
+//! stacking layers adds the degrees of freedom needed to approach the
+//! digital LNN, which is exactly what this simulator reproduces.
+
+use crate::data::ComplexDataset;
+use crate::loss::magnitude_ce;
+use metaai_math::rng::SimRng;
+use metaai_math::stats::argmax;
+use metaai_math::{C64, CMat, CVec};
+
+/// Builds the free-space propagation kernel between two element planes:
+/// `β_{jk} = e^{−j k₀ d_{jk}} / d_{jk}`, row-normalized to keep activations
+/// of order one. Elements sit on centred 1-D grids with spacing `s`,
+/// planes separated by `d`.
+pub fn propagation_kernel(n_to: usize, n_from: usize, spacing: f64, distance: f64, k0: f64) -> CMat {
+    assert!(distance > 0.0 && spacing > 0.0, "geometry must be positive");
+    let off_to = (n_to as f64 - 1.0) / 2.0;
+    let off_from = (n_from as f64 - 1.0) / 2.0;
+    let mut m = CMat::from_fn(n_to, n_from, |r, c| {
+        let dx = (r as f64 - off_to) * spacing - (c as f64 - off_from) * spacing;
+        let d = (dx * dx + distance * distance).sqrt();
+        C64::from_polar(1.0 / d, -k0 * d)
+    });
+    let norm = m.fro_norm() / ((n_to * n_from) as f64).sqrt();
+    m.scale_mut(1.0 / (norm * (n_from as f64).sqrt()));
+    m
+}
+
+/// A stacked-metasurface physical neural network with `L` trainable
+/// phase layers.
+#[derive(Clone, Debug)]
+pub struct StackedPnn {
+    /// Input-plane → first surface kernel (`M × U`).
+    pub g_in: CMat,
+    /// Surface-to-surface kernels (`L−1` of them, each `M × M`).
+    pub g_mid: Vec<CMat>,
+    /// Last surface → detector kernel (`R × M`).
+    pub g_out: CMat,
+    /// Per-layer element phases `θ_{l,m}` (continuous; a physical build
+    /// would quantize them).
+    pub thetas: Vec<Vec<f64>>,
+}
+
+impl StackedPnn {
+    /// Builds an `L`-layer PNN with `m` atoms per surface over `u` inputs
+    /// and `r` detectors, with the paper's default geometry (half-wave
+    /// spacing, 10λ layer separation at 5 GHz).
+    pub fn new(u: usize, m: usize, r: usize, layers: usize, rng: &mut SimRng) -> Self {
+        assert!(layers >= 1, "need at least one layer");
+        let lam = 0.06; // 5 GHz
+        let k0 = std::f64::consts::TAU / lam;
+        let s = lam / 2.0;
+        let d = 10.0 * lam;
+        StackedPnn {
+            g_in: propagation_kernel(m, u, s, d, k0),
+            g_mid: (0..layers - 1)
+                .map(|_| propagation_kernel(m, m, s, d, k0))
+                .collect(),
+            g_out: propagation_kernel(r, m, s, d, k0),
+            thetas: (0..layers)
+                .map(|_| (0..m).map(|_| rng.phase()).collect())
+                .collect(),
+        }
+    }
+
+    /// Number of phase layers.
+    pub fn num_layers(&self) -> usize {
+        self.thetas.len()
+    }
+
+    /// Forward pass caching each layer's pre-phase input and post-kernel
+    /// output; returns `(detector logits, per-layer post-phase outputs,
+    /// per-layer pre-phase inputs)`.
+    fn forward_trace(&self, x: &CVec) -> (CVec, Vec<CVec>, Vec<CVec>) {
+        let mut pre = Vec::with_capacity(self.num_layers());
+        let mut post = Vec::with_capacity(self.num_layers());
+        let mut a = self.g_in.matvec(x);
+        for (l, theta) in self.thetas.iter().enumerate() {
+            pre.push(a.clone());
+            let b = CVec::from_fn(a.len(), |i| a[i] * C64::cis(theta[i]));
+            post.push(b.clone());
+            a = if l + 1 < self.num_layers() {
+                self.g_mid[l].matvec(&b)
+            } else {
+                self.g_out.matvec(&b)
+            };
+        }
+        (a, post, pre)
+    }
+
+    /// Detector magnitudes (class scores).
+    pub fn scores(&self, x: &CVec) -> Vec<f64> {
+        self.forward_trace(x).0.abs()
+    }
+
+    /// Predicted class.
+    pub fn predict(&self, x: &CVec) -> usize {
+        argmax(&self.scores(x))
+    }
+
+    /// Accuracy over a dataset.
+    pub fn accuracy(&self, data: &ComplexDataset) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let correct = data
+            .iter()
+            .filter(|(x, l)| self.predict(x) == *l)
+            .count();
+        correct as f64 / data.len() as f64
+    }
+
+    /// Loss and per-layer phase gradients for one sample.
+    ///
+    /// Backpropagation carries the conjugate cogradient `Γ = ∂L/∂z̄`:
+    /// through a fixed kernel `z₂ = B z₁` it maps as `Γ₁ = Bᴴ Γ₂`; at a
+    /// phase layer `b = e^{jθ} a` the real parameter gradient is
+    /// `∂L/∂θ_m = −2·Im(conj(Γ_{b,m})·b_m)` and the cogradient continues
+    /// as `Γ_a = e^{−jθ} Γ_b`.
+    pub fn loss_and_grads(&self, x: &CVec, label: usize) -> (f64, Vec<Vec<f64>>) {
+        let (logits, post, _pre) = self.forward_trace(x);
+        let out = magnitude_ce(&logits, label);
+        let mut grads: Vec<Vec<f64>> = self
+            .thetas
+            .iter()
+            .map(|t| vec![0.0; t.len()])
+            .collect();
+
+        // Cogradient at the detector plane.
+        let mut gamma = out.cograd;
+        for l in (0..self.num_layers()).rev() {
+            // Back through the kernel that followed phase layer l.
+            let kernel = if l + 1 < self.num_layers() {
+                &self.g_mid[l]
+            } else {
+                &self.g_out
+            };
+            let gamma_b = kernel.hermitian().matvec(&gamma);
+            // Phase gradient at layer l.
+            for m in 0..self.thetas[l].len() {
+                grads[l][m] = -2.0 * (gamma_b[m].conj() * post[l][m]).im;
+            }
+            // Continue to the previous plane.
+            gamma = CVec::from_fn(gamma_b.len(), |m| {
+                gamma_b[m] * C64::cis(-self.thetas[l][m])
+            });
+        }
+        (out.loss, grads)
+    }
+}
+
+/// Trains the stacked PNN's phases with momentum SGD.
+pub fn train_stacked(
+    data: &ComplexDataset,
+    layers: usize,
+    m: usize,
+    epochs: usize,
+    lr: f64,
+    seed: u64,
+) -> StackedPnn {
+    assert!(!data.is_empty(), "cannot train on an empty dataset");
+    let mut rng = SimRng::derive(seed, "train-pnn-stack");
+    let mut net = StackedPnn::new(data.input_len(), m, data.num_classes, layers, &mut rng);
+    let mut vel: Vec<Vec<f64>> = net.thetas.iter().map(|t| vec![0.0; t.len()]).collect();
+    let momentum = 0.9;
+    let batch = 32;
+
+    for _ in 0..epochs {
+        let order = rng.permutation(data.len());
+        for chunk in order.chunks(batch) {
+            let mut acc: Vec<Vec<f64>> = net.thetas.iter().map(|t| vec![0.0; t.len()]).collect();
+            for &idx in chunk {
+                let (_, grads) = net.loss_and_grads(&data.inputs[idx], data.labels[idx]);
+                for (a, g) in acc.iter_mut().zip(&grads) {
+                    for (ai, gi) in a.iter_mut().zip(g) {
+                        *ai += gi;
+                    }
+                }
+            }
+            let inv = 1.0 / chunk.len() as f64;
+            for l in 0..net.thetas.len() {
+                for i in 0..net.thetas[l].len() {
+                    vel[l][i] = momentum * vel[l][i] - lr * acc[l][i] * inv;
+                    net.thetas[l][i] += vel[l][i];
+                }
+            }
+        }
+    }
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::toy_problem;
+
+    #[test]
+    fn kernel_has_requested_shape() {
+        let k = propagation_kernel(8, 5, 0.03, 0.6, 104.7);
+        assert_eq!(k.rows(), 8);
+        assert_eq!(k.cols(), 5);
+    }
+
+    #[test]
+    fn phase_gradients_match_numeric() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let net = StackedPnn::new(4, 6, 3, 2, &mut rng);
+        let x = CVec::from_fn(4, |_| rng.complex_gaussian(1.0));
+        let label = 1;
+        let (_, grads) = net.loss_and_grads(&x, label);
+
+        let eps = 1e-6;
+        for l in 0..2 {
+            for m in 0..6 {
+                let mut p = net.clone();
+                p.thetas[l][m] += eps;
+                let mut q = net.clone();
+                q.thetas[l][m] -= eps;
+                let (lp, _) = p.loss_and_grads(&x, label);
+                let (lq, _) = q.loss_and_grads(&x, label);
+                let numeric = (lp - lq) / (2.0 * eps);
+                assert!(
+                    (numeric - grads[l][m]).abs() < 1e-5,
+                    "layer {l} atom {m}: numeric {numeric} vs analytic {}",
+                    grads[l][m]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let data = toy_problem(3, 8, 30, 0.3, 2, 102);
+        let mut rng = SimRng::seed_from_u64(3);
+        let net0 = StackedPnn::new(8, 16, 3, 2, &mut rng);
+        let loss0: f64 = data
+            .iter()
+            .map(|(x, l)| net0.loss_and_grads(x, l).0)
+            .sum::<f64>()
+            / data.len() as f64;
+        let net = train_stacked(&data, 2, 16, 15, 0.05, 3);
+        let loss1: f64 = data
+            .iter()
+            .map(|(x, l)| net.loss_and_grads(x, l).0)
+            .sum::<f64>()
+            / data.len() as f64;
+        assert!(loss1 < loss0, "loss {loss0} → {loss1}");
+    }
+
+    #[test]
+    fn more_layers_do_not_hurt() {
+        // Appendix A.1's core claim at miniature scale: accuracy is
+        // non-decreasing (within tolerance) as layers stack.
+        let train = toy_problem(3, 12, 40, 0.4, 4, 104);
+        let test = toy_problem(3, 12, 20, 0.4, 4, 105);
+        let a1 = train_stacked(&train, 1, 12, 25, 0.05, 6).accuracy(&test);
+        let a3 = train_stacked(&train, 3, 12, 25, 0.05, 6).accuracy(&test);
+        assert!(a3 + 0.12 >= a1, "1 layer {a1} vs 3 layers {a3}");
+    }
+
+    #[test]
+    fn predict_is_deterministic() {
+        let mut rng = SimRng::seed_from_u64(7);
+        let net = StackedPnn::new(4, 8, 3, 2, &mut rng);
+        let x = CVec::from_fn(4, |i| C64::cis(i as f64));
+        assert_eq!(net.predict(&x), net.predict(&x));
+    }
+}

@@ -1,0 +1,27 @@
+//! Complex-baseband physical layer.
+//!
+//! MetaAI rides on a completely standard communication PHY — that is the
+//! point of the paper: the transmitter is an unmodified, commodity IoT
+//! radio. This crate provides that PHY:
+//!
+//! * bit (un)packing ([`bits`]),
+//! * linear modulations BPSK → 256-QAM with Gray mapping ([`modulation`]),
+//! * zero-mean (DC-balanced) symbol shaping, the property the multipath
+//!   cancellation scheme exploits ([`shaping`]),
+//! * OFDM with cyclic prefix for the subcarrier-parallelism scheme
+//!   ([`ofdm`]),
+//! * a low-power envelope detector and the Gamma synchronization-error
+//!   model used by CDFA ([`sync`]),
+//! * the preamble + payload frame layout that makes CDFA's guard window
+//!   concrete, with a sample-level detector-alignment simulation
+//!   ([`frame`]).
+
+pub mod bits;
+pub mod frame;
+pub mod modulation;
+pub mod ofdm;
+pub mod shaping;
+pub mod sync;
+
+pub use modulation::Modulation;
+pub use sync::{EnvelopeDetector, SyncErrorModel};

@@ -1,0 +1,191 @@
+//! OFDM modulation with cyclic prefix.
+//!
+//! The subcarrier-parallelism scheme (Sec 3.3, Eqn 9) transmits the input
+//! data on `K` subcarriers simultaneously, one per output category. This
+//! module provides the standard OFDM machinery: IFFT synthesis of a
+//! time-domain block from per-subcarrier symbols, cyclic-prefix insertion,
+//! and the matching receiver.
+
+use metaai_math::fft::{fft, ifft, is_power_of_two};
+use metaai_math::C64;
+
+/// OFDM system parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct OfdmConfig {
+    /// FFT size (number of subcarrier bins); must be a power of two.
+    pub fft_size: usize,
+    /// Cyclic-prefix length in samples.
+    pub cp_len: usize,
+    /// Number of *active* subcarriers, centred from bin 1 upward
+    /// (bin 0 — DC — is left empty, as in every practical OFDM system).
+    pub active: usize,
+    /// Subcarrier spacing, Hz (the paper uses 40 kHz).
+    pub spacing_hz: f64,
+}
+
+impl OfdmConfig {
+    /// A small configuration matching the paper's parallelism experiments:
+    /// `active` subcarriers at 40 kHz spacing.
+    pub fn for_parallelism(active: usize) -> Self {
+        let mut fft_size = 8;
+        while fft_size < active + 2 {
+            fft_size *= 2;
+        }
+        OfdmConfig {
+            fft_size,
+            cp_len: fft_size / 4,
+            active,
+            spacing_hz: 40e3,
+        }
+    }
+
+    /// Samples per OFDM block including the cyclic prefix.
+    pub fn block_len(&self) -> usize {
+        self.fft_size + self.cp_len
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if !is_power_of_two(self.fft_size) {
+            return Err(format!("fft_size {} is not a power of two", self.fft_size));
+        }
+        if self.active + 1 > self.fft_size {
+            return Err(format!(
+                "{} active subcarriers do not fit in fft_size {} (DC stays empty)",
+                self.active, self.fft_size
+            ));
+        }
+        if self.cp_len >= self.fft_size {
+            return Err("cyclic prefix must be shorter than the FFT".into());
+        }
+        Ok(())
+    }
+
+    /// Frequency of the k-th active subcarrier relative to the carrier, Hz.
+    pub fn subcarrier_offset_hz(&self, k: usize) -> f64 {
+        (k + 1) as f64 * self.spacing_hz
+    }
+}
+
+/// Synthesizes one OFDM block (time-domain, with CP) from `cfg.active`
+/// per-subcarrier symbols.
+pub fn modulate_block(cfg: &OfdmConfig, subcarrier_symbols: &[C64]) -> Vec<C64> {
+    cfg.validate().expect("invalid OFDM configuration");
+    assert_eq!(
+        subcarrier_symbols.len(),
+        cfg.active,
+        "expected one symbol per active subcarrier"
+    );
+    let mut bins = vec![C64::ZERO; cfg.fft_size];
+    for (k, &s) in subcarrier_symbols.iter().enumerate() {
+        bins[k + 1] = s; // skip DC
+    }
+    ifft(&mut bins);
+    // Prepend the cyclic prefix: the last cp_len samples.
+    let mut block = Vec::with_capacity(cfg.block_len());
+    block.extend_from_slice(&bins[cfg.fft_size - cfg.cp_len..]);
+    block.extend_from_slice(&bins);
+    block
+}
+
+/// Recovers per-subcarrier symbols from one received OFDM block.
+pub fn demodulate_block(cfg: &OfdmConfig, block: &[C64]) -> Vec<C64> {
+    cfg.validate().expect("invalid OFDM configuration");
+    assert_eq!(block.len(), cfg.block_len(), "block length mismatch");
+    let mut bins: Vec<C64> = block[cfg.cp_len..].to_vec();
+    fft(&mut bins);
+    (0..cfg.active).map(|k| bins[k + 1]).collect()
+}
+
+/// Applies a per-subcarrier channel `h[k]` to a block in the frequency
+/// domain (circular convolution in time). This is how a frequency-selective
+/// channel acts on an OFDM block whose delay spread fits inside the CP.
+pub fn apply_frequency_channel(cfg: &OfdmConfig, block: &[C64], h: &[C64]) -> Vec<C64> {
+    assert_eq!(h.len(), cfg.active, "one gain per active subcarrier");
+    let symbols = demodulate_block(cfg, block);
+    let faded: Vec<C64> = symbols.iter().zip(h).map(|(&s, &g)| s * g).collect();
+    modulate_block(cfg, &faded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> OfdmConfig {
+        OfdmConfig::for_parallelism(6)
+    }
+
+    #[test]
+    fn config_fits_active_subcarriers() {
+        for active in [1usize, 3, 6, 10, 30] {
+            let c = OfdmConfig::for_parallelism(active);
+            assert!(c.validate().is_ok(), "active={active}");
+            assert!(c.fft_size > active + 1);
+        }
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let c = cfg();
+        let symbols: Vec<C64> = (0..c.active)
+            .map(|k| C64::new(k as f64 - 2.0, 0.5 * k as f64))
+            .collect();
+        let block = modulate_block(&c, &symbols);
+        assert_eq!(block.len(), c.block_len());
+        let back = demodulate_block(&c, &block);
+        for (a, b) in back.iter().zip(&symbols) {
+            assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cyclic_prefix_is_a_copy_of_the_tail() {
+        let c = cfg();
+        let symbols: Vec<C64> = (0..c.active).map(|k| C64::real(k as f64 + 1.0)).collect();
+        let block = modulate_block(&c, &symbols);
+        for i in 0..c.cp_len {
+            let from_tail = block[c.cp_len + c.fft_size - c.cp_len + i];
+            assert!((block[i] - from_tail).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn per_subcarrier_channel_is_diagonal() {
+        let c = cfg();
+        let symbols: Vec<C64> = (0..c.active).map(|k| C64::cis(k as f64)).collect();
+        let h: Vec<C64> = (0..c.active)
+            .map(|k| C64::from_polar(1.0 + 0.1 * k as f64, -0.3 * k as f64))
+            .collect();
+        let block = modulate_block(&c, &symbols);
+        let faded = apply_frequency_channel(&c, &block, &h);
+        let rx = demodulate_block(&c, &faded);
+        for ((r, s), g) in rx.iter().zip(&symbols).zip(&h) {
+            assert!((*r - *s * *g).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dc_bin_stays_empty() {
+        let c = cfg();
+        let symbols = vec![C64::ONE; c.active];
+        let block = modulate_block(&c, &symbols);
+        // Demodulate manually and check bin 0.
+        let mut bins: Vec<C64> = block[c.cp_len..].to_vec();
+        fft(&mut bins);
+        assert!(bins[0].abs() < 1e-9);
+    }
+
+    #[test]
+    fn subcarrier_offsets_follow_spacing() {
+        let c = cfg();
+        assert!((c.subcarrier_offset_hz(0) - 40e3).abs() < 1e-9);
+        assert!((c.subcarrier_offset_hz(4) - 5.0 * 40e3).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "one symbol per active subcarrier")]
+    fn rejects_wrong_symbol_count() {
+        let c = cfg();
+        modulate_block(&c, &[C64::ONE; 3]);
+    }
+}

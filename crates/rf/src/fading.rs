@@ -1,0 +1,140 @@
+//! Temporally correlated fading processes.
+//!
+//! The environmental channel in a live deployment is not static — people
+//! move, doors open, leaves flutter. What matters to MetaAI is the
+//! *coherence time*: the intra-symbol cancellation scheme survives any
+//! variation that is slow within a symbol (Sec 5.3's "the walking speed of
+//! the interferer is significantly lower than the symbol rate"), while
+//! explicit compensation (Eqn 8) needs the channel frozen across the whole
+//! calibration interval.
+//!
+//! [`GaussMarkovFading`] is the standard first-order autoregressive model
+//! of such a process: a complex Gauss–Markov chain whose autocorrelation
+//! decays as `ρ^Δ` with per-step correlation `ρ = exp(−T_step / T_coh)`.
+
+use metaai_math::rng::SimRng;
+use metaai_math::C64;
+
+/// A first-order Gauss–Markov (AR(1)) complex fading process.
+#[derive(Clone, Copy, Debug)]
+pub struct GaussMarkovFading {
+    /// RMS magnitude of the faded component.
+    pub rms: f64,
+    /// Coherence time, seconds (autocorrelation `e^{-Δt/T}`).
+    pub coherence_s: f64,
+    /// Time per step (symbol period), seconds.
+    pub step_s: f64,
+}
+
+impl GaussMarkovFading {
+    /// Per-step correlation coefficient `ρ`.
+    pub fn rho(&self) -> f64 {
+        assert!(
+            self.coherence_s > 0.0 && self.step_s > 0.0,
+            "times must be positive"
+        );
+        (-self.step_s / self.coherence_s).exp()
+    }
+
+    /// Generates `n` correlated gains. The marginal distribution is
+    /// `CN(0, rms²)` at every step; successive steps correlate as `ρ`.
+    pub fn realize(&self, n: usize, rng: &mut SimRng) -> Vec<C64> {
+        let rho = self.rho();
+        let innovation = (1.0 - rho * rho).sqrt();
+        let mut out = Vec::with_capacity(n);
+        let mut state = rng.complex_gaussian(self.rms * self.rms);
+        for _ in 0..n {
+            out.push(state);
+            state = state * rho
+                + rng.complex_gaussian(self.rms * self.rms) * innovation;
+        }
+        out
+    }
+
+    /// A channel frozen for the whole realization (the static limit).
+    pub fn frozen(rms: f64) -> GaussMarkovFading {
+        GaussMarkovFading {
+            rms,
+            coherence_s: f64::INFINITY,
+            step_s: 1.0,
+        }
+    }
+}
+
+/// Empirical lag-`k` autocorrelation coefficient of a complex sequence.
+pub fn autocorrelation(xs: &[C64], lag: usize) -> f64 {
+    if xs.len() <= lag + 1 {
+        return 0.0;
+    }
+    let n = xs.len() - lag;
+    let num: C64 = (0..n).map(|i| xs[i + lag] * xs[i].conj()).sum();
+    let den: f64 = xs.iter().map(|x| x.norm_sq()).sum();
+    if den == 0.0 {
+        0.0
+    } else {
+        (num.abs() / den) * (xs.len() as f64 / n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn process(coherence_s: f64) -> GaussMarkovFading {
+        GaussMarkovFading {
+            rms: 1.0,
+            coherence_s,
+            step_s: 1e-6,
+        }
+    }
+
+    #[test]
+    fn rho_reflects_coherence() {
+        assert!(process(1e-3).rho() > process(2e-6).rho());
+        let frozen = GaussMarkovFading::frozen(1.0);
+        assert!((frozen.rho() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn marginal_variance_is_stationary() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let xs = process(50e-6).realize(40_000, &mut rng);
+        let head: f64 =
+            xs[..20_000].iter().map(|x| x.norm_sq()).sum::<f64>() / 20_000.0;
+        let tail: f64 =
+            xs[20_000..].iter().map(|x| x.norm_sq()).sum::<f64>() / 20_000.0;
+        assert!((head - 1.0).abs() < 0.1, "head variance {head}");
+        assert!((tail - 1.0).abs() < 0.1, "tail variance {tail}");
+    }
+
+    #[test]
+    fn autocorrelation_decays_with_lag() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let xs = process(20e-6).realize(60_000, &mut rng);
+        let r1 = autocorrelation(&xs, 1);
+        let r10 = autocorrelation(&xs, 10);
+        let r100 = autocorrelation(&xs, 100);
+        assert!(r1 > r10, "lag 1 {r1} vs lag 10 {r10}");
+        assert!(r10 > r100, "lag 10 {r10} vs lag 100 {r100}");
+        // At lag = coherence (20 steps), correlation ≈ 1/e.
+        let r20 = autocorrelation(&xs, 20);
+        assert!((r20 - (-1.0f64).exp()).abs() < 0.1, "r(T_coh) = {r20}");
+    }
+
+    #[test]
+    fn frozen_process_never_moves() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let xs = GaussMarkovFading::frozen(0.5).realize(64, &mut rng);
+        for w in xs.windows(2) {
+            assert!((w[0] - w[1]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn realization_is_seeded() {
+        let p = process(30e-6);
+        let a = p.realize(32, &mut SimRng::seed_from_u64(4));
+        let b = p.realize(32, &mut SimRng::seed_from_u64(4));
+        assert_eq!(a, b);
+    }
+}

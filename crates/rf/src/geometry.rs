@@ -1,0 +1,160 @@
+//! 3-D placement geometry for transmitters, metasurfaces, and receivers.
+
+/// A point in 3-D space, metres.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct Point3 {
+    /// X coordinate (metres).
+    pub x: f64,
+    /// Y coordinate (metres).
+    pub y: f64,
+    /// Z coordinate — height (metres).
+    pub z: f64,
+}
+
+impl Point3 {
+    /// Origin.
+    pub const ORIGIN: Point3 = Point3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
+
+    /// Creates a point.
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Point3 { x, y, z }
+    }
+
+    /// Euclidean distance to another point.
+    pub fn distance(self, other: Point3) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        let dz = self.z - other.z;
+        (dx * dx + dy * dy + dz * dz).sqrt()
+    }
+
+    /// Vector difference `self − other`.
+    pub fn sub(self, other: Point3) -> Point3 {
+        Point3::new(self.x - other.x, self.y - other.y, self.z - other.z)
+    }
+
+    /// Dot product, treating points as vectors.
+    pub fn dot(self, other: Point3) -> f64 {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    /// Vector length.
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Unit vector in the same direction. Returns the zero vector unchanged.
+    pub fn normalized(self) -> Point3 {
+        let n = self.norm();
+        if n == 0.0 {
+            self
+        } else {
+            Point3::new(self.x / n, self.y / n, self.z / n)
+        }
+    }
+
+    /// Angle in radians between the vectors `a − self` and `b − self`.
+    pub fn angle_between(self, a: Point3, b: Point3) -> f64 {
+        let u = a.sub(self).normalized();
+        let v = b.sub(self).normalized();
+        u.dot(v).clamp(-1.0, 1.0).acos()
+    }
+}
+
+/// Degrees → radians.
+pub fn deg_to_rad(deg: f64) -> f64 {
+    deg * std::f64::consts::PI / 180.0
+}
+
+/// Radians → degrees.
+pub fn rad_to_deg(rad: f64) -> f64 {
+    rad * 180.0 / std::f64::consts::PI
+}
+
+/// Places a point at `distance` metres from `anchor` along an azimuth angle
+/// measured from the +x axis in the horizontal plane, at height `z`.
+///
+/// Matches the paper's setup descriptions: "Tx–MTS distance 1 m with an
+/// incidence angle of 30°, all devices at a height of 1.1 m".
+pub fn place_at(anchor: Point3, distance: f64, azimuth_rad: f64, z: f64) -> Point3 {
+    Point3::new(
+        anchor.x + distance * azimuth_rad.cos(),
+        anchor.y + distance * azimuth_rad.sin(),
+        z,
+    )
+}
+
+/// Shortest distance from point `p` to the segment `a`–`b`.
+///
+/// Used by the interference model to decide whether a walking person blocks
+/// the line-of-sight between two devices.
+pub fn point_segment_distance(p: Point3, a: Point3, b: Point3) -> f64 {
+    let ab = b.sub(a);
+    let len_sq = ab.dot(ab);
+    if len_sq == 0.0 {
+        return p.distance(a);
+    }
+    let t = (p.sub(a).dot(ab) / len_sq).clamp(0.0, 1.0);
+    let proj = Point3::new(a.x + t * ab.x, a.y + t * ab.y, a.z + t * ab.z);
+    p.distance(proj)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_pythagoras() {
+        let a = Point3::new(0.0, 0.0, 0.0);
+        let b = Point3::new(3.0, 4.0, 0.0);
+        assert!((a.distance(b) - 5.0).abs() < 1e-12);
+        assert_eq!(a.distance(a), 0.0);
+    }
+
+    #[test]
+    fn angle_between_orthogonal_vectors() {
+        let o = Point3::ORIGIN;
+        let x = Point3::new(1.0, 0.0, 0.0);
+        let y = Point3::new(0.0, 2.0, 0.0);
+        assert!((o.angle_between(x, y) - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deg_rad_round_trip() {
+        for &d in &[0.0, 30.0, 90.0, 180.0, 270.0] {
+            assert!((rad_to_deg(deg_to_rad(d)) - d).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn place_at_respects_distance_and_angle() {
+        let mts = Point3::new(0.0, 0.0, 1.1);
+        let tx = place_at(mts, 1.0, deg_to_rad(30.0), 1.1);
+        assert!((tx.distance(mts) - 1.0).abs() < 1e-12);
+        assert!((tx.x - deg_to_rad(30.0).cos()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_is_unit_or_zero() {
+        assert!((Point3::new(0.0, 3.0, 4.0).normalized().norm() - 1.0).abs() < 1e-12);
+        assert_eq!(Point3::ORIGIN.normalized(), Point3::ORIGIN);
+    }
+
+    #[test]
+    fn segment_distance_endpoints_and_interior() {
+        let a = Point3::new(0.0, 0.0, 0.0);
+        let b = Point3::new(10.0, 0.0, 0.0);
+        // Point above the middle of the segment.
+        let p = Point3::new(5.0, 2.0, 0.0);
+        assert!((point_segment_distance(p, a, b) - 2.0).abs() < 1e-12);
+        // Point beyond the endpoint clamps to the endpoint.
+        let q = Point3::new(-3.0, 4.0, 0.0);
+        assert!((point_segment_distance(q, a, b) - 5.0).abs() < 1e-12);
+        // Degenerate segment.
+        assert!((point_segment_distance(p, a, a) - p.distance(a)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,258 @@
+//! Dynamic interference from a person walking through the deployment.
+//!
+//! Fig 26 of the paper evaluates an interferer walking in four regions:
+//! R1–R3 are off the critical paths (the walker adds a slowly-varying
+//! scattered path, which the intra-symbol cancellation absorbs because the
+//! channel is stable within each 1 µs symbol), while R4 crosses the
+//! MTS→Rx segment and physically obstructs the computation path itself,
+//! producing the visible accuracy dip.
+
+use crate::geometry::{point_segment_distance, Point3};
+use crate::pathloss::friis_amplitude;
+use metaai_math::rng::SimRng;
+use metaai_math::C64;
+
+/// Which part of the deployment the interferer walks through.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum InterferenceRegion {
+    /// Near the transmitter, away from both critical segments.
+    R1,
+    /// Behind the metasurface.
+    R2,
+    /// Off to the side of the receiver.
+    R3,
+    /// Crossing the MTS→Rx segment: blocks the computation path.
+    R4,
+}
+
+impl InterferenceRegion {
+    /// All four regions, paper order.
+    pub fn all() -> [InterferenceRegion; 4] {
+        [
+            InterferenceRegion::R1,
+            InterferenceRegion::R2,
+            InterferenceRegion::R3,
+            InterferenceRegion::R4,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            InterferenceRegion::R1 => "R1",
+            InterferenceRegion::R2 => "R2",
+            InterferenceRegion::R3 => "R3",
+            InterferenceRegion::R4 => "R4",
+        }
+    }
+}
+
+/// A walking person modelled as a moving scatterer plus (when crossing the
+/// MTS→Rx segment) a line-of-sight obstruction.
+#[derive(Clone, Debug)]
+pub struct Interferer {
+    /// Walk start position.
+    pub start: Point3,
+    /// Walk velocity, m/s.
+    pub velocity: Point3,
+    /// Radar-style scattering amplitude of a human body (unitless
+    /// reflection coefficient, ~0.3).
+    pub reflectivity: f64,
+    /// Body radius used for the blockage test, metres.
+    pub body_radius: f64,
+    /// Amplitude attenuation applied to a path the body blocks
+    /// (~ −20 dB through a torso at microwave frequencies).
+    pub blockage_amplitude: f64,
+}
+
+impl Interferer {
+    /// A typical walking person (1 m/s, reflectivity 0.3, 0.25 m radius,
+    /// −20 dB through-body loss) starting at `start` and walking along
+    /// `direction`.
+    pub fn walking(start: Point3, direction: Point3) -> Self {
+        let v = direction.normalized();
+        Interferer {
+            start,
+            velocity: Point3::new(v.x, v.y, 0.0),
+            reflectivity: 0.3,
+            body_radius: 0.25,
+            blockage_amplitude: 0.1,
+        }
+    }
+
+    /// Places a walker in a named region for the paper's Fig 26 geometry
+    /// (MTS at origin, Tx ~1 m away, Rx ~3 m away).
+    pub fn in_region(region: InterferenceRegion, tx: Point3, mts: Point3, rx: Point3) -> Self {
+        let z = tx.z;
+        match region {
+            // Near the Tx but clear of the Tx→MTS segment.
+            InterferenceRegion::R1 => Interferer::walking(
+                Point3::new(tx.x + 1.0, tx.y + 1.2, z),
+                Point3::new(0.0, -1.0, 0.0),
+            ),
+            // Behind the MTS plane.
+            InterferenceRegion::R2 => Interferer::walking(
+                Point3::new(mts.x - 0.3, mts.y - 1.5, z),
+                Point3::new(1.0, 0.0, 0.0),
+            ),
+            // Behind the receiver: offset 1 m along the MTS→Rx axis past
+            // the Rx, walking laterally — never closer than 1 m to either
+            // critical segment.
+            InterferenceRegion::R3 => {
+                let dir = rx.sub(mts).normalized();
+                let lateral = Point3::new(-dir.y, dir.x, 0.0);
+                Interferer::walking(
+                    Point3::new(rx.x + dir.x - lateral.x, rx.y + dir.y - lateral.y, z),
+                    lateral,
+                )
+            }
+            // Walks straight through the midpoint of MTS→Rx.
+            InterferenceRegion::R4 => {
+                let mid = Point3::new((mts.x + rx.x) / 2.0, (mts.y + rx.y) / 2.0, z);
+                Interferer::walking(
+                    Point3::new(mid.x, mid.y - 1.0, z),
+                    Point3::new(0.0, 1.0, 0.0),
+                )
+            }
+        }
+    }
+
+    /// Walker position at time `t` seconds.
+    pub fn position_at(&self, t: f64) -> Point3 {
+        Point3::new(
+            self.start.x + self.velocity.x * t,
+            self.start.y + self.velocity.y * t,
+            self.start.z + self.velocity.z * t,
+        )
+    }
+
+    /// Scattered-path gain Tx→body→Rx at time `t`, with a random phase
+    /// drawn once and advanced by the body's motion-induced Doppler.
+    fn scatter_gain(&self, t: f64, tx: Point3, rx: Point3, freq_hz: f64, phase0: f64) -> C64 {
+        let p = self.position_at(t);
+        let d = tx.distance(p) + p.distance(rx);
+        let amp = friis_amplitude(d.max(0.1), freq_hz) * self.reflectivity;
+        let k0 = crate::pathloss::wavenumber(freq_hz);
+        C64::from_polar(amp, phase0 - k0 * d)
+    }
+
+    /// Whether the body blocks the segment `a`–`b` at time `t`.
+    pub fn blocks(&self, t: f64, a: Point3, b: Point3) -> bool {
+        point_segment_distance(self.position_at(t), a, b) < self.body_radius
+    }
+
+    /// Realizes the interferer's effect over `n_symbols` symbols of
+    /// duration `symbol_s`:
+    ///
+    /// * returns a per-symbol additive environmental component, and
+    /// * a per-symbol amplitude factor on the MTS→Rx path (1.0 except
+    ///   while the body obstructs it).
+    pub fn realize(
+        &self,
+        n_symbols: usize,
+        symbol_s: f64,
+        tx: Point3,
+        mts: Point3,
+        rx: Point3,
+        freq_hz: f64,
+        rng: &mut SimRng,
+    ) -> (Vec<C64>, Vec<f64>) {
+        let phase0 = rng.phase();
+        let mut env = Vec::with_capacity(n_symbols);
+        let mut mts_factor = Vec::with_capacity(n_symbols);
+        for i in 0..n_symbols {
+            let t = i as f64 * symbol_s;
+            env.push(self.scatter_gain(t, tx, rx, freq_hz, phase0));
+            let f = if self.blocks(t, mts, rx) || self.blocks(t, tx, mts) {
+                self.blockage_amplitude
+            } else {
+                1.0
+            };
+            mts_factor.push(f);
+        }
+        (env, mts_factor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::{deg_to_rad, place_at};
+
+    fn setup() -> (Point3, Point3, Point3) {
+        let mts = Point3::new(0.0, 0.0, 1.1);
+        let tx = place_at(mts, 1.0, deg_to_rad(30.0), 1.1);
+        let rx = place_at(mts, 3.0, deg_to_rad(150.0), 1.1);
+        (tx, mts, rx)
+    }
+
+    #[test]
+    fn walker_moves_at_velocity() {
+        let w = Interferer::walking(Point3::ORIGIN, Point3::new(1.0, 0.0, 0.0));
+        let p = w.position_at(2.5);
+        assert!((p.x - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r4_blocks_mts_rx_at_some_point() {
+        let (tx, mts, rx) = setup();
+        let w = Interferer::in_region(InterferenceRegion::R4, tx, mts, rx);
+        let blocked = (0..4000).any(|ms| w.blocks(ms as f64 * 1e-3, mts, rx));
+        assert!(blocked, "R4 walker must cross the MTS→Rx segment");
+    }
+
+    #[test]
+    fn r1_to_r3_do_not_block() {
+        let (tx, mts, rx) = setup();
+        for region in [
+            InterferenceRegion::R1,
+            InterferenceRegion::R2,
+            InterferenceRegion::R3,
+        ] {
+            let w = Interferer::in_region(region, tx, mts, rx);
+            let blocked = (0..2000).any(|ms| {
+                let t = ms as f64 * 1e-3;
+                w.blocks(t, mts, rx) || w.blocks(t, tx, mts)
+            });
+            assert!(!blocked, "{} should stay clear of critical paths", region.name());
+        }
+    }
+
+    #[test]
+    fn channel_is_stable_within_symbol_times() {
+        // A walking person at 1 m/s moves 1 µm per 1 µs symbol — the
+        // per-symbol channel change must be tiny.
+        let (tx, mts, rx) = setup();
+        let w = Interferer::in_region(InterferenceRegion::R1, tx, mts, rx);
+        let mut rng = SimRng::seed_from_u64(11);
+        let (env, _) = w.realize(1000, 1e-6, tx, mts, rx, 5.25e9, &mut rng);
+        let step: f64 = env
+            .windows(2)
+            .map(|w| (w[1] - w[0]).abs())
+            .fold(0.0, f64::max);
+        let scale = env[0].abs();
+        assert!(step < 0.01 * scale, "per-symbol drift {step} vs scale {scale}");
+    }
+
+    #[test]
+    fn realize_is_deterministic() {
+        let (tx, mts, rx) = setup();
+        let w = Interferer::in_region(InterferenceRegion::R2, tx, mts, rx);
+        let a = w.realize(64, 1e-6, tx, mts, rx, 5e9, &mut SimRng::seed_from_u64(1));
+        let b = w.realize(64, 1e-6, tx, mts, rx, 5e9, &mut SimRng::seed_from_u64(1));
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+    }
+
+    #[test]
+    fn blockage_factor_attenuates() {
+        let (tx, mts, rx) = setup();
+        let w = Interferer::in_region(InterferenceRegion::R4, tx, mts, rx);
+        let mut rng = SimRng::seed_from_u64(2);
+        // Walk for 2 simulated seconds at coarse symbol spacing so the
+        // crossing is observed.
+        let (_, factors) = w.realize(2000, 1e-3, tx, mts, rx, 5.25e9, &mut rng);
+        assert!(factors.iter().any(|&f| f < 1.0), "crossing must attenuate");
+        assert!(factors.iter().any(|&f| f == 1.0), "not always blocked");
+    }
+}

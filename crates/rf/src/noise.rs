@@ -1,0 +1,142 @@
+//! Receiver noise models: AWGN and oscillator phase noise.
+
+use metaai_math::rng::SimRng;
+use metaai_math::stats::from_db;
+use metaai_math::C64;
+
+/// Additive white Gaussian noise at a configured SNR.
+///
+/// The noise variance is anchored to a *reference signal power* so that a
+/// sweep over transmit power (Fig 19 of the paper varies 5–30 dB) maps
+/// directly onto a sweep over SNR.
+#[derive(Clone, Copy, Debug)]
+pub struct Awgn {
+    /// Total complex noise variance (per sample).
+    pub variance: f64,
+}
+
+impl Awgn {
+    /// No noise.
+    pub fn off() -> Self {
+        Awgn { variance: 0.0 }
+    }
+
+    /// Noise sized so that `signal_power / variance = SNR` (dB).
+    pub fn from_snr_db(signal_power: f64, snr_db: f64) -> Self {
+        assert!(signal_power >= 0.0, "signal power must be non-negative");
+        Awgn {
+            variance: signal_power / from_db(snr_db),
+        }
+    }
+
+    /// Draws one noise sample.
+    pub fn sample(&self, rng: &mut SimRng) -> C64 {
+        if self.variance == 0.0 {
+            C64::ZERO
+        } else {
+            rng.complex_gaussian(self.variance)
+        }
+    }
+
+    /// Adds noise to a signal sample.
+    pub fn corrupt(&self, x: C64, rng: &mut SimRng) -> C64 {
+        x + self.sample(rng)
+    }
+}
+
+/// Per-device random phase offsets, modelling meta-atom fabrication
+/// discrepancies (the paper's hardware noise `N_d`).
+///
+/// Each device/atom gets a fixed phase error drawn once from a zero-mean
+/// normal; signals through it are rotated by that error.
+#[derive(Clone, Debug)]
+pub struct PhaseNoise {
+    /// Fixed phase errors, radians.
+    pub offsets: Vec<f64>,
+}
+
+impl PhaseNoise {
+    /// No phase noise for `n` devices.
+    pub fn none(n: usize) -> Self {
+        PhaseNoise {
+            offsets: vec![0.0; n],
+        }
+    }
+
+    /// Draws `n` fixed offsets with standard deviation `sigma_rad`.
+    pub fn draw(n: usize, sigma_rad: f64, rng: &mut SimRng) -> Self {
+        PhaseNoise {
+            offsets: (0..n).map(|_| rng.normal(0.0, sigma_rad)).collect(),
+        }
+    }
+
+    /// Phase error of device `i`.
+    pub fn offset(&self, i: usize) -> f64 {
+        self.offsets[i]
+    }
+
+    /// Applies device `i`'s error to a sample.
+    pub fn rotate(&self, i: usize, x: C64) -> C64 {
+        x * C64::cis(self.offsets[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaai_math::stats::to_db;
+
+    #[test]
+    fn off_is_exact_passthrough() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let x = C64::new(0.5, -0.25);
+        assert_eq!(Awgn::off().corrupt(x, &mut rng), x);
+    }
+
+    #[test]
+    fn snr_anchoring_matches_measured_power() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let snr_db = 10.0;
+        let sig_pow = 4.0;
+        let awgn = Awgn::from_snr_db(sig_pow, snr_db);
+        let measured: f64 = (0..50_000)
+            .map(|_| awgn.sample(&mut rng).norm_sq())
+            .sum::<f64>()
+            / 50_000.0;
+        let measured_snr = to_db(sig_pow / measured);
+        assert!((measured_snr - snr_db).abs() < 0.3, "snr {measured_snr}");
+    }
+
+    #[test]
+    fn higher_snr_means_less_noise() {
+        let lo = Awgn::from_snr_db(1.0, 5.0);
+        let hi = Awgn::from_snr_db(1.0, 30.0);
+        assert!(hi.variance < lo.variance);
+    }
+
+    #[test]
+    fn phase_noise_preserves_magnitude() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let pn = PhaseNoise::draw(8, 0.2, &mut rng);
+        let x = C64::new(1.0, 1.0);
+        for i in 0..8 {
+            assert!((pn.rotate(i, x).abs() - x.abs()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn phase_noise_none_is_identity() {
+        let pn = PhaseNoise::none(4);
+        let x = C64::new(0.3, 0.7);
+        assert_eq!(pn.rotate(2, x), x);
+        assert_eq!(pn.offset(2), 0.0);
+    }
+
+    #[test]
+    fn drawn_offsets_have_requested_spread() {
+        let mut rng = SimRng::seed_from_u64(4);
+        let pn = PhaseNoise::draw(20_000, 0.3, &mut rng);
+        let spread = metaai_math::stats::std_dev(&pn.offsets);
+        assert!((spread - 0.3).abs() < 0.02, "spread {spread}");
+    }
+}

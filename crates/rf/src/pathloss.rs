@@ -1,0 +1,92 @@
+//! Free-space propagation: wavelength, path loss, and phase delay.
+
+use metaai_math::C64;
+
+/// Speed of light in vacuum (m/s).
+pub const SPEED_OF_LIGHT: f64 = 299_792_458.0;
+
+/// Wavelength (metres) at carrier frequency `freq_hz`.
+pub fn wavelength(freq_hz: f64) -> f64 {
+    assert!(freq_hz > 0.0, "frequency must be positive");
+    SPEED_OF_LIGHT / freq_hz
+}
+
+/// Wave number `k₀ = 2π/λ` (radians per metre) at `freq_hz`.
+pub fn wavenumber(freq_hz: f64) -> f64 {
+    std::f64::consts::TAU / wavelength(freq_hz)
+}
+
+/// Friis free-space *amplitude* attenuation over distance `d` metres:
+/// `λ / (4π d)`. Power attenuation is the square of this.
+pub fn friis_amplitude(d: f64, freq_hz: f64) -> f64 {
+    assert!(d > 0.0, "distance must be positive");
+    wavelength(freq_hz) / (4.0 * std::f64::consts::PI * d)
+}
+
+/// Propagation phase `k₀·d` accumulated over `d` metres, radians.
+pub fn phase_delay(d: f64, freq_hz: f64) -> f64 {
+    wavenumber(freq_hz) * d
+}
+
+/// Complex free-space channel gain over `d` metres:
+/// `(λ / 4πd) · e^{-j k₀ d}`.
+pub fn freespace_gain(d: f64, freq_hz: f64) -> C64 {
+    C64::from_polar(friis_amplitude(d, freq_hz), -phase_delay(d, freq_hz))
+}
+
+/// Propagation delay over `d` metres, seconds.
+pub fn propagation_delay(d: f64) -> f64 {
+    d / SPEED_OF_LIGHT
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wavelength_at_common_bands() {
+        // 2.4 GHz ≈ 12.5 cm, 5 GHz ≈ 6 cm, 3.5 GHz ≈ 8.6 cm.
+        assert!((wavelength(2.4e9) - 0.1249).abs() < 1e-3);
+        assert!((wavelength(5.0e9) - 0.0600).abs() < 1e-3);
+        assert!((wavelength(3.5e9) - 0.0857).abs() < 1e-3);
+    }
+
+    #[test]
+    fn friis_inverse_distance() {
+        let f = 5.25e9;
+        let a1 = friis_amplitude(1.0, f);
+        let a2 = friis_amplitude(2.0, f);
+        assert!((a1 / a2 - 2.0).abs() < 1e-12, "amplitude falls as 1/d");
+    }
+
+    #[test]
+    fn phase_wraps_by_wavelength() {
+        let f = 5.0e9;
+        let lam = wavelength(f);
+        let p = phase_delay(lam, f);
+        assert!((p - std::f64::consts::TAU).abs() < 1e-9);
+    }
+
+    #[test]
+    fn freespace_gain_combines_amplitude_and_phase() {
+        let f = 3.5e9;
+        let g = freespace_gain(2.5, f);
+        assert!((g.abs() - friis_amplitude(2.5, f)).abs() < 1e-15);
+        // Phase is negative (delay).
+        let expected = -phase_delay(2.5, f).rem_euclid(std::f64::consts::TAU);
+        let got = g.arg().rem_euclid(std::f64::consts::TAU);
+        let exp = expected.rem_euclid(std::f64::consts::TAU);
+        assert!((got - exp).abs() < 1e-9 || (got - exp).abs() > std::f64::consts::TAU - 1e-9);
+    }
+
+    #[test]
+    fn propagation_delay_one_meter() {
+        assert!((propagation_delay(SPEED_OF_LIGHT) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "distance must be positive")]
+    fn rejects_zero_distance() {
+        friis_amplitude(0.0, 1e9);
+    }
+}

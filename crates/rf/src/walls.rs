@@ -1,0 +1,79 @@
+//! Wall penetration loss for cross-room deployments (Fig 27).
+
+/// Material of an interior wall.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum WallMaterial {
+    /// Gypsum / drywall partition (~3 dB at 5 GHz).
+    Drywall,
+    /// Single brick wall (~8 dB).
+    Brick,
+    /// Reinforced concrete (~15 dB).
+    Concrete,
+    /// Glass partition (~2 dB).
+    Glass,
+}
+
+impl WallMaterial {
+    /// One-way penetration loss in dB at sub-6 GHz.
+    pub fn loss_db(self) -> f64 {
+        match self {
+            WallMaterial::Drywall => 3.0,
+            WallMaterial::Brick => 8.0,
+            WallMaterial::Concrete => 15.0,
+            WallMaterial::Glass => 2.0,
+        }
+    }
+
+    /// One-way amplitude transmission factor.
+    pub fn amplitude_factor(self) -> f64 {
+        10f64.powf(-self.loss_db() / 20.0)
+    }
+}
+
+/// Total amplitude factor through a sequence of walls.
+pub fn penetration_amplitude(walls: &[WallMaterial]) -> f64 {
+    walls.iter().map(|w| w.amplitude_factor()).product()
+}
+
+/// Total penetration loss (dB) through a sequence of walls.
+pub fn penetration_loss_db(walls: &[WallMaterial]) -> f64 {
+    walls.iter().map(|w| w.loss_db()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amplitude_matches_db() {
+        for m in [
+            WallMaterial::Drywall,
+            WallMaterial::Brick,
+            WallMaterial::Concrete,
+            WallMaterial::Glass,
+        ] {
+            let db_from_amp = -20.0 * m.amplitude_factor().log10();
+            assert!((db_from_amp - m.loss_db()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn losses_compose_additively_in_db() {
+        let walls = [WallMaterial::Drywall, WallMaterial::Brick];
+        assert!((penetration_loss_db(&walls) - 11.0).abs() < 1e-12);
+        let amp = penetration_amplitude(&walls);
+        assert!((-20.0 * amp.log10() - 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_wall_list_is_transparent() {
+        assert_eq!(penetration_amplitude(&[]), 1.0);
+        assert_eq!(penetration_loss_db(&[]), 0.0);
+    }
+
+    #[test]
+    fn concrete_is_heaviest() {
+        assert!(WallMaterial::Concrete.loss_db() > WallMaterial::Brick.loss_db());
+        assert!(WallMaterial::Brick.loss_db() > WallMaterial::Drywall.loss_db());
+    }
+}

@@ -1,0 +1,83 @@
+//! Multi-modal activity recognition: one metasurface, many sensors.
+//!
+//! Sec 3.4 of the paper: because weights attached to different sensors are
+//! independent in a linear network, sensors simply take turns transmitting
+//! (time division) through the *same* metasurface while the receiver keeps
+//! accumulating — late fusion with zero extra hardware. This example fuses
+//! an accelerometer and a gyroscope (the USC-HAD stand-in) and shows the
+//! accuracy climbing as modalities join.
+//!
+//! ```sh
+//! cargo run --release --example multi_sensor_hub
+//! ```
+
+use metaai::config::SystemConfig;
+use metaai::fusion::{fuse_views, segment_offsets};
+use metaai::pipeline::MetaAiSystem;
+use metaai_datasets::encode_bytes_dataset;
+use metaai_datasets::multisensor::{generate_multisensor, MultiSensorId};
+use metaai_datasets::Scale;
+use metaai_nn::augment::Augmentation;
+use metaai_nn::data::ComplexDataset;
+use metaai_nn::train::TrainConfig;
+
+fn main() {
+    let split = generate_multisensor(MultiSensorId::UscHad, Scale::Quick, 21);
+    let config = SystemConfig::paper_default();
+
+    let train_views: Vec<ComplexDataset> = split
+        .train
+        .views
+        .iter()
+        .map(|v| encode_bytes_dataset(v, config.modulation))
+        .collect();
+    let test_views: Vec<ComplexDataset> = split
+        .test
+        .views
+        .iter()
+        .map(|v| encode_bytes_dataset(v, config.modulation))
+        .collect();
+    let modality = ["accelerometer", "accelerometer + gyroscope"];
+
+    let tcfg = TrainConfig {
+        epochs: 20,
+        ..TrainConfig::default()
+    }
+    .with_augmentation(Augmentation::cdfa_default())
+    .with_augmentation(Augmentation::noise_default());
+
+    println!("USC-HAD stand-in: 6 activities, {} events per modality", split.train.len());
+    let mut last = 0.0;
+    for n in 1..=2usize {
+        let train = fuse_views(&train_views, n);
+        let test = fuse_views(&test_views, n);
+        let offsets = segment_offsets(&train_views, n);
+        let hub = MetaAiSystem::build(&train, &config, &tcfg);
+        let acc = hub.ota_accuracy(&test, &format!("hub-{n}"));
+        println!(
+            "{:<28} U = {:>4} symbols (segments at {:?}): {:.1} %",
+            modality[n - 1],
+            train.input_len(),
+            offsets,
+            100.0 * acc
+        );
+        if n == 2 {
+            println!(
+                "fusion gain: {:+.1} points — the independent sensor noise averages out",
+                100.0 * (acc - last)
+            );
+        }
+        last = acc;
+    }
+
+    // The takeaway the paper emphasizes: this needed no second
+    // metasurface, no extra antennas — only a longer time-division frame.
+    let control = metaai_mts::control::ControlModel::default();
+    let u_total: usize = train_views.iter().map(|v| v.input_len()).sum();
+    println!(
+        "\nframe cost for full fusion: {} symbols × 6 classes = {:.2} ms airtime, {:.2} mJ of MTS control",
+        u_total,
+        6.0 * u_total as f64 / config.symbol_rate * 1e3,
+        1e3 * control.inference_energy_j(6 * u_total, 2),
+    );
+}

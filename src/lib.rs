@@ -1,0 +1,19 @@
+//! Workspace umbrella for the MetaAI reproduction.
+//!
+//! This crate only hosts the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`); the library code lives in the
+//! `crates/` workspace members:
+//!
+//! * [`metaai`] — the end-to-end system,
+//! * [`metaai_math`], [`metaai_rf`], [`metaai_mts`], [`metaai_phy`],
+//!   [`metaai_nn`], [`metaai_datasets`] — the substrates.
+//!
+//! Start with `examples/quickstart.rs`.
+
+pub use metaai;
+pub use metaai_datasets;
+pub use metaai_math;
+pub use metaai_mts;
+pub use metaai_nn;
+pub use metaai_phy;
+pub use metaai_rf;

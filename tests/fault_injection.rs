@@ -1,0 +1,111 @@
+//! Failure-injection integration tests: hardware faults, path blockage,
+//! and mobility staleness, exercised through the full stack.
+
+use metaai::config::SystemConfig;
+use metaai::mobility::MobilityModel;
+use metaai::ota::realize_channels;
+use metaai::pipeline::MetaAiSystem;
+use metaai_datasets::{generate, DatasetId, Scale};
+use metaai_math::rng::SimRng;
+use metaai_mts::control::ControlModel;
+use metaai_nn::augment::Augmentation;
+use metaai_nn::train::TrainConfig;
+
+fn build() -> (MetaAiSystem, metaai_nn::data::ComplexDataset) {
+    let split = generate(DatasetId::Mnist, Scale::Quick, 55);
+    let config = SystemConfig::paper_default();
+    let (train, test) = split.modulate(config.modulation);
+    let tcfg = TrainConfig {
+        epochs: 15,
+        ..TrainConfig::default()
+    }
+    .with_augmentation(Augmentation::cdfa_default())
+    .with_augmentation(Augmentation::noise_default());
+    (MetaAiSystem::build(&train, &config, &tcfg), test)
+}
+
+#[test]
+fn small_stuck_fraction_degrades_gracefully() {
+    let (mut sys, test) = build();
+    let healthy = sys.ota_accuracy(&test, "fault-0");
+
+    let mut rng = SimRng::seed_from_u64(1);
+    sys.array.inject_stuck_faults(0.05, &mut rng);
+    sys.channels = realize_channels(&sys.schedule, &sys.mapper.link, &sys.array);
+    let degraded = sys.ota_accuracy(&test, "fault-5");
+
+    // 5 % of a 256-atom aperture: the redundancy of the sum absorbs it.
+    assert!(
+        degraded > healthy - 0.15,
+        "5% faults: {degraded} vs healthy {healthy}"
+    );
+}
+
+#[test]
+fn massive_stuck_fraction_destroys_the_computation() {
+    let (mut sys, test) = build();
+    let mut rng = SimRng::seed_from_u64(2);
+    sys.array.inject_stuck_faults(0.9, &mut rng);
+    sys.channels = realize_channels(&sys.schedule, &sys.mapper.link, &sys.array);
+    let broken = sys.ota_accuracy(&test, "fault-90");
+    assert!(broken < 0.5, "90% stuck atoms should break it: {broken}");
+}
+
+#[test]
+fn strong_phase_noise_hurts_more_than_weak() {
+    let split = generate(DatasetId::Mnist, Scale::Quick, 56);
+    let (train, test) = split.modulate(SystemConfig::paper_default().modulation);
+    let tcfg = TrainConfig {
+        epochs: 15,
+        ..TrainConfig::default()
+    }
+    .with_augmentation(Augmentation::cdfa_default());
+
+    let acc_at = |sigma: f64| {
+        let config = SystemConfig {
+            atom_phase_noise: sigma,
+            ..SystemConfig::paper_default()
+        };
+        MetaAiSystem::build(&train, &config, &tcfg)
+            .ota_accuracy(&test, &format!("pn-{sigma}"))
+    };
+    let weak = acc_at(0.05);
+    let strong = acc_at(1.2);
+    assert!(
+        weak > strong,
+        "σ=0.05 rad ({weak}) must beat σ=1.2 rad ({strong})"
+    );
+}
+
+#[test]
+fn blockage_of_the_mts_path_reduces_accuracy() {
+    let (sys, test) = build();
+    let n = test.input_len();
+    let clear = sys.ota_accuracy(&test, "block-clear");
+    let blocked = sys.ota_accuracy_with(&test, "block-heavy", |rng| {
+        let mut c = sys.default_conditions(n, rng);
+        // A heavy obstruction across the whole frame: −22 dB amplitude.
+        c.mts_factor = vec![0.08; n];
+        c
+    });
+    assert!(
+        blocked < clear,
+        "blockage {blocked} must hurt vs clear {clear}"
+    );
+}
+
+#[test]
+fn mobility_race_is_consistent() {
+    let control = ControlModel::default();
+    let model = MobilityModel::paper_prototype(0.05);
+    let max = model.max_trackable_speed(&control, 3.0);
+    assert!(model.supports(&control, 3.0, max * 0.99));
+    assert!(!model.supports(&control, 3.0, max * 1.01));
+}
+
+#[test]
+fn unsupported_band_is_rejected_by_the_prototype_model() {
+    use metaai_mts::array::Prototype;
+    assert!(!Prototype::SingleBand35.supports(5.25e9));
+    assert!(Prototype::DualBand.supports(5.25e9));
+}
