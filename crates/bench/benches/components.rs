@@ -11,7 +11,7 @@ use metaai::mapper::WeightMapper;
 use metaai::ota::{realize_channels, OtaConditions, OtaReceiver};
 use metaai_math::fft::{fft, ifft};
 use metaai_math::rng::SimRng;
-use metaai_math::{C64, CMat, CVec};
+use metaai_math::{CMat, CVec, C64};
 use metaai_mts::array::{MtsArray, Prototype};
 use metaai_mts::solver::WeightSolver;
 use metaai_nn::train::{toy_problem, train_complex, TrainConfig};
@@ -66,6 +66,50 @@ fn bench_ota(c: &mut Criterion) {
     });
 }
 
+fn bench_engine(c: &mut Criterion) {
+    // Paper-default geometry: 10 classes × 784 symbols, AWGN at the
+    // configured SNR — the realistic accuracy-sweep workload.
+    let config = SystemConfig::paper_default();
+    let array = MtsArray::paper_prototype(Prototype::DualBand, config.mts_center);
+    let mapper = WeightMapper::new(&config, &array);
+    let mut rng = SimRng::seed_from_u64(5);
+    let weights = CMat::from_fn(10, 784, |_, _| rng.complex_gaussian(1.0));
+    let schedule = mapper.map(&weights, C64::ZERO);
+    let h = realize_channels(&schedule, &mapper.link, &array);
+    let mut cond = OtaConditions::ideal(784);
+    cond.awgn.variance = metaai::ota::signal_power(&h) / metaai_math::stats::from_db(config.snr_db);
+    let inputs: Vec<CVec> = (0..256)
+        .map(|_| CVec::from_fn(784, |_| rng.complex_gaussian(1.0)))
+        .collect();
+
+    let engine = metaai::engine::OtaEngine::new(&h);
+    for &batch in &[1usize, 32, 256] {
+        c.bench_function(&format!("engine/throughput_batch_{batch}"), |b| {
+            b.iter(|| {
+                black_box(engine.batch_predict_with(&inputs[..batch], 42, 7, |_| cond.clone()))
+            })
+        });
+    }
+
+    // The seed's per-sample path: a string-keyed RNG per sample, one
+    // accumulate() per output row (per-chip noise draws, per-row shifted
+    // input copies). The engine's batch-256 number is compared against
+    // this in the PR's acceptance criterion.
+    c.bench_function("engine/per_sample_legacy_256", |b| {
+        b.iter(|| {
+            let mut correct = 0usize;
+            for (i, x) in inputs.iter().enumerate() {
+                let mut r = SimRng::derive(42, &format!("legacy-{i}"));
+                let scores: Vec<f64> = (0..h.rows())
+                    .map(|row| OtaReceiver::accumulate(h.row(row), x, &cond, &mut r).abs())
+                    .collect();
+                correct += metaai_math::stats::argmax(&scores);
+            }
+            black_box(correct)
+        })
+    });
+}
+
 fn bench_training(c: &mut Criterion) {
     let data = toy_problem(10, 784, 20, 0.4, 5, 105);
     let cfg = TrainConfig {
@@ -83,9 +127,7 @@ fn bench_phy(c: &mut Criterion) {
     c.bench_function("phy/modulate_784_bytes_qam256", |b| {
         b.iter(|| black_box(Modulation::Qam256.modulate(&bits).len()))
     });
-    let mut buf: Vec<C64> = (0..1024)
-        .map(|i| C64::cis(i as f64 * 0.37))
-        .collect();
+    let mut buf: Vec<C64> = (0..1024).map(|i| C64::cis(i as f64 * 0.37)).collect();
     c.bench_function("phy/fft_1024", |b| {
         b.iter(|| {
             fft(&mut buf);
@@ -98,6 +140,6 @@ fn bench_phy(c: &mut Criterion) {
 criterion_group! {
     name = components;
     config = Criterion::default().sample_size(20);
-    targets = bench_solver, bench_mapping, bench_ota, bench_training, bench_phy
+    targets = bench_solver, bench_mapping, bench_ota, bench_engine, bench_training, bench_phy
 }
 criterion_main!(components);

@@ -8,7 +8,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use metaai_bench::common::ExpContext;
-use metaai_bench::{exp_energy, exp_microbench, exp_overall, exp_parallel, exp_robustness, exp_sensors};
+use metaai_bench::{
+    exp_energy, exp_microbench, exp_overall, exp_parallel, exp_robustness, exp_sensors,
+};
 use metaai_datasets::multisensor::MultiSensorId;
 use metaai_datasets::DatasetId;
 use std::hint::black_box;

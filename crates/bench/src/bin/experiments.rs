@@ -14,7 +14,10 @@
 
 use metaai_bench::common::{csv_write, pct, ExpContext};
 use metaai_bench::exp_robustness;
-use metaai_bench::{exp_ablation, exp_energy, exp_microbench, exp_mobility, exp_overall, exp_parallel, exp_privacy, exp_sensors};
+use metaai_bench::{
+    exp_ablation, exp_energy, exp_microbench, exp_mobility, exp_overall, exp_parallel, exp_privacy,
+    exp_sensors,
+};
 use metaai_datasets::{DatasetId, Scale};
 
 fn parse_args() -> (Vec<String>, ExpContext) {
@@ -59,7 +62,14 @@ fn parse_args() -> (Vec<String>, ExpContext) {
     if experiments.is_empty() {
         experiments.push("all".into());
     }
-    (experiments, ExpContext { scale, seed, out_dir })
+    (
+        experiments,
+        ExpContext {
+            scale,
+            seed,
+            out_dir,
+        },
+    )
 }
 
 fn main() {
@@ -88,7 +98,9 @@ fn main() {
                     &ctx.out_dir,
                     "fig6",
                     "atoms,mean_relative_residual",
-                    &f.iter().map(|(m, e)| format!("{m},{e:.6}")).collect::<Vec<_>>(),
+                    &f.iter()
+                        .map(|(m, e)| format!("{m},{e:.6}"))
+                        .collect::<Vec<_>>(),
                 );
             }
             "fig7" => {

@@ -3,8 +3,8 @@
 use metaai::config::SystemConfig;
 use metaai::pipeline::MetaAiSystem;
 use metaai_datasets::{generate, DatasetId, Scale};
-use metaai_nn::data::ComplexDataset;
 use metaai_nn::augment::Augmentation;
+use metaai_nn::data::ComplexDataset;
 use metaai_nn::train::TrainConfig;
 use std::io::Write;
 use std::path::Path;

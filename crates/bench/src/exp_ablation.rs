@@ -216,7 +216,10 @@ pub fn multipath_scheme_comparison(ctx: &ExpContext) -> Vec<(&'static str, f64, 
 
 /// Linear vs deep complex network (the paper's future-work extension):
 /// digital accuracy of both on the same datasets.
-pub fn linear_vs_nonlinear(ctx: &ExpContext, datasets: &[DatasetId]) -> Vec<(&'static str, f64, f64)> {
+pub fn linear_vs_nonlinear(
+    ctx: &ExpContext,
+    datasets: &[DatasetId],
+) -> Vec<(&'static str, f64, f64)> {
     datasets
         .iter()
         .map(|&id| {
@@ -242,7 +245,11 @@ pub fn report_all(ctx: &ExpContext) {
     let ks = kappa_sweep(ctx, &[0.3, 0.5, 0.7, 0.85, 0.95]);
     println!("\nAblation: κ weight-scaling factor");
     for (k, err, acc) in &ks {
-        println!("  κ={k:.2}: realization error {:.4}, accuracy {}", err, pct(*acc));
+        println!(
+            "  κ={k:.2}: realization error {:.4}, accuracy {}",
+            err,
+            pct(*acc)
+        );
     }
     csv_write(
         &ctx.out_dir,
@@ -262,7 +269,9 @@ pub fn report_all(ctx: &ExpContext) {
         &ctx.out_dir,
         "ablation_bits",
         "bits,mean_relative_residual",
-        &bd.iter().map(|(b, e)| format!("{b},{e:.6}")).collect::<Vec<_>>(),
+        &bd.iter()
+            .map(|(b, e)| format!("{b},{e:.6}"))
+            .collect::<Vec<_>>(),
     );
 
     let sw = solver_sweeps(ctx, &[1, 2, 3, 4, 6, 8]);
@@ -274,7 +283,9 @@ pub fn report_all(ctx: &ExpContext) {
         &ctx.out_dir,
         "ablation_sweeps",
         "sweeps,mean_residual",
-        &sw.iter().map(|(s, e)| format!("{s},{e:.4}")).collect::<Vec<_>>(),
+        &sw.iter()
+            .map(|(s, e)| format!("{s},{e:.4}"))
+            .collect::<Vec<_>>(),
     );
 
     let da = detection_averaging(ctx, &[1, 2, 4, 8, 16, 32]);
@@ -286,7 +297,9 @@ pub fn report_all(ctx: &ExpContext) {
         &ctx.out_dir,
         "ablation_detections",
         "detections,accuracy",
-        &da.iter().map(|(d, a)| format!("{d},{}", pct(*a))).collect::<Vec<_>>(),
+        &da.iter()
+            .map(|(d, a)| format!("{d},{}", pct(*a)))
+            .collect::<Vec<_>>(),
     );
 
     let pn = phase_noise_sweep(ctx, &[0.0, 0.08, 0.2, 0.4, 0.8, 1.2]);
@@ -298,7 +311,9 @@ pub fn report_all(ctx: &ExpContext) {
         &ctx.out_dir,
         "ablation_phase_noise",
         "sigma_rad,accuracy",
-        &pn.iter().map(|(s, a)| format!("{s:.2},{}", pct(*a))).collect::<Vec<_>>(),
+        &pn.iter()
+            .map(|(s, a)| format!("{s:.2},{}", pct(*a)))
+            .collect::<Vec<_>>(),
     );
 
     let mp = multipath_scheme_comparison(ctx);
@@ -354,10 +369,7 @@ mod tests {
         let ctx = ExpContext::quick(63);
         let rows = multipath_scheme_comparison(&ctx);
         let eqn8 = rows.iter().find(|r| r.0.starts_with("eqn8")).expect("row");
-        let cancel = rows
-            .iter()
-            .find(|r| r.0.starts_with("intra"))
-            .expect("row");
+        let cancel = rows.iter().find(|r| r.0.starts_with("intra")).expect("row");
         // The paper's argument: compensation only works while H_e holds
         // still; the chip scheme is drift-immune.
         assert!(

@@ -12,11 +12,27 @@ pub fn energy_table(w: &Workload) -> Vec<EnergyRow> {
     let k = DeviceConstants::default();
     let c = ControlModel::default();
     vec![
-        ("CPU", "ResNet-18", estimate(Platform::Cpu, Model::ResNet18, w, &k, &c)),
+        (
+            "CPU",
+            "ResNet-18",
+            estimate(Platform::Cpu, Model::ResNet18, w, &k, &c),
+        ),
         ("CPU", "LNN", estimate(Platform::Cpu, Model::Lnn, w, &k, &c)),
-        ("4080 GPU", "ResNet-18", estimate(Platform::Gpu, Model::ResNet18, w, &k, &c)),
-        ("4080 GPU", "LNN", estimate(Platform::Gpu, Model::Lnn, w, &k, &c)),
-        ("Meta-AI", "LNN", estimate(Platform::MetaAi, Model::Lnn, w, &k, &c)),
+        (
+            "4080 GPU",
+            "ResNet-18",
+            estimate(Platform::Gpu, Model::ResNet18, w, &k, &c),
+        ),
+        (
+            "4080 GPU",
+            "LNN",
+            estimate(Platform::Gpu, Model::Lnn, w, &k, &c),
+        ),
+        (
+            "Meta-AI",
+            "LNN",
+            estimate(Platform::MetaAi, Model::Lnn, w, &k, &c),
+        ),
     ]
 }
 
@@ -24,7 +40,15 @@ fn print_table(title: &str, rows: &[EnergyRow]) -> Vec<String> {
     println!("\n{title}");
     println!(
         "{:<10} {:<10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8} {:>9}",
-        "System", "Model", "Tx(ms)", "Srv(ms)", "Tot(ms)", "Tx(mJ)", "Srv(mJ)", "MTS(mJ)", "Tot(mJ)"
+        "System",
+        "Model",
+        "Tx(ms)",
+        "Srv(ms)",
+        "Tot(ms)",
+        "Tx(mJ)",
+        "Srv(mJ)",
+        "MTS(mJ)",
+        "Tot(mJ)"
     );
     let mut csv = Vec::new();
     for (sys, model, r) in rows {

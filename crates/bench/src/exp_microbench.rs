@@ -136,29 +136,21 @@ pub fn fig13(ctx: &ExpContext, delays_us: &[f64]) -> Vec<(f64, f64, f64)> {
         .map(|&d| {
             // Without CDFA: the full delay lands on the schedule.
             let shift_plain = d.round() as isize;
-            let acc_plain = sys_plain.ota_accuracy_with(
-                &test,
-                &format!("fig13-plain-{d}"),
-                |rng| {
+            let acc_plain =
+                sys_plain.ota_accuracy_with(&test, &format!("fig13-plain-{d}"), |rng| {
                     let mut c = sys_plain.default_conditions(n, rng);
                     c.sync_shift = shift_plain;
                     c
-                },
-            );
+                });
             // With CDFA: compensation capped at the guard window, plus the
             // averaged estimation residual.
-            let acc_cdfa = sys_cdfa.ota_accuracy_with(
-                &test,
-                &format!("fig13-cdfa-{d}"),
-                |rng| {
-                    let mut c = sys_cdfa.default_conditions(n, rng);
-                    let est_resid =
-                        model.sample_residual_symbols(sys_cdfa.config.symbol_rate, rng);
-                    let uncompensated = (d - guard_us).max(0.0).round() as isize;
-                    c.sync_shift = uncompensated + est_resid;
-                    c
-                },
-            );
+            let acc_cdfa = sys_cdfa.ota_accuracy_with(&test, &format!("fig13-cdfa-{d}"), |rng| {
+                let mut c = sys_cdfa.default_conditions(n, rng);
+                let est_resid = model.sample_residual_symbols(sys_cdfa.config.symbol_rate, rng);
+                let uncompensated = (d - guard_us).max(0.0).round() as isize;
+                c.sync_shift = uncompensated + est_resid;
+                c
+            });
             (d, acc_plain, acc_cdfa)
         })
         .collect()
@@ -227,9 +219,8 @@ pub fn fig17(ctx: &ExpContext) -> Vec<(EnvironmentKind, &'static str, f64, f64)>
                 let label = format!("fig17-{}-{}-{}", env_kind.name(), ant_name, cancel);
                 sys.ota_accuracy_with(&test, &label, |rng| {
                     let mut c = sys.default_conditions(n, rng);
-                    let mut env = Environment::paper_default(
-                        env_kind, config.tx, config.rx, config.freq_hz,
-                    );
+                    let mut env =
+                        Environment::paper_default(env_kind, config.tx, config.rx, config.freq_hz);
                     env.tx_antenna = pattern;
                     env.rx_antenna = pattern;
                     c.env = EnvChannel::from_environment(&env, n, rng);
@@ -297,7 +288,9 @@ pub fn report_all(ctx: &ExpContext) {
         &ctx.out_dir,
         "fig6",
         "atoms,mean_relative_residual",
-        &f6.iter().map(|(m, e)| format!("{m},{e:.6}")).collect::<Vec<_>>(),
+        &f6.iter()
+            .map(|(m, e)| format!("{m},{e:.6}"))
+            .collect::<Vec<_>>(),
     );
 
     // Fig 7.
@@ -317,7 +310,11 @@ pub fn report_all(ctx: &ExpContext) {
 
     // Fig 12.
     let f12 = fig12(ctx);
-    let above3 = 1.0 - f12.iter().find(|(us, _)| *us >= 3.0).map_or(0.0, |(_, c)| *c);
+    let above3 = 1.0
+        - f12
+            .iter()
+            .find(|(us, _)| *us >= 3.0)
+            .map_or(0.0, |(_, c)| *c);
     println!("\nFig 12: sync-error CDF — P[err > 3 µs] = {}", pct(above3));
     let (p25, p50, p75) = fig12_detector(ctx, 15.0);
     println!("  envelope-detector delays at 15 dB: p25={p25:.2} p50={p50:.2} p75={p75:.2} µs");
@@ -325,7 +322,9 @@ pub fn report_all(ctx: &ExpContext) {
         &ctx.out_dir,
         "fig12",
         "error_us,cdf",
-        &f12.iter().map(|(u, c)| format!("{u:.2},{c:.4}")).collect::<Vec<_>>(),
+        &f12.iter()
+            .map(|(u, c)| format!("{u:.2},{c:.4}"))
+            .collect::<Vec<_>>(),
     );
 
     // Fig 13.
@@ -383,7 +382,12 @@ pub fn report_all(ctx: &ExpContext) {
             pct(*with)
         ));
     }
-    csv_write(&ctx.out_dir, "fig17", "environment,antenna,without,with", &rows);
+    csv_write(
+        &ctx.out_dir,
+        "fig17",
+        "environment,antenna,without,with",
+        &rows,
+    );
 
     // Fig 29.
     let (f29, digital) = fig29(ctx, &[1, 2, 3, 4, 5, 6]);
@@ -398,7 +402,9 @@ pub fn report_all(ctx: &ExpContext) {
         &ctx.out_dir,
         "fig29",
         "layers,accuracy",
-        &f29.iter().map(|(l, a)| format!("{l},{}", pct(*a))).collect::<Vec<_>>(),
+        &f29.iter()
+            .map(|(l, a)| format!("{l},{}", pct(*a)))
+            .collect::<Vec<_>>(),
     );
 
     // Fig 30.
@@ -411,7 +417,9 @@ pub fn report_all(ctx: &ExpContext) {
         &ctx.out_dir,
         "fig30",
         "atoms,wdd",
-        &f30.iter().map(|(m, w)| format!("{m},{w:.4}")).collect::<Vec<_>>(),
+        &f30.iter()
+            .map(|(m, w)| format!("{m},{w:.4}"))
+            .collect::<Vec<_>>(),
     );
 }
 
@@ -434,7 +442,11 @@ mod tests {
             assert!(w[1].1 >= w[0].1);
         }
         // Roughly half the mass above 3 µs (paper: 51.7 %).
-        let at3 = f.iter().find(|(us, _)| *us >= 3.0).expect("grid covers 3µs").1;
+        let at3 = f
+            .iter()
+            .find(|(us, _)| *us >= 3.0)
+            .expect("grid covers 3µs")
+            .1;
         assert!((0.40..0.60).contains(&at3), "CDF(3µs) = {at3}");
     }
 

@@ -48,8 +48,7 @@ pub fn run_row(ctx: &ExpContext, id: DatasetId) -> Table1Row {
     let disc = train_discrete(&train_c, &tcfg, 2);
     let discrete_sim = evaluate(&disc, &test_c);
     let disc_system = MetaAiSystem::from_network(disc, &config);
-    let discrete_proto =
-        disc_system.ota_accuracy(&test_c, &format!("table1-disc-{}", id.name()));
+    let discrete_proto = disc_system.ota_accuracy(&test_c, &format!("table1-disc-{}", id.name()));
 
     // Deep digital baseline on raw real features.
     let deep_cfg = DeepConfig {
@@ -125,7 +124,15 @@ mod tests {
         let chance = 1.0 / 10.0;
         assert!(r.deep > 3.0 * chance, "deep accuracy {}", r.deep);
         assert!(r.metaai_sim > 2.0 * chance, "MetaAI sim {}", r.metaai_sim);
-        assert!(r.metaai_proto > 2.0 * chance, "MetaAI proto {}", r.metaai_proto);
-        assert!(r.discrete_sim > 2.0 * chance, "Discrete sim {}", r.discrete_sim);
+        assert!(
+            r.metaai_proto > 2.0 * chance,
+            "MetaAI proto {}",
+            r.metaai_proto
+        );
+        assert!(
+            r.discrete_sim > 2.0 * chance,
+            "Discrete sim {}",
+            r.discrete_sim
+        );
     }
 }

@@ -40,8 +40,7 @@ pub fn fig18(ctx: &ExpContext, datasets: &[DatasetId]) -> Vec<Fig18Row> {
 
             let array = MtsArray::paper_prototype(config.prototype, config.mts_center);
             let sub = SubcarrierParallel::deploy(&net, &config, &array);
-            let subcarrier =
-                sub.accuracy(&test.inputs, &test.labels, config.snr_db, ctx.seed);
+            let subcarrier = sub.accuracy(&test.inputs, &test.labels, config.snr_db, ctx.seed);
 
             let rx = antenna_positions(&config, net.num_classes(), 8.0);
             let ant = AntennaParallel::deploy(&net, &config, &array, &rx);
@@ -125,7 +124,12 @@ pub fn report_all(ctx: &ExpContext) {
             pct(r.antenna)
         ));
     }
-    csv_write(&ctx.out_dir, "fig18", "dataset,baseline,subcarrier,antenna", &csv);
+    csv_write(
+        &ctx.out_dir,
+        "fig18",
+        "dataset,baseline,subcarrier,antenna",
+        &csv,
+    );
 
     let f31 = fig31(ctx, &[2, 4, 6, 8, 10]);
     println!("\nFig 31: accuracy vs parallelism degree");

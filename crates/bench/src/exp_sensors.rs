@@ -88,7 +88,8 @@ pub fn fig28(ctx: &ExpContext) -> Vec<f64> {
     for v in 0..volunteers {
         for b in 0..backgrounds {
             for _ in 0..per_background {
-                let mut srng = SimRng::derive(ctx.seed, &format!("fig28-train-{v}-{b}-{}", samples.len()));
+                let mut srng =
+                    SimRng::derive(ctx.seed, &format!("fig28-train-{v}-{b}-{}", samples.len()));
                 samples.push(render(v, b, &mut srng));
                 labels.push(v);
             }
@@ -171,7 +172,10 @@ pub fn report_all(ctx: &ExpContext) {
 
     let f28 = fig28(ctx);
     let avg = metaai_math::stats::mean(&f28);
-    println!("\nFig 28: real-time face recognition — average {}", pct(avg));
+    println!(
+        "\nFig 28: real-time face recognition — average {}",
+        pct(avg)
+    );
     for (v, acc) in f28.iter().enumerate() {
         println!("  volunteer {:>2}: {}", v + 1, pct(*acc));
     }

@@ -74,10 +74,7 @@ fn robust_train_config(args: &Args) -> TrainConfig {
 }
 
 fn load(args: &Args) -> Result<ComplexLnn, String> {
-    let path = args
-        .options
-        .get("model")
-        .ok_or("missing --model <file>")?;
+    let path = args.options.get("model").ok_or("missing --model <file>")?;
     load_model(path).map_err(|e| format!("cannot load {path}: {e}"))
 }
 
@@ -152,10 +149,14 @@ pub fn eval(args: &Args) -> i32 {
     if args.flag("confusion") {
         let n = s.test.input_len();
         let mut cm = ConfusionMatrix::new(s.test.num_classes);
-        for i in 0..s.test.len() {
-            let mut rng = SimRng::derive(s.config.seed, &format!("cli-confusion-{i}"));
-            let cond = system.default_conditions(n, &mut rng);
-            let pred = system.infer(&s.test.inputs[i], &cond, &mut rng);
+        let stream = SimRng::stream_id("cli-confusion");
+        let predictions =
+            system
+                .engine()
+                .batch_predict_with(&s.test.inputs, s.config.seed, stream, |rng| {
+                    system.default_conditions(n, rng)
+                });
+        for (i, &pred) in predictions.iter().enumerate() {
             cm.record(s.test.labels[i], pred);
         }
         println!("\nconfusion matrix (over the air):\n{}", cm.render());
@@ -228,13 +229,21 @@ pub fn infer(args: &Args) -> i32 {
     }
     let system = MetaAiSystem::from_network(net, &s.config);
     let x = &s.test.inputs[idx];
-    let mut rng = SimRng::derive(s.config.seed, &format!("cli-infer-{idx}"));
+    let mut rng = SimRng::derive_indexed(s.config.seed, SimRng::stream_id("cli-infer"), idx as u64);
     let cond = system.default_conditions(x.len(), &mut rng);
-    let trace = metaai::trace::traced_inference(&system.channels, x, &cond, &mut rng);
+    let outcome = system.run(
+        &metaai::engine::InferenceRequest::new(x, cond).with_trace(),
+        &mut rng,
+    );
+    let trace = outcome.trace.expect("trace requested");
 
     println!("sample {idx} (true class {}):", s.test.labels[idx]);
     for (class, score) in trace.scores.iter().enumerate() {
-        let mark = if class == trace.predicted { "  ← predicted" } else { "" };
+        let mark = if class == trace.predicted {
+            "  ← predicted"
+        } else {
+            ""
+        };
         println!("  class {class}: {score:.4e}{mark}");
     }
     let verdict = if trace.predicted == s.test.labels[idx] {
@@ -252,7 +261,10 @@ pub fn infer(args: &Args) -> i32 {
         if let Err(e) = metaai::trace::write_csv(&trace, std::io::BufWriter::new(file)) {
             return fail(&format!("cannot write trace: {e}"));
         }
-        println!("per-symbol trace written to {path} ({} rows)", trace.rows.len());
+        println!(
+            "per-symbol trace written to {path} ({} rows)",
+            trace.rows.len()
+        );
     }
     0
 }
@@ -261,10 +273,8 @@ pub fn infer(args: &Args) -> i32 {
 pub fn scan(args: &Args) -> i32 {
     let angle: f64 = args.num_or("angle", 25.0);
     let config = SystemConfig::paper_default().with_rx_at(3.0, angle);
-    let mut array = metaai_mts::array::MtsArray::paper_prototype(
-        config.prototype,
-        config.mts_center,
-    );
+    let mut array =
+        metaai_mts::array::MtsArray::paper_prototype(config.prototype, config.mts_center);
     let link = metaai_mts::channel::MtsLink::new(&array, config.tx, config.rx, config.freq_hz);
     let est = metaai_mts::beamscan::estimate_receiver_angle(
         &mut array,
@@ -329,7 +339,10 @@ pub fn wdd(args: &Args) -> i32 {
     }
     let cfg = metaai_mts::wdd::WddConfig::default();
     let seed: u64 = args.num_or("seed", 42);
-    println!("WDD (ε = {}, {} samples per point):", cfg.epsilon, cfg.samples);
+    println!(
+        "WDD (ε = {}, {} samples per point):",
+        cfg.epsilon, cfg.samples
+    );
     for (m, w) in metaai_mts::wdd::wdd_sweep(&atoms, &cfg, seed) {
         println!("  M = {m:<5} WDD = {w:.3}");
     }
@@ -343,7 +356,10 @@ mod tests {
     #[test]
     fn dataset_names_parse() {
         assert_eq!(parse_dataset("MNIST").expect("ok"), DatasetId::Mnist);
-        assert_eq!(parse_dataset("fruits-360").expect("ok"), DatasetId::Fruits360);
+        assert_eq!(
+            parse_dataset("fruits-360").expect("ok"),
+            DatasetId::Fruits360
+        );
         assert!(parse_dataset("imagenet").is_err());
     }
 
@@ -401,9 +417,7 @@ mod tests {
 
     #[test]
     fn scan_command_runs() {
-        let args = crate::args::Args::parse(
-            "scan --angle 20".split_whitespace().map(String::from),
-        );
+        let args = crate::args::Args::parse("scan --angle 20".split_whitespace().map(String::from));
         assert_eq!(scan(&args), 0);
     }
 }

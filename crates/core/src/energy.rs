@@ -209,11 +209,31 @@ mod tests {
         let k = DeviceConstants::default();
         let c = ControlModel::default();
         vec![
-            (Platform::Cpu, Model::ResNet18, estimate(Platform::Cpu, Model::ResNet18, w, &k, &c)),
-            (Platform::Cpu, Model::Lnn, estimate(Platform::Cpu, Model::Lnn, w, &k, &c)),
-            (Platform::Gpu, Model::ResNet18, estimate(Platform::Gpu, Model::ResNet18, w, &k, &c)),
-            (Platform::Gpu, Model::Lnn, estimate(Platform::Gpu, Model::Lnn, w, &k, &c)),
-            (Platform::MetaAi, Model::Lnn, estimate(Platform::MetaAi, Model::Lnn, w, &k, &c)),
+            (
+                Platform::Cpu,
+                Model::ResNet18,
+                estimate(Platform::Cpu, Model::ResNet18, w, &k, &c),
+            ),
+            (
+                Platform::Cpu,
+                Model::Lnn,
+                estimate(Platform::Cpu, Model::Lnn, w, &k, &c),
+            ),
+            (
+                Platform::Gpu,
+                Model::ResNet18,
+                estimate(Platform::Gpu, Model::ResNet18, w, &k, &c),
+            ),
+            (
+                Platform::Gpu,
+                Model::Lnn,
+                estimate(Platform::Gpu, Model::Lnn, w, &k, &c),
+            ),
+            (
+                Platform::MetaAi,
+                Model::Lnn,
+                estimate(Platform::MetaAi, Model::Lnn, w, &k, &c),
+            ),
         ]
     }
 
@@ -222,12 +242,24 @@ mod tests {
         let rows = all_rows(&Workload::mnist());
         // CPU ResNet: 7.867 ms total, 228.23 mJ.
         let cpu_resnet = &rows[0].2;
-        assert!((cpu_resnet.total_s - 7.867e-3).abs() < 0.05e-3, "{}", cpu_resnet.total_s);
+        assert!(
+            (cpu_resnet.total_s - 7.867e-3).abs() < 0.05e-3,
+            "{}",
+            cpu_resnet.total_s
+        );
         assert!((cpu_resnet.total_j - 228.23e-3).abs() < 1e-3);
         // MetaAI: 1.581 ms total, ≈ 10.9 mJ.
         let metaai = &rows[4].2;
-        assert!((metaai.total_s - 1.581e-3).abs() < 0.05e-3, "{}", metaai.total_s);
-        assert!((metaai.total_j - 10.92e-3).abs() < 1.0e-3, "{}", metaai.total_j);
+        assert!(
+            (metaai.total_s - 1.581e-3).abs() < 0.05e-3,
+            "{}",
+            metaai.total_s
+        );
+        assert!(
+            (metaai.total_j - 10.92e-3).abs() < 1.0e-3,
+            "{}",
+            metaai.total_j
+        );
     }
 
     #[test]
@@ -267,7 +299,11 @@ mod tests {
         let rows = all_rows(&Workload::afhq());
         // MetaAI: 2.71 ms total (3 classes × 0.901 ms + argmax).
         let metaai = &rows[4].2;
-        assert!((metaai.total_s - 2.71e-3).abs() < 0.05e-3, "{}", metaai.total_s);
+        assert!(
+            (metaai.total_s - 2.71e-3).abs() < 0.05e-3,
+            "{}",
+            metaai.total_s
+        );
         // CPU ResNet heavier than MNIST's.
         assert!(rows[0].2.total_s > 15e-3);
     }

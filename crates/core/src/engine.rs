@@ -1,0 +1,570 @@
+//! The batched over-the-air inference engine — the single code path for
+//! every OTA prediction in the workspace.
+//!
+//! [`OtaReceiver::accumulate`](crate::ota::OtaReceiver::accumulate) is the
+//! readable per-chip reference model of Eqn 3; this module is the
+//! production implementation of the same physics, built for throughput:
+//!
+//! * **Counter-based RNG streams.** Each sample `i` of a batch draws from
+//!   [`SimRng::derive_indexed`]`(seed, stream, i)` — no `format!`-keyed
+//!   hashing per sample, and any sample's stream can be reconstructed
+//!   independently, which is what makes batching bit-reproducible.
+//! * **Index-based cyclic shift.** The residual sync error is applied by
+//!   index arithmetic on the input slice instead of materializing a
+//!   shifted `CVec` per output row (the legacy path allocated and copied
+//!   `R` shifted vectors per sample).
+//! * **Shared per-symbol weight chips.** The effective weight
+//!   `h = H[r,i] · mts_factor[i]` is computed once per symbol and both
+//!   chip polarities derive from it through [`chip_signal`]; the traced
+//!   and untraced paths call the *same* function, so they cannot drift.
+//! * **Aggregated receiver noise.** The legacy path drew one complex
+//!   Gaussian per chip. Noise enters the accumulation additively, and a
+//!   sum of `k` independent `CN(0, σ²)` draws is exactly one
+//!   `CN(0, k·σ²)` draw — so the engine draws a single row-level noise
+//!   sample of the summed variance. The score distribution is identical;
+//!   the per-row cost drops from `2U` Gaussian pairs to one. (Trace mode
+//!   still resolves noise per chip, since it reports chip-level values.)
+//! * **Batch parallelism.** Batches are processed in chunks under rayon,
+//!   each worker reusing a scratch score buffer. Because every sample owns
+//!   a counter-derived RNG, results are bitwise independent of the worker
+//!   count (`RAYON_NUM_THREADS=1` and the default produce identical
+//!   output).
+//!
+//! The engine is reached through [`MetaAiSystem`](crate::pipeline::MetaAiSystem)
+//! (`run`, `run_batch`, `ota_accuracy*`) or directly via [`OtaEngine`] when
+//! only a channel matrix is at hand.
+
+use crate::ota::OtaConditions;
+use crate::trace::{InferenceTrace, TraceRow};
+use metaai_math::rng::SimRng;
+use metaai_math::stats::argmax;
+use metaai_math::{CMat, CVec, C64};
+use metaai_phy::shaping;
+use rayon::prelude::*;
+
+/// Samples per worker chunk in batch processing. Small enough to balance
+/// uneven worker speeds, large enough to amortize per-chunk scratch.
+const BATCH_CHUNK: usize = 32;
+
+/// One inference to run: the input symbols, the channel conditions during
+/// the transmission, and whether to record a chip-level trace.
+#[derive(Clone, Debug)]
+pub struct InferenceRequest<'a> {
+    /// Transmitted symbol vector (one symbol per deployed weight column).
+    pub input: &'a CVec,
+    /// Channel conditions during this transmission.
+    pub conditions: OtaConditions,
+    /// Record a per-symbol [`InferenceTrace`] (requires cancellation).
+    pub trace: bool,
+}
+
+impl<'a> InferenceRequest<'a> {
+    /// A plain (untraced) inference request.
+    pub fn new(input: &'a CVec, conditions: OtaConditions) -> Self {
+        InferenceRequest {
+            input,
+            conditions,
+            trace: false,
+        }
+    }
+
+    /// Requests a chip-level trace of the transmission.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+}
+
+/// The result of one inference.
+#[derive(Clone, Debug)]
+pub struct InferenceOutcome {
+    /// Receiver-side class scores `y_r = |Σ_i H_r(t_i)·x_i|`.
+    pub scores: Vec<f64>,
+    /// `argmax` of the scores.
+    pub predicted: usize,
+    /// Chip-level trace, when requested.
+    pub trace: Option<InferenceTrace>,
+}
+
+/// The signal part of one received chip: the environmental path plus the
+/// (polarity-flipped) MTS weight, times the shaped chip.
+///
+/// Both the untraced scoring kernel and the trace recorder go through this
+/// one function — the single definition of the chip-level physics.
+#[inline]
+fn chip_signal(h: C64, he: C64, xi: C64, slot: usize) -> C64 {
+    (he + shaping::weight_chip(h, slot)) * shaping::shape_chip(xi, slot)
+}
+
+/// One symbol's signal contribution to the accumulator (noise excluded).
+#[inline]
+fn symbol_signal(h: C64, he: C64, xi: C64, cancellation: bool) -> C64 {
+    if cancellation {
+        let mut sum = C64::ZERO;
+        for slot in 0..shaping::SLOTS_PER_SYMBOL {
+            sum += chip_signal(h, he, xi, slot);
+        }
+        sum
+    } else {
+        (he + h) * xi
+    }
+}
+
+/// Number of per-chip noise draws the reference receiver would make for
+/// one output row — the aggregation factor for the engine's single draw.
+#[inline]
+fn noise_draws_per_row(n_symbols: usize, cancellation: bool) -> usize {
+    if cancellation {
+        n_symbols * shaping::SLOTS_PER_SYMBOL
+    } else {
+        n_symbols
+    }
+}
+
+/// A batched, scratch-reusing OTA inference engine over one deployed
+/// channel matrix `H[r, i]`.
+pub struct OtaEngine<'a> {
+    channels: &'a CMat,
+}
+
+impl<'a> OtaEngine<'a> {
+    /// Wraps a realized channel matrix.
+    pub fn new(channels: &'a CMat) -> Self {
+        OtaEngine { channels }
+    }
+
+    /// Number of output classes (`R`).
+    pub fn num_outputs(&self) -> usize {
+        self.channels.rows()
+    }
+
+    /// Number of symbols per transmission (`U`).
+    pub fn num_symbols(&self) -> usize {
+        self.channels.cols()
+    }
+
+    fn check_shapes(&self, x: &CVec, cond: &OtaConditions) {
+        assert_eq!(self.channels.cols(), x.len(), "one channel per symbol");
+        assert_eq!(cond.len(), x.len(), "conditions must cover all symbols");
+    }
+
+    /// Computes class scores for one input, appending into `out` (cleared
+    /// first) so batch workers can reuse one allocation.
+    pub fn scores_into(
+        &self,
+        x: &CVec,
+        cond: &OtaConditions,
+        rng: &mut SimRng,
+        out: &mut Vec<f64>,
+    ) {
+        self.check_shapes(x, cond);
+        let u = x.len();
+        let shift = if u == 0 {
+            0
+        } else {
+            cond.sync_shift.rem_euclid(u as isize) as usize
+        };
+        let xs = x.as_slice();
+        let noise_var = cond.awgn.variance * noise_draws_per_row(u, cond.cancellation) as f64;
+
+        out.clear();
+        out.reserve(self.channels.rows());
+        for r in 0..self.channels.rows() {
+            let h_row = self.channels.row(r);
+            let mut acc = C64::ZERO;
+            for (i, &hri) in h_row.iter().enumerate() {
+                // Index-based cyclic shift: xs[(i + shift) mod u] without
+                // materializing a shifted copy per row.
+                let j = i + shift;
+                let j = if j >= u { j - u } else { j };
+                let h = hri * cond.mts_factor[i];
+                let he = cond.env.gain_at(i);
+                acc += symbol_signal(h, he, xs[j], cond.cancellation);
+            }
+            if noise_var > 0.0 {
+                acc += rng.complex_gaussian(noise_var);
+            }
+            out.push(acc.abs());
+        }
+    }
+
+    /// Class scores for one input.
+    pub fn scores(&self, x: &CVec, cond: &OtaConditions, rng: &mut SimRng) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.channels.rows());
+        self.scores_into(x, cond, rng, &mut out);
+        out
+    }
+
+    /// Classifies one input.
+    pub fn predict(&self, x: &CVec, cond: &OtaConditions, rng: &mut SimRng) -> usize {
+        let mut out = Vec::with_capacity(self.channels.rows());
+        self.scores_into(x, cond, rng, &mut out);
+        argmax(&out)
+    }
+
+    /// One traced inference: every chip and accumulator state recorded.
+    ///
+    /// The signal arithmetic is [`chip_signal`] — shared with the scoring
+    /// kernel, so traced and untraced scores are bitwise identical in the
+    /// noiseless case. Receiver noise, when enabled, is resolved per chip
+    /// here (the trace reports chip-level values) while the scoring kernel
+    /// draws the distributionally identical row-level aggregate.
+    pub fn traced(&self, x: &CVec, cond: &OtaConditions, rng: &mut SimRng) -> InferenceTrace {
+        assert!(cond.cancellation, "the trace records the chip-level scheme");
+        self.check_shapes(x, cond);
+        let u = x.len();
+        let shift = if u == 0 {
+            0
+        } else {
+            cond.sync_shift.rem_euclid(u as isize) as usize
+        };
+        let xs = x.as_slice();
+        let noisy = cond.awgn.variance > 0.0;
+
+        let r_total = self.channels.rows();
+        let mut rows = Vec::with_capacity(r_total * u);
+        let mut scores = Vec::with_capacity(r_total);
+        for r in 0..r_total {
+            let h_row = self.channels.row(r);
+            let mut acc = C64::ZERO;
+            for (i, &hri) in h_row.iter().enumerate() {
+                let j = i + shift;
+                let j = if j >= u { j - u } else { j };
+                let xi = xs[j];
+                let h = hri * cond.mts_factor[i];
+                let he = cond.env.gain_at(i);
+                let mut chips = [C64::ZERO; shaping::SLOTS_PER_SYMBOL];
+                let mut sum = C64::ZERO;
+                for (slot, chip_out) in chips.iter_mut().enumerate() {
+                    let mut y = chip_signal(h, he, xi, slot);
+                    if noisy {
+                        y += cond.awgn.sample(rng);
+                    }
+                    *chip_out = y;
+                    sum += y;
+                }
+                acc += sum;
+                rows.push(TraceRow {
+                    output: r,
+                    symbol: i,
+                    x: xi,
+                    weight: h,
+                    env: he,
+                    chips,
+                    accumulator: acc,
+                });
+            }
+            scores.push(acc.abs());
+        }
+
+        let predicted = argmax(&scores);
+        InferenceTrace {
+            rows,
+            scores,
+            predicted,
+        }
+    }
+
+    /// Runs one request with an explicit RNG.
+    pub fn run(&self, request: &InferenceRequest<'_>, rng: &mut SimRng) -> InferenceOutcome {
+        if request.trace {
+            let trace = self.traced(request.input, &request.conditions, rng);
+            InferenceOutcome {
+                scores: trace.scores.clone(),
+                predicted: trace.predicted,
+                trace: Some(trace),
+            }
+        } else {
+            let scores = self.scores(request.input, &request.conditions, rng);
+            InferenceOutcome {
+                predicted: argmax(&scores),
+                scores,
+                trace: None,
+            }
+        }
+    }
+
+    /// Runs a batch of requests in parallel. Request `i` draws from the
+    /// counter-derived stream `derive_indexed(seed, stream, i)`, so the
+    /// result is bitwise independent of the worker count.
+    pub fn run_batch(
+        &self,
+        requests: &[InferenceRequest<'_>],
+        seed: u64,
+        stream: u64,
+    ) -> Vec<InferenceOutcome> {
+        self.chunked(requests.len(), |i| {
+            let mut rng = SimRng::derive_indexed(seed, stream, i as u64);
+            self.run(&requests[i], &mut rng)
+        })
+    }
+
+    /// Runs a batch of inputs under per-sample conditions built by
+    /// `make_cond` (called first on each sample's derived RNG, exactly as
+    /// the scalar path would).
+    pub fn batch_with<F>(
+        &self,
+        inputs: &[CVec],
+        seed: u64,
+        stream: u64,
+        make_cond: F,
+    ) -> Vec<InferenceOutcome>
+    where
+        F: Fn(&mut SimRng) -> OtaConditions + Sync,
+    {
+        self.chunked(inputs.len(), |i| {
+            let mut rng = SimRng::derive_indexed(seed, stream, i as u64);
+            let cond = make_cond(&mut rng);
+            let scores = self.scores(&inputs[i], &cond, &mut rng);
+            InferenceOutcome {
+                predicted: argmax(&scores),
+                scores,
+                trace: None,
+            }
+        })
+    }
+
+    /// Batch classification only — the accuracy hot path. Each worker
+    /// reuses one score buffer across its whole chunk, so the per-sample
+    /// cost is pure arithmetic (no allocation at all).
+    pub fn batch_predict_with<F>(
+        &self,
+        inputs: &[CVec],
+        seed: u64,
+        stream: u64,
+        make_cond: F,
+    ) -> Vec<usize>
+    where
+        F: Fn(&mut SimRng) -> OtaConditions + Sync,
+    {
+        let n = inputs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let nested: Vec<Vec<usize>> = (0..n.div_ceil(BATCH_CHUNK))
+            .into_par_iter()
+            .map(|c| {
+                let lo = c * BATCH_CHUNK;
+                let hi = ((c + 1) * BATCH_CHUNK).min(n);
+                let mut scratch = Vec::with_capacity(self.channels.rows());
+                (lo..hi)
+                    .map(|i| {
+                        let mut rng = SimRng::derive_indexed(seed, stream, i as u64);
+                        let cond = make_cond(&mut rng);
+                        self.scores_into(&inputs[i], &cond, &mut rng, &mut scratch);
+                        argmax(&scratch)
+                    })
+                    .collect()
+            })
+            .collect();
+        nested.into_iter().flatten().collect()
+    }
+
+    /// Order-preserving chunked parallel map over `0..n`.
+    fn chunked<T, F>(&self, n: usize, per_item: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        let nested: Vec<Vec<T>> = (0..n.div_ceil(BATCH_CHUNK))
+            .into_par_iter()
+            .map(|c| {
+                let lo = c * BATCH_CHUNK;
+                let hi = ((c + 1) * BATCH_CHUNK).min(n);
+                (lo..hi).map(&per_item).collect()
+            })
+            .collect();
+        nested.into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ota::OtaReceiver;
+    use metaai_rf::environment::EnvChannel;
+    use metaai_rf::noise::Awgn;
+
+    fn setup(rows: usize, u: usize, seed: u64) -> (CMat, Vec<CVec>) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let h = CMat::from_fn(rows, u, |_, _| rng.complex_gaussian(1.0));
+        let inputs = (0..6)
+            .map(|_| CVec::from_fn(u, |_| rng.complex_gaussian(1.0)))
+            .collect();
+        (h, inputs)
+    }
+
+    fn busy_conditions(u: usize, seed: u64, noisy: bool) -> OtaConditions {
+        let mut rng = SimRng::seed_from_u64(seed);
+        OtaConditions {
+            env: EnvChannel::constant(rng.complex_gaussian(0.5), u),
+            mts_factor: (0..u).map(|_| 0.5 + rng.uniform()).collect(),
+            awgn: Awgn {
+                variance: if noisy { 0.02 } else { 0.0 },
+            },
+            sync_shift: -3,
+            cancellation: true,
+        }
+    }
+
+    #[test]
+    fn noiseless_scores_match_the_reference_accumulator_exactly() {
+        let (h, inputs) = setup(4, 9, 1);
+        let cond = busy_conditions(9, 2, false);
+        let engine = OtaEngine::new(&h);
+        for x in &inputs {
+            let mut rng = SimRng::seed_from_u64(3);
+            let fast = engine.scores(x, &cond, &mut rng);
+            for (r, s) in fast.iter().enumerate() {
+                let mut rr = SimRng::seed_from_u64(3);
+                let reference = OtaReceiver::accumulate(h.row(r), x, &cond, &mut rr).abs();
+                assert!(
+                    (s - reference).abs() < 1e-12,
+                    "row {r}: engine {s} vs reference {reference}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_scalar_bitwise() {
+        let (h, inputs) = setup(3, 12, 4);
+        let cond = busy_conditions(12, 5, true);
+        let engine = OtaEngine::new(&h);
+        let stream = SimRng::stream_id("test-batch");
+        let outcomes = engine.batch_with(&inputs, 7, stream, |_| cond.clone());
+        assert_eq!(outcomes.len(), inputs.len());
+        for (i, o) in outcomes.iter().enumerate() {
+            let mut rng = SimRng::derive_indexed(7, stream, i as u64);
+            let scalar = engine.scores(&inputs[i], &cond, &mut rng);
+            assert_eq!(o.scores.len(), scalar.len());
+            for (a, b) in o.scores.iter().zip(&scalar) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            assert_eq!(o.predicted, argmax(&scalar));
+        }
+    }
+
+    #[test]
+    fn aggregated_noise_has_the_reference_variance() {
+        // The engine's one-draw row noise must have the same distribution
+        // as the reference's per-chip draws: compare score variances over
+        // many trials on a zero channel (scores are then pure noise).
+        let h = CMat::zeros(1, 16);
+        let x = CVec::from_fn(16, |_| C64::ZERO);
+        let mut cond = OtaConditions::ideal(16);
+        cond.awgn = Awgn { variance: 0.1 };
+        let engine = OtaEngine::new(&h);
+        let trials = 4000;
+        let mean_sq = |f: &mut dyn FnMut(&mut SimRng) -> f64| -> f64 {
+            (0..trials)
+                .map(|i| {
+                    let mut rng = SimRng::derive_indexed(11, 22, i as u64);
+                    let v = f(&mut rng);
+                    v * v
+                })
+                .sum::<f64>()
+                / trials as f64
+        };
+        let engine_power = mean_sq(&mut |rng| engine.scores(&x, &cond, rng)[0]);
+        let reference_power =
+            mean_sq(&mut |rng| OtaReceiver::accumulate(h.row(0), &x, &cond, rng).abs());
+        // Both should be 2U·σ² = 3.2; allow sampling error.
+        let expected = 0.1 * 32.0;
+        assert!(
+            (engine_power - expected).abs() < 0.15 * expected,
+            "engine noise power {engine_power} vs {expected}"
+        );
+        assert!(
+            (reference_power - expected).abs() < 0.15 * expected,
+            "reference noise power {reference_power} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn trace_mode_matches_untraced_bitwise_without_noise() {
+        let (h, inputs) = setup(3, 7, 6);
+        let cond = busy_conditions(7, 7, false);
+        let engine = OtaEngine::new(&h);
+        let mut r1 = SimRng::seed_from_u64(8);
+        let mut r2 = SimRng::seed_from_u64(8);
+        let trace = engine.traced(&inputs[0], &cond, &mut r1);
+        let scores = engine.scores(&inputs[0], &cond, &mut r2);
+        for (a, b) in trace.scores.iter().zip(&scores) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(trace.rows.len(), 3 * 7);
+    }
+
+    #[test]
+    fn run_honours_the_trace_flag() {
+        let (h, inputs) = setup(2, 5, 9);
+        let cond = OtaConditions::ideal(5);
+        let engine = OtaEngine::new(&h);
+        let mut rng = SimRng::seed_from_u64(1);
+        let plain = engine.run(&InferenceRequest::new(&inputs[0], cond.clone()), &mut rng);
+        assert!(plain.trace.is_none());
+        let mut rng = SimRng::seed_from_u64(1);
+        let traced = engine.run(
+            &InferenceRequest::new(&inputs[0], cond).with_trace(),
+            &mut rng,
+        );
+        let trace = traced.trace.expect("trace requested");
+        assert_eq!(trace.scores, traced.scores);
+        assert_eq!(plain.predicted, traced.predicted);
+    }
+
+    #[test]
+    fn run_batch_handles_mixed_trace_requests() {
+        let (h, inputs) = setup(2, 6, 10);
+        let cond = OtaConditions::ideal(6);
+        let engine = OtaEngine::new(&h);
+        let requests: Vec<InferenceRequest<'_>> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| {
+                let req = InferenceRequest::new(x, cond.clone());
+                if i % 2 == 0 {
+                    req.with_trace()
+                } else {
+                    req
+                }
+            })
+            .collect();
+        let outcomes = engine.run_batch(&requests, 3, 4);
+        assert_eq!(outcomes.len(), requests.len());
+        for (i, o) in outcomes.iter().enumerate() {
+            assert_eq!(o.trace.is_some(), i % 2 == 0);
+            assert_eq!(o.predicted, argmax(&o.scores));
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let (h, _) = setup(2, 4, 11);
+        let engine = OtaEngine::new(&h);
+        assert!(engine
+            .batch_with(&[], 1, 2, |_| OtaConditions::ideal(4))
+            .is_empty());
+        assert!(engine
+            .batch_predict_with(&[], 1, 2, |_| OtaConditions::ideal(4))
+            .is_empty());
+    }
+
+    #[test]
+    fn predictions_agree_between_batch_apis() {
+        let (h, inputs) = setup(5, 10, 12);
+        let engine = OtaEngine::new(&h);
+        let make = |rng: &mut SimRng| {
+            let mut cond = busy_conditions(10, 13, true);
+            cond.sync_shift = rng.below(10) as isize;
+            cond
+        };
+        let full = engine.batch_with(&inputs, 5, 6, make);
+        let preds = engine.batch_predict_with(&inputs, 5, 6, make);
+        assert_eq!(full.iter().map(|o| o.predicted).collect::<Vec<_>>(), preds);
+    }
+}

@@ -16,8 +16,8 @@
 //!    trajectory, accounting for the recalibration dead time.
 
 use crate::config::SystemConfig;
+use crate::engine::OtaEngine;
 use crate::mobility::MobilityModel;
-use crate::ota::OtaReceiver;
 use crate::pipeline::{redeploy, MetaAiSystem};
 use metaai_math::rng::SimRng;
 use metaai_math::CVec;
@@ -182,7 +182,7 @@ pub fn track(
         let i = k % test.len();
         let x: &CVec = &test.inputs[i];
         let cond = current.default_conditions(x.len(), &mut rng);
-        let scores = OtaReceiver::scores(&live_channels, x, &cond, &mut rng);
+        let scores = OtaEngine::new(&live_channels).scores(x, &cond, &mut rng);
         let margin = FeedbackMonitor::margin(&scores);
         let correct = metaai_math::stats::argmax(&scores) == test.labels[i];
 
@@ -227,10 +227,7 @@ pub fn track(
     }
 
     let decided: Vec<&TrackStep> = steps.iter().filter(|s| s.correct.is_some()).collect();
-    let correct = decided
-        .iter()
-        .filter(|s| s.correct == Some(true))
-        .count();
+    let correct = decided.iter().filter(|s| s.correct == Some(true)).count();
     TrackReport {
         recalibrations,
         accuracy: if decided.is_empty() {
@@ -280,12 +277,8 @@ mod tests {
     #[test]
     fn beacon_power_peaks_at_the_calibrated_position() {
         let cfg = SystemConfig::paper_default();
-        let mut array = metaai_mts::array::MtsArray::paper_prototype(
-            cfg.prototype,
-            cfg.mts_center,
-        );
-        let on_target =
-            beacon_power(&mut array, cfg.tx, cfg.rx, cfg.rx, cfg.freq_hz);
+        let mut array = metaai_mts::array::MtsArray::paper_prototype(cfg.prototype, cfg.mts_center);
+        let on_target = beacon_power(&mut array, cfg.tx, cfg.rx, cfg.rx, cfg.freq_hz);
         let off = place_at(cfg.mts_center, 3.0, deg_to_rad(90.0 - 15.0), 1.1);
         let off_target = beacon_power(&mut array, cfg.tx, cfg.rx, off, cfg.freq_hz);
         assert!(
@@ -344,6 +337,9 @@ mod tests {
             .take(4)
             .filter(|s| s.correct == Some(true))
             .count();
-        assert!(tail_correct >= 2, "post-recalibration accuracy not restored");
+        assert!(
+            tail_correct >= 2,
+            "post-recalibration accuracy not restored"
+        );
     }
 }

@@ -59,6 +59,26 @@ pub fn segment_offsets(views: &[ComplexDataset], n_sensors: usize) -> Vec<usize>
     offsets
 }
 
+/// Runs one fused inference: the sensors transmit their segments in turn
+/// (time division) and the receiver accumulates across all of them — the
+/// over-the-air realization of Eqn 11. `segments` are the per-sensor symbol
+/// vectors, in deployment order; their concatenation must match the fused
+/// system's input length.
+pub fn infer_fused(
+    system: &crate::pipeline::MetaAiSystem,
+    segments: &[&CVec],
+    conditions: crate::ota::OtaConditions,
+    rng: &mut metaai_math::rng::SimRng,
+) -> crate::engine::InferenceOutcome {
+    let mut combined = Vec::new();
+    for seg in segments {
+        combined.extend_from_slice(seg.as_slice());
+    }
+    let fused = CVec::from_vec(combined);
+    let request = crate::engine::InferenceRequest::new(&fused, conditions);
+    system.run(&request, rng)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,5 +130,36 @@ mod tests {
         let mut b = view(2, 4, 2.0);
         b.labels[0] = 1 - b.labels[0];
         fuse_views(&[a, b], 2);
+    }
+
+    #[test]
+    fn fused_inference_matches_direct_concatenation() {
+        use crate::ota::OtaConditions;
+        use metaai_math::rng::SimRng;
+        use metaai_nn::train::{toy_problem, TrainConfig};
+
+        let views = [view(6, 8, 1.0), view(6, 8, 2.0)];
+        let fused_data = fuse_views(&views, 2);
+        let train = toy_problem(2, fused_data.input_len(), 30, 0.3, 60, 160);
+        let system = crate::pipeline::MetaAiSystem::builder()
+            .config(crate::config::SystemConfig::paper_default())
+            .train_and_deploy(
+                &train,
+                &TrainConfig {
+                    epochs: 5,
+                    ..TrainConfig::default()
+                },
+            );
+
+        let cond = OtaConditions::ideal(fused_data.input_len());
+        let segments = [&views[0].inputs[0], &views[1].inputs[0]];
+        let mut r1 = SimRng::seed_from_u64(1);
+        let outcome = infer_fused(&system, &segments, cond.clone(), &mut r1);
+        let mut r2 = SimRng::seed_from_u64(1);
+        let direct = system
+            .engine()
+            .scores(&fused_data.inputs[0], &cond, &mut r2);
+        assert_eq!(outcome.scores, direct);
+        assert!(outcome.predicted < 2);
     }
 }

@@ -25,6 +25,7 @@
 
 pub mod config;
 pub mod energy;
+pub mod engine;
 pub mod feedback;
 pub mod fusion;
 pub mod mapper;
@@ -36,6 +37,7 @@ pub mod privacy;
 pub mod trace;
 
 pub use config::SystemConfig;
+pub use engine::{InferenceOutcome, InferenceRequest, OtaEngine};
 pub use mapper::{WeightMapper, WeightSchedule};
 pub use ota::{OtaConditions, OtaReceiver};
-pub use pipeline::MetaAiSystem;
+pub use pipeline::{MetaAiSystem, SystemBuilder};

@@ -12,7 +12,7 @@
 //!    achieved complex sums (what the physics will deliver).
 
 use crate::config::SystemConfig;
-use metaai_math::{C64, CMat};
+use metaai_math::{CMat, C64};
 use metaai_mts::array::MtsArray;
 use metaai_mts::atom::PhaseCode;
 use metaai_mts::channel::MtsLink;
@@ -184,10 +184,7 @@ mod tests {
         let sched = m.map(&w, offset);
         let expect = w[(1, 2)] * sched.scale - offset;
         let got = sched.achieved[(1, 2)];
-        assert!(
-            (expect - got).abs() < 2.0,
-            "expected ≈{expect}, got {got}"
-        );
+        assert!((expect - got).abs() < 2.0, "expected ≈{expect}, got {got}");
     }
 
     #[test]

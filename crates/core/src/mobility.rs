@@ -57,8 +57,7 @@ impl MobilityModel {
 /// How stale a schedule becomes when the receiver moves from the solved
 /// position: the fraction of the angular tolerance consumed.
 pub fn staleness(config: &SystemConfig, new_rx_angle_rad: f64, model: &MobilityModel) -> f64 {
-    let old = (config.rx.x - config.mts_center.x)
-        .atan2(config.rx.y - config.mts_center.y);
+    let old = (config.rx.x - config.mts_center.x).atan2(config.rx.y - config.mts_center.y);
     (new_rx_angle_rad - old).abs() / model.angle_tolerance_rad
 }
 

@@ -15,8 +15,7 @@
 //! term without any channel estimation.
 
 use metaai_math::rng::SimRng;
-use metaai_math::stats::argmax;
-use metaai_math::{C64, CMat, CVec};
+use metaai_math::{CMat, CVec, C64};
 use metaai_mts::array::MtsArray;
 use metaai_mts::channel::MtsLink;
 use metaai_phy::shaping;
@@ -103,12 +102,7 @@ pub struct OtaReceiver;
 impl OtaReceiver {
     /// Simulates one transmission computing output `r` with channel row
     /// `h_row`, returning the complex accumulation before magnitude.
-    pub fn accumulate(
-        h_row: &[C64],
-        x: &CVec,
-        cond: &OtaConditions,
-        rng: &mut SimRng,
-    ) -> C64 {
+    pub fn accumulate(h_row: &[C64], x: &CVec, cond: &OtaConditions, rng: &mut SimRng) -> C64 {
         assert_eq!(h_row.len(), x.len(), "one channel per symbol");
         assert_eq!(cond.len(), x.len(), "conditions must cover all symbols");
         // Residual sync error: the weight schedule lags the data; the
@@ -137,15 +131,24 @@ impl OtaReceiver {
 
     /// Runs all `R` sequential transmissions for one input and returns the
     /// class scores `y_r = |…|`.
+    ///
+    /// **Deprecated-in-spirit:** thin shim over
+    /// [`OtaEngine::scores`](crate::engine::OtaEngine::scores), kept for
+    /// source compatibility. New code should construct an
+    /// [`OtaEngine`](crate::engine::OtaEngine) (or go through
+    /// [`MetaAiSystem::run`](crate::pipeline::MetaAiSystem::run)) so batches
+    /// amortize the per-call setup.
     pub fn scores(h: &CMat, x: &CVec, cond: &OtaConditions, rng: &mut SimRng) -> Vec<f64> {
-        (0..h.rows())
-            .map(|r| Self::accumulate(h.row(r), x, cond, rng).abs())
-            .collect()
+        crate::engine::OtaEngine::new(h).scores(x, cond, rng)
     }
 
     /// Classifies one input.
+    ///
+    /// **Deprecated-in-spirit:** thin shim over
+    /// [`OtaEngine::predict`](crate::engine::OtaEngine::predict); see
+    /// [`OtaReceiver::scores`].
     pub fn predict(h: &CMat, x: &CVec, cond: &OtaConditions, rng: &mut SimRng) -> usize {
-        argmax(&Self::scores(h, x, cond, rng))
+        crate::engine::OtaEngine::new(h).predict(x, cond, rng)
     }
 }
 
@@ -217,10 +220,10 @@ mod tests {
         // Compare to the digital network output, up to the global scale
         // (α·σ) and the coherent gain of the chip combining.
         let gain = mapper.link.alpha * sched.scale * shaping::coherent_gain();
-        for r in 0..3 {
+        for (r, &score) in scores.iter().enumerate() {
             let digital = w.row_vec(r).dot(&x).abs() * gain;
-            let rel = (scores[r] - digital).abs() / digital;
-            assert!(rel < 0.05, "output {r}: OTA {} vs digital {digital}", scores[r]);
+            let rel = (score - digital).abs() / digital;
+            assert!(rel < 0.05, "output {r}: OTA {score} vs digital {digital}");
         }
     }
 
@@ -269,7 +272,10 @@ mod tests {
         let with_env = OtaReceiver::accumulate(h.row(0), &x, &cond, &mut r1);
         let mut r2 = SimRng::seed_from_u64(12);
         let without = OtaReceiver::accumulate(h.row(0), &x, &clean, &mut r2);
-        assert!((with_env - without).abs() > 1e-3, "env must leak without the scheme");
+        assert!(
+            (with_env - without).abs() > 1e-3,
+            "env must leak without the scheme"
+        );
     }
 
     #[test]
@@ -302,14 +308,19 @@ mod tests {
         let mut r1 = SimRng::seed_from_u64(18);
         let blocked = OtaReceiver::accumulate(h.row(0), &x, &cond, &mut r1).abs();
         let mut r2 = SimRng::seed_from_u64(18);
-        let clear =
-            OtaReceiver::accumulate(h.row(0), &x, &OtaConditions::ideal(4), &mut r2).abs();
+        let clear = OtaReceiver::accumulate(h.row(0), &x, &OtaConditions::ideal(4), &mut r2).abs();
         assert!((blocked - 0.3 * clear).abs() / clear < 1e-9);
     }
 
     #[test]
     fn signal_power_is_mean_square() {
-        let h = CMat::from_fn(1, 2, |_, c| if c == 0 { C64::real(1.0) } else { C64::real(3.0) });
+        let h = CMat::from_fn(1, 2, |_, c| {
+            if c == 0 {
+                C64::real(1.0)
+            } else {
+                C64::real(3.0)
+            }
+        });
         assert!((signal_power(&h) - 5.0).abs() < 1e-12);
     }
 }

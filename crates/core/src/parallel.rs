@@ -22,10 +22,12 @@
 //!   as `K` grows, matching the paper's trend.
 
 use crate::config::SystemConfig;
+use crate::engine::OtaEngine;
+use crate::ota::OtaConditions;
 use metaai_math::fft::fft;
 use metaai_math::rng::SimRng;
 use metaai_math::stats::argmax;
-use metaai_math::{C64, CMat, CVec};
+use metaai_math::{CMat, CVec, C64};
 use metaai_mts::array::MtsArray;
 use metaai_mts::atom::PhaseCode;
 use metaai_mts::channel::MtsLink;
@@ -90,10 +92,7 @@ impl AntennaParallel {
             .iter()
             .map(|&rx| MtsLink::new(array, config.tx, rx, config.freq_hz))
             .collect();
-        let solver = WeightSolver::joint(
-            links.iter().map(|l| l.path_phasors.clone()).collect(),
-            2,
-        );
+        let solver = WeightSolver::joint(links.iter().map(|l| l.path_phasors.clone()).collect(), 2);
         // Per-antenna weight scale: each class row uses its antenna's full
         // reachable range; the receiver undoes the scales digitally.
         let sigmas: Vec<f64> = (0..r)
@@ -105,17 +104,13 @@ impl AntennaParallel {
                 config.kappa * solver.reachable_radius(l) / row_max
             })
             .collect();
-        let rx_gains: Vec<f64> = (0..r)
-            .map(|l| 1.0 / (sigmas[l] * links[l].alpha))
-            .collect();
+        let rx_gains: Vec<f64> = (0..r).map(|l| 1.0 / (sigmas[l] * links[l].alpha)).collect();
 
         // Joint solve per input symbol.
         let results: Vec<(Vec<PhaseCode>, Vec<C64>, f64)> = (0..u)
             .into_par_iter()
             .map(|i| {
-                let targets: Vec<C64> = (0..r)
-                    .map(|l| net.weights[(l, i)] * sigmas[l])
-                    .collect();
+                let targets: Vec<C64> = (0..r).map(|l| net.weights[(l, i)] * sigmas[l]).collect();
                 let res = solver.solve(&targets);
                 (res.codes, res.achieved, res.residual)
             })
@@ -141,37 +136,52 @@ impl AntennaParallel {
         }
     }
 
+    /// Engine conditions for a plain (uncancelled) parallel transmission:
+    /// the antennas see only the programmed channels plus receiver noise.
+    fn conditions(&self, awgn: Awgn, n_symbols: usize) -> OtaConditions {
+        OtaConditions {
+            env: metaai_rf::environment::EnvChannel::silent(n_symbols),
+            mts_factor: vec![1.0; n_symbols],
+            awgn,
+            sync_shift: 0,
+            cancellation: false,
+        }
+    }
+
+    /// Applies the per-antenna calibration gains and decides the class.
+    fn calibrated_argmax(&self, scores: &[f64]) -> usize {
+        let calibrated: Vec<f64> = scores
+            .iter()
+            .zip(&self.rx_gains)
+            .map(|(s, &g)| s * g)
+            .collect();
+        argmax(&calibrated)
+    }
+
     /// One parallel inference: a single transmission, every antenna
     /// accumulating its own category (with independent receiver noise).
     pub fn predict(&self, x: &CVec, awgn: &Awgn, rng: &mut SimRng) -> usize {
-        let r = self.channels.rows();
-        let scores: Vec<f64> = (0..r)
-            .map(|l| {
-                let mut acc = C64::ZERO;
-                for (i, &xi) in x.iter().enumerate() {
-                    acc = acc.mul_add(self.channels[(l, i)], xi);
-                    acc += awgn.sample(rng);
-                }
-                acc.abs() * self.rx_gains[l]
-            })
-            .collect();
-        argmax(&scores)
+        let cond = self.conditions(*awgn, x.len());
+        let scores = OtaEngine::new(&self.channels).scores(x, &cond, rng);
+        self.calibrated_argmax(&scores)
     }
 
     /// Accuracy over a dataset at the given SNR (anchored to the parallel
-    /// channels' own signal power).
+    /// channels' own signal power). Batched through the engine.
     pub fn accuracy(&self, inputs: &[CVec], labels: &[usize], snr_db: f64, seed: u64) -> f64 {
         if inputs.is_empty() {
             return 0.0;
         }
         let power = crate::ota::signal_power(&self.channels);
         let awgn = Awgn::from_snr_db(power, snr_db);
-        let correct: usize = (0..inputs.len())
-            .into_par_iter()
-            .filter(|&i| {
-                let mut rng = SimRng::derive(seed, &format!("ant-parallel-{i}"));
-                self.predict(&inputs[i], &awgn, &mut rng) == labels[i]
-            })
+        let stream = SimRng::stream_id("ant-parallel");
+        let outcomes = OtaEngine::new(&self.channels).batch_with(inputs, seed, stream, |_| {
+            self.conditions(awgn, self.channels.cols())
+        });
+        let correct = outcomes
+            .iter()
+            .zip(labels)
+            .filter(|(o, &l)| self.calibrated_argmax(&o.scores) == l)
             .count();
         correct as f64 / inputs.len() as f64
     }
@@ -212,7 +222,9 @@ impl SubcarrierParallel {
         let a_n: Vec<C64> = (0..n)
             .map(|t| {
                 (0..k)
-                    .map(|bin| C64::cis(std::f64::consts::TAU * (bin + 1) as f64 * t as f64 / n as f64))
+                    .map(|bin| {
+                        C64::cis(std::f64::consts::TAU * (bin + 1) as f64 * t as f64 / n as f64)
+                    })
                     .sum::<C64>()
                     / n as f64
             })
@@ -335,10 +347,11 @@ impl SubcarrierParallel {
             .sum::<f64>()
             / (self.slots.len() * self.ofdm.fft_size) as f64;
         let awgn = Awgn::from_snr_db(power, snr_db);
+        let stream = SimRng::stream_id("sub-parallel");
         let correct: usize = (0..inputs.len())
             .into_par_iter()
             .filter(|&i| {
-                let mut rng = SimRng::derive(seed, &format!("sub-parallel-{i}"));
+                let mut rng = SimRng::derive_indexed(seed, stream, i as u64);
                 self.predict(&inputs[i], C64::ZERO, &awgn, &mut rng) == labels[i]
             })
             .count();
@@ -433,7 +446,10 @@ mod tests {
                 agree += 1;
             }
         }
-        assert!(agree >= 8, "clean parallel should track digital: {agree}/10");
+        assert!(
+            agree >= 8,
+            "clean parallel should track digital: {agree}/10"
+        );
         let _ = labels;
     }
 

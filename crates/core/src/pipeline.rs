@@ -2,17 +2,17 @@
 //! air.
 
 use crate::config::SystemConfig;
+use crate::engine::{InferenceOutcome, InferenceRequest, OtaEngine};
 use crate::mapper::{WeightMapper, WeightSchedule};
-use crate::ota::{realize_channels, signal_power, OtaConditions, OtaReceiver};
+use crate::ota::{realize_channels, signal_power, OtaConditions};
 use metaai_math::rng::SimRng;
-use metaai_math::{C64, CMat, CVec};
+use metaai_math::{CMat, CVec, C64};
 use metaai_mts::array::MtsArray;
 use metaai_nn::complex_lnn::ComplexLnn;
 use metaai_nn::data::ComplexDataset;
 use metaai_nn::train::{train_complex, TrainConfig};
 use metaai_rf::environment::{EnvChannel, Environment};
 use metaai_rf::noise::Awgn;
-use rayon::prelude::*;
 
 /// A fully deployed MetaAI installation: the trained digital network, the
 /// metasurface programme realizing it, and the physical channels the
@@ -37,31 +37,68 @@ pub struct MetaAiSystem {
     pub noise_floor: f64,
 }
 
-impl MetaAiSystem {
-    /// Deploys an already-trained network.
-    pub fn from_network(net: ComplexLnn, config: &SystemConfig) -> Self {
-        Self::from_network_with_atoms(net, config, 256)
+/// Staged construction of a [`MetaAiSystem`].
+///
+/// Collects deployment options (which used to be positional arguments of
+/// `from_network_with_atoms`) and finishes with [`deploy`](Self::deploy)
+/// for an already-trained network or
+/// [`train_and_deploy`](Self::train_and_deploy) to train first.
+///
+/// ```no_run
+/// # use metaai::{MetaAiSystem, SystemConfig};
+/// # let net: metaai_nn::complex_lnn::ComplexLnn = unimplemented!();
+/// let system = MetaAiSystem::builder()
+///     .config(SystemConfig::paper_default())
+///     .num_atoms(256)
+///     .deploy(net);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SystemBuilder {
+    config: SystemConfig,
+    num_atoms: usize,
+}
+
+impl Default for SystemBuilder {
+    fn default() -> Self {
+        SystemBuilder {
+            config: SystemConfig::paper_default(),
+            num_atoms: 256,
+        }
+    }
+}
+
+impl SystemBuilder {
+    /// Sets the deployment configuration (default: paper defaults).
+    pub fn config(mut self, config: SystemConfig) -> Self {
+        self.config = config;
+        self
     }
 
-    /// Deploys with an explicit meta-atom count (the Fig 7 sweep).
-    pub fn from_network_with_atoms(
-        net: ComplexLnn,
-        config: &SystemConfig,
-        num_atoms: usize,
-    ) -> Self {
+    /// Sets the meta-atom count (default 256; the Fig 7 sweep varies it).
+    pub fn num_atoms(mut self, num_atoms: usize) -> Self {
+        assert!(num_atoms > 0, "an array needs at least one atom");
+        self.num_atoms = num_atoms;
+        self
+    }
+
+    /// Deploys an already-trained network: builds the array (with seeded
+    /// fabrication phase noise), solves the metasurface schedule, realizes
+    /// the physical channels, and anchors the receiver noise floor at the
+    /// configured SNR.
+    pub fn deploy(self, net: ComplexLnn) -> MetaAiSystem {
+        let config = self.config;
         let mut array =
-            MtsArray::with_atom_count(config.prototype, num_atoms, config.mts_center);
+            MtsArray::with_atom_count(config.prototype, self.num_atoms, config.mts_center);
         if config.atom_phase_noise > 0.0 {
             let mut rng = SimRng::derive(config.seed, "atom-phase-noise");
             array.inject_phase_noise(config.atom_phase_noise, &mut rng);
         }
-        let mapper = WeightMapper::new(config, &array);
+        let mapper = WeightMapper::new(&config, &array);
         let schedule = mapper.map(&net.weights, C64::ZERO);
         let channels = realize_channels(&schedule, &mapper.link, &array);
-        let noise_floor =
-            signal_power(&channels) / metaai_math::stats::from_db(config.snr_db);
+        let noise_floor = signal_power(&channels) / metaai_math::stats::from_db(config.snr_db);
         MetaAiSystem {
-            config: config.clone(),
+            config,
             array,
             mapper,
             net,
@@ -71,10 +108,47 @@ impl MetaAiSystem {
         }
     }
 
+    /// Trains a network on `train` and deploys it.
+    pub fn train_and_deploy(self, train: &ComplexDataset, tcfg: &TrainConfig) -> MetaAiSystem {
+        let net = train_complex(train, tcfg);
+        self.deploy(net)
+    }
+}
+
+impl MetaAiSystem {
+    /// Starts a [`SystemBuilder`] — the primary way to construct a system.
+    pub fn builder() -> SystemBuilder {
+        SystemBuilder::default()
+    }
+
+    /// Deploys an already-trained network.
+    ///
+    /// **Deprecated-in-spirit:** shim over [`MetaAiSystem::builder`], kept
+    /// for source compatibility.
+    pub fn from_network(net: ComplexLnn, config: &SystemConfig) -> Self {
+        Self::builder().config(config.clone()).deploy(net)
+    }
+
+    /// Deploys with an explicit meta-atom count (the Fig 7 sweep).
+    ///
+    /// **Deprecated-in-spirit:** shim over [`MetaAiSystem::builder`] with
+    /// [`SystemBuilder::num_atoms`].
+    pub fn from_network_with_atoms(
+        net: ComplexLnn,
+        config: &SystemConfig,
+        num_atoms: usize,
+    ) -> Self {
+        Self::builder()
+            .config(config.clone())
+            .num_atoms(num_atoms)
+            .deploy(net)
+    }
+
     /// Trains the network on `train` and deploys it.
     pub fn build(train: &ComplexDataset, config: &SystemConfig, tcfg: &TrainConfig) -> Self {
-        let net = train_complex(train, tcfg);
-        MetaAiSystem::from_network(net, config)
+        Self::builder()
+            .config(config.clone())
+            .train_and_deploy(train, tcfg)
     }
 
     /// Accuracy of the digital network ("simulation" column of Table 1).
@@ -107,14 +181,39 @@ impl MetaAiSystem {
         }
     }
 
+    /// The inference engine over this deployment's realized channels.
+    pub fn engine(&self) -> OtaEngine<'_> {
+        OtaEngine::new(&self.channels)
+    }
+
+    /// Runs one inference request (scores, prediction, optional trace).
+    pub fn run(&self, request: &InferenceRequest<'_>, rng: &mut SimRng) -> InferenceOutcome {
+        self.engine().run(request, rng)
+    }
+
+    /// Runs a batch of requests in parallel; request `i` draws from the
+    /// counter-derived stream `(seed, stream, i)`.
+    pub fn run_batch(
+        &self,
+        requests: &[InferenceRequest<'_>],
+        stream: u64,
+    ) -> Vec<InferenceOutcome> {
+        self.engine().run_batch(requests, self.config.seed, stream)
+    }
+
     /// Classifies one input over the air under explicit conditions.
+    ///
+    /// **Deprecated-in-spirit:** shim over the engine
+    /// ([`OtaEngine::predict`]); batch work should go through
+    /// [`MetaAiSystem::run_batch`] or the engine's batch methods.
     pub fn infer(&self, x: &CVec, cond: &OtaConditions, rng: &mut SimRng) -> usize {
-        OtaReceiver::predict(&self.channels, x, cond, rng)
+        self.engine().predict(x, cond, rng)
     }
 
     /// Over-the-air accuracy under per-sample conditions built by
-    /// `make_cond` (called with a sample-derived RNG). Parallel over
-    /// samples; fully deterministic in `label`.
+    /// `make_cond` (called with a sample-derived RNG). Batched through the
+    /// engine; fully deterministic in `label`, independent of the rayon
+    /// worker count.
     pub fn ota_accuracy_with<F>(&self, test: &ComplexDataset, label: &str, make_cond: F) -> f64
     where
         F: Fn(&mut SimRng) -> OtaConditions + Sync,
@@ -122,14 +221,14 @@ impl MetaAiSystem {
         if test.is_empty() {
             return 0.0;
         }
-        let correct: usize = (0..test.len())
-            .into_par_iter()
-            .filter(|&i| {
-                let mut rng =
-                    SimRng::derive(self.config.seed, &format!("ota-{label}-sample-{i}"));
-                let cond = make_cond(&mut rng);
-                self.infer(&test.inputs[i], &cond, &mut rng) == test.labels[i]
-            })
+        let stream = SimRng::stream_id(&format!("ota-{label}"));
+        let predictions =
+            self.engine()
+                .batch_predict_with(&test.inputs, self.config.seed, stream, make_cond);
+        let correct = predictions
+            .iter()
+            .zip(&test.labels)
+            .filter(|(p, l)| p == l)
             .count();
         correct as f64 / test.len() as f64
     }
@@ -143,7 +242,8 @@ impl MetaAiSystem {
 
     /// Relative weight-realization error of the deployed schedule.
     pub fn realization_error(&self) -> f64 {
-        self.mapper.relative_error(&self.net.weights, &self.schedule)
+        self.mapper
+            .relative_error(&self.net.weights, &self.schedule)
     }
 }
 

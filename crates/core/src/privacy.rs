@@ -144,7 +144,11 @@ mod tests {
         let coeffs = random_input(4, 5);
         let x = h.hermitian().matvec(&coeffs);
         let rep = reconstruction_attack(&h, &x).expect("attack runs");
-        assert!(rep.nmse < 1e-9, "row-space input must reconstruct: {}", rep.nmse);
+        assert!(
+            rep.nmse < 1e-9,
+            "row-space input must reconstruct: {}",
+            rep.nmse
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use crate::ota::OtaConditions;
 use metaai_math::rng::SimRng;
-use metaai_math::{C64, CMat, CVec};
+use metaai_math::{CMat, CVec, C64};
 use metaai_phy::shaping;
 use std::io::{self, Write};
 
@@ -46,50 +46,17 @@ pub struct InferenceTrace {
 /// Runs one traced inference — semantically identical to
 /// [`crate::ota::OtaReceiver::scores`] with cancellation enabled, but
 /// recording every intermediate value.
+///
+/// Thin shim over [`OtaEngine::traced`](crate::engine::OtaEngine::traced),
+/// which shares its chip arithmetic with the untraced scoring kernel so
+/// the two can never drift.
 pub fn traced_inference(
     channels: &CMat,
     x: &CVec,
     cond: &OtaConditions,
     rng: &mut SimRng,
 ) -> InferenceTrace {
-    assert!(cond.cancellation, "the trace records the chip-level scheme");
-    assert_eq!(channels.cols(), x.len(), "one channel per symbol");
-    let xs = x.cyclic_shift_signed(cond.sync_shift);
-    let mut rows = Vec::with_capacity(channels.rows() * xs.len());
-    let mut scores = Vec::with_capacity(channels.rows());
-
-    for r in 0..channels.rows() {
-        let mut acc = C64::ZERO;
-        for i in 0..xs.len() {
-            let h = channels[(r, i)] * cond.mts_factor[i];
-            let he = cond.env.gain_at(i);
-            let mut chips = [C64::ZERO; shaping::SLOTS_PER_SYMBOL];
-            for (slot, chip_out) in chips.iter_mut().enumerate() {
-                let chip = shaping::shape_chip(xs[i], slot);
-                let w = shaping::weight_chip(h, slot);
-                let y = (he + w) * chip + cond.awgn.sample(rng);
-                *chip_out = y;
-                acc += y;
-            }
-            rows.push(TraceRow {
-                output: r,
-                symbol: i,
-                x: xs[i],
-                weight: h,
-                env: he,
-                chips,
-                accumulator: acc,
-            });
-        }
-        scores.push(acc.abs());
-    }
-
-    let predicted = metaai_math::stats::argmax(&scores);
-    InferenceTrace {
-        rows,
-        scores,
-        predicted,
-    }
+    crate::engine::OtaEngine::new(channels).traced(x, cond, rng)
 }
 
 /// Writes the trace as CSV.

@@ -121,9 +121,7 @@ fn class_prototypes(spec: &DatasetSpec, rng: &mut SimRng) -> Vec<Vec<Vec<f64>>> 
                             // samples correlated, which is what lets the
                             // magnitude readout tolerate residual sync
                             // error after CDFA training.
-                            128.0
-                                + spec.contrast
-                                    * (0.15 * background[i] + mask[i] * class_pattern)
+                            128.0 + spec.contrast * (0.15 * background[i] + mask[i] * class_pattern)
                         })
                         .collect()
                 })
@@ -132,11 +130,7 @@ fn class_prototypes(spec: &DatasetSpec, rng: &mut SimRng) -> Vec<Vec<Vec<f64>>> 
         .collect()
 }
 
-fn render_sample(
-    spec: &DatasetSpec,
-    prototype: &[f64],
-    rng: &mut SimRng,
-) -> Vec<u8> {
+fn render_sample(spec: &DatasetSpec, prototype: &[f64], rng: &mut SimRng) -> Vec<u8> {
     let deform = smooth_field(spec.width, spec.height, 3, rng);
     prototype
         .iter()

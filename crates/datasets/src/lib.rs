@@ -105,7 +105,11 @@ mod tests {
             assert_eq!(split.train.len(), spec.train_samples, "{id:?}");
             assert_eq!(split.test.len(), spec.test_samples, "{id:?}");
             assert_eq!(split.train.num_classes, spec.classes, "{id:?}");
-            assert!(split.train.samples.iter().all(|s| s.len() == spec.feature_bytes()));
+            assert!(split
+                .train
+                .samples
+                .iter()
+                .all(|s| s.len() == spec.feature_bytes()));
         }
     }
 

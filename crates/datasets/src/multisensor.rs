@@ -202,7 +202,11 @@ pub fn generate_multisensor(id: MultiSensorId, scale: Scale, seed: u64) -> Multi
     let prototypes: Vec<Vec<Vec<f64>>> = (0..spec.classes)
         .map(|_| {
             (0..spec.modes)
-                .map(|_| (0..spec.latent_dim).map(|_| prng.normal(0.0, 1.0)).collect())
+                .map(|_| {
+                    (0..spec.latent_dim)
+                        .map(|_| prng.normal(0.0, 1.0))
+                        .collect()
+                })
                 .collect()
         })
         .collect();
@@ -213,7 +217,13 @@ pub fn generate_multisensor(id: MultiSensorId, scale: Scale, seed: u64) -> Multi
     let mut train_rng = SimRng::derive(seed, &format!("{}-train", spec.id.name()));
     let mut test_rng = SimRng::derive(seed, &format!("{}-test", spec.id.name()));
     MultiSensorSplit {
-        train: generate_partition(&spec, &prototypes, &mixers, spec.train_events, &mut train_rng),
+        train: generate_partition(
+            &spec,
+            &prototypes,
+            &mixers,
+            spec.train_events,
+            &mut train_rng,
+        ),
         test: generate_partition(&spec, &prototypes, &mixers, spec.test_events, &mut test_rng),
     }
 }
@@ -225,11 +235,20 @@ mod tests {
     #[test]
     fn specs_match_paper_counts() {
         let mp = MultiSensorSpec::of(MultiSensorId::MultiPie, Scale::Paper);
-        assert_eq!((mp.classes, mp.sensors, mp.train_events, mp.test_events), (10, 3, 192, 48));
+        assert_eq!(
+            (mp.classes, mp.sensors, mp.train_events, mp.test_events),
+            (10, 3, 192, 48)
+        );
         let rf = MultiSensorSpec::of(MultiSensorId::RfSauron, Scale::Paper);
-        assert_eq!((rf.classes, rf.sensors, rf.train_events, rf.test_events), (10, 3, 2_800, 1_280));
+        assert_eq!(
+            (rf.classes, rf.sensors, rf.train_events, rf.test_events),
+            (10, 3, 2_800, 1_280)
+        );
         let us = MultiSensorSpec::of(MultiSensorId::UscHad, Scale::Paper);
-        assert_eq!((us.classes, us.sensors, us.train_events, us.test_events), (6, 2, 336, 85));
+        assert_eq!(
+            (us.classes, us.sensors, us.train_events, us.test_events),
+            (6, 2, 336, 85)
+        );
     }
 
     #[test]
@@ -244,7 +263,10 @@ mod tests {
     fn sensors_observe_the_same_event_differently() {
         let split = generate_multisensor(MultiSensorId::UscHad, Scale::Quick, 2);
         // Same event, different sensors → different bytes.
-        assert_ne!(split.train.views[0].samples[0], split.train.views[1].samples[0]);
+        assert_ne!(
+            split.train.views[0].samples[0],
+            split.train.views[1].samples[0]
+        );
     }
 
     #[test]

@@ -63,7 +63,11 @@ pub fn generate_series_split(spec: &DatasetSpec, seed: u64) -> BytesSplit {
     let mut prng = SimRng::derive(seed, "widar-templates");
     // `modes` variants per gesture class (different performers).
     let templates: Vec<Vec<Vec<f64>>> = (0..spec.classes)
-        .map(|_| (0..spec.modes).map(|_| gesture_template(spec, &mut prng)).collect())
+        .map(|_| {
+            (0..spec.modes)
+                .map(|_| gesture_template(spec, &mut prng))
+                .collect()
+        })
         .collect();
 
     let gen = |count: usize, label: &str| -> BytesDataset {

@@ -152,13 +152,19 @@ mod tests {
         assert_eq!(m.feature_bytes(), 784);
 
         let a = DatasetSpec::of(DatasetId::Afhq, Scale::Paper);
-        assert_eq!((a.train_samples, a.test_samples, a.classes), (14_630, 1_500, 3));
+        assert_eq!(
+            (a.train_samples, a.test_samples, a.classes),
+            (14_630, 1_500, 3)
+        );
 
         let c = DatasetSpec::of(DatasetId::CelebA, Scale::Paper);
         assert_eq!((c.train_samples, c.test_samples, c.classes), (220, 80, 10));
 
         let w = DatasetSpec::of(DatasetId::Widar3, Scale::Paper);
-        assert_eq!((w.train_samples, w.test_samples, w.classes), (2_700, 300, 6));
+        assert_eq!(
+            (w.train_samples, w.test_samples, w.classes),
+            (2_700, 300, 6)
+        );
     }
 
     #[test]

@@ -133,11 +133,7 @@ impl CMat {
 
     /// Frobenius norm.
     pub fn fro_norm(&self) -> f64 {
-        self.data
-            .iter()
-            .map(|z| z.norm_sq())
-            .sum::<f64>()
-            .sqrt()
+        self.data.iter().map(|z| z.norm_sq()).sum::<f64>().sqrt()
     }
 
     /// Largest element magnitude.
@@ -319,7 +315,12 @@ mod tests {
         let b = a.matvec(&x_true);
         let x = a.solve(&b).expect("non-singular");
         for i in 0..4 {
-            assert!(approx(x[i], x_true[i]), "x[{i}] = {} vs {}", x[i], x_true[i]);
+            assert!(
+                approx(x[i], x_true[i]),
+                "x[{i}] = {} vs {}",
+                x[i],
+                x_true[i]
+            );
         }
     }
 

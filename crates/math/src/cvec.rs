@@ -85,11 +85,7 @@ impl CVec {
 
     /// Euclidean norm `√(Σ |aᵢ|²)`.
     pub fn norm(&self) -> f64 {
-        self.data
-            .iter()
-            .map(|z| z.norm_sq())
-            .sum::<f64>()
-            .sqrt()
+        self.data.iter().map(|z| z.norm_sq()).sum::<f64>().sqrt()
     }
 
     /// Largest element magnitude, or 0 for the empty vector.

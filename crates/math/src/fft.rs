@@ -30,7 +30,10 @@ fn bit_reverse_permute(buf: &mut [C64]) {
 
 fn transform(buf: &mut [C64], inverse: bool) {
     let n = buf.len();
-    assert!(is_power_of_two(n), "FFT size must be a power of two, got {n}");
+    assert!(
+        is_power_of_two(n),
+        "FFT size must be a power of two, got {n}"
+    );
     bit_reverse_permute(buf);
 
     let sign = if inverse { 1.0 } else { -1.0 };
@@ -129,7 +132,9 @@ mod tests {
     #[test]
     fn parseval_energy_conserved() {
         let n = 32;
-        let time: Vec<C64> = (0..n).map(|t| C64::new(t as f64, -(t as f64) / 2.0)).collect();
+        let time: Vec<C64> = (0..n)
+            .map(|t| C64::new(t as f64, -(t as f64) / 2.0))
+            .collect();
         let e_time: f64 = time.iter().map(|z| z.norm_sq()).sum();
         let mut freq = time.clone();
         fft(&mut freq);

@@ -28,12 +28,36 @@ impl SimRng {
     /// Uses SplitMix64 over `seed ⊕ hash(label)` so the same experiment seed
     /// produces uncorrelated dataset/channel/noise streams.
     pub fn derive(seed: u64, label: &str) -> Self {
+        let mut z = seed ^ Self::stream_id(label);
+        z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        SimRng::seed_from_u64(z ^ (z >> 31))
+    }
+
+    /// FNV-1a hash of a stream label. Compute this once *outside* a hot
+    /// loop, then derive per-item generators with
+    /// [`SimRng::derive_indexed`] — together they replace the old
+    /// `derive(seed, &format!("{label}-{i}"))` pattern, which formatted and
+    /// hashed a fresh string per sample.
+    pub fn stream_id(label: &str) -> u64 {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for b in label.bytes() {
             h ^= b as u64;
             h = h.wrapping_mul(0x1000_0000_01b3);
         }
-        let mut z = seed ^ h;
+        h
+    }
+
+    /// Derives the `index`-th generator of stream `stream` under `seed` —
+    /// a counter-based, allocation-free child stream for per-sample use in
+    /// batch loops. The three words are combined with distinct odd
+    /// multipliers and rotations, then finalized SplitMix64-style, so
+    /// neighbouring indices land in uncorrelated states.
+    pub fn derive_indexed(seed: u64, stream: u64, index: u64) -> Self {
+        let mut z = seed
+            ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(23)
+            ^ index.wrapping_mul(0xd1b5_4a32_d192_ed03).rotate_left(47);
         z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -60,7 +84,9 @@ impl SimRng {
 
     /// Standard normal sample.
     pub fn standard_normal(&mut self) -> f64 {
-        Normal::new(0.0, 1.0).expect("valid").sample(&mut self.inner)
+        Normal::new(0.0, 1.0)
+            .expect("valid")
+            .sample(&mut self.inner)
     }
 
     /// Normal sample with the given mean and standard deviation.
@@ -68,7 +94,9 @@ impl SimRng {
         if std <= 0.0 {
             return mean;
         }
-        Normal::new(mean, std).expect("valid normal").sample(&mut self.inner)
+        Normal::new(mean, std)
+            .expect("valid normal")
+            .sample(&mut self.inner)
     }
 
     /// Gamma sample with the given shape and scale.
@@ -137,6 +165,33 @@ mod tests {
     }
 
     #[test]
+    fn indexed_streams_are_deterministic_and_distinct() {
+        let stream = SimRng::stream_id("ota-batch");
+        let mut a = SimRng::derive_indexed(7, stream, 3);
+        let mut b = SimRng::derive_indexed(7, stream, 3);
+        for _ in 0..32 {
+            assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+        }
+        // Neighbouring indices, other streams, and other seeds all diverge.
+        let mut c = SimRng::derive_indexed(7, stream, 4);
+        let mut d = SimRng::derive_indexed(7, SimRng::stream_id("other"), 3);
+        let mut e = SimRng::derive_indexed(8, stream, 3);
+        let first = a.uniform();
+        assert!(first != c.uniform());
+        assert!(first != d.uniform());
+        assert!(first != e.uniform());
+    }
+
+    #[test]
+    fn indexed_streams_do_not_track_each_other() {
+        let stream = SimRng::stream_id("s");
+        let mut a = SimRng::derive_indexed(1, stream, 0);
+        let mut b = SimRng::derive_indexed(1, stream, 1);
+        let same = (0..64).filter(|_| a.uniform() == b.uniform()).count();
+        assert!(same < 2, "indexed streams should be uncorrelated");
+    }
+
+    #[test]
     fn uniform_in_range() {
         let mut rng = SimRng::seed_from_u64(1);
         for _ in 0..1000 {
@@ -177,7 +232,7 @@ mod tests {
     fn permutation_is_a_permutation() {
         let mut rng = SimRng::seed_from_u64(5);
         let p = rng.permutation(100);
-        let mut seen = vec![false; 100];
+        let mut seen = [false; 100];
         for &i in &p {
             assert!(!seen[i]);
             seen[i] = true;

@@ -87,7 +87,7 @@ impl MtsArray {
     pub fn with_atom_count(prototype: Prototype, m: usize, center: Point3) -> Self {
         assert!(m > 0, "array must have atoms");
         let mut rows = (m as f64).sqrt() as usize;
-        while rows > 1 && m % rows != 0 {
+        while rows > 1 && !m.is_multiple_of(rows) {
             rows -= 1;
         }
         MtsArray::with_size(prototype, rows, m / rows, center)
@@ -149,7 +149,7 @@ impl MtsArray {
 
     /// Angle between the array boresight and the direction to `p`, radians.
     pub fn off_boresight_angle(&self, p: Point3) -> f64 {
-        let d = p.sub(self.center).normalized();
+        let d = (p - self.center).normalized();
         d.dot(self.boresight()).clamp(-1.0, 1.0).acos()
     }
 }
@@ -176,10 +176,14 @@ mod tests {
     #[test]
     fn atom_positions_are_centred() {
         let a = MtsArray::paper_prototype(Prototype::DualBand, Point3::new(1.0, 2.0, 3.0));
-        let mean_x: f64 =
-            (0..a.num_atoms()).map(|m| a.atom_position(m).x).sum::<f64>() / a.num_atoms() as f64;
-        let mean_z: f64 =
-            (0..a.num_atoms()).map(|m| a.atom_position(m).z).sum::<f64>() / a.num_atoms() as f64;
+        let mean_x: f64 = (0..a.num_atoms())
+            .map(|m| a.atom_position(m).x)
+            .sum::<f64>()
+            / a.num_atoms() as f64;
+        let mean_z: f64 = (0..a.num_atoms())
+            .map(|m| a.atom_position(m).z)
+            .sum::<f64>()
+            / a.num_atoms() as f64;
         assert!((mean_x - 1.0).abs() < 1e-9);
         assert!((mean_z - 3.0).abs() < 1e-9);
         // All atoms lie in the array plane.

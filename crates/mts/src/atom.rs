@@ -98,7 +98,10 @@ impl MetaAtom {
     /// The complex reflection coefficient this atom applies:
     /// `amplitude · e^{j(φ_state + φ_error)}`.
     pub fn reflection(&self) -> C64 {
-        C64::from_polar(self.amplitude, self.effective_code().phase() + self.phase_error)
+        C64::from_polar(
+            self.amplitude,
+            self.effective_code().phase() + self.phase_error,
+        )
     }
 }
 

@@ -19,7 +19,12 @@ use metaai_rf::pathloss::wavenumber;
 /// transmitter direction toward azimuth `steer_rad` (in the array's
 /// horizontal plane): each atom conjugates its incident phase and adds the
 /// progressive phase of the steered outgoing plane wave.
-pub fn steering_codes(array: &MtsArray, tx: Point3, steer_rad: f64, freq_hz: f64) -> Vec<PhaseCode> {
+pub fn steering_codes(
+    array: &MtsArray,
+    tx: Point3,
+    steer_rad: f64,
+    freq_hz: f64,
+) -> Vec<PhaseCode> {
     let k0 = wavenumber(freq_hz);
     // Outgoing plane-wave direction in the horizontal plane (x–y).
     let dir = Point3::new(steer_rad.sin(), steer_rad.cos(), 0.0);
@@ -29,7 +34,7 @@ pub fn steering_codes(array: &MtsArray, tx: Point3, steer_rad: f64, freq_hz: f64
             let incident = -k0 * tx.distance(p);
             // Phase advance of the outgoing wave at this atom relative to
             // the array centre.
-            let outgoing = -k0 * p.sub(array.center).dot(dir);
+            let outgoing = -k0 * (p - array.center).dot(dir);
             // The atom must cancel the incident phase and impose the
             // outgoing profile.
             PhaseCode::quantize(-(incident) + outgoing, 2)
@@ -103,13 +108,8 @@ mod tests {
         let tx = Point3::new(-0.5, 0.87, 1.1);
         let rx = Point3::new(3.0 * az.sin(), 3.0 * az.cos(), 1.1);
         let link = MtsLink::new(&array, tx, rx, 5.25e9);
-        let est = estimate_receiver_angle(
-            &mut array,
-            &link,
-            deg_to_rad(-60.0),
-            deg_to_rad(60.0),
-            121,
-        );
+        let est =
+            estimate_receiver_angle(&mut array, &link, deg_to_rad(-60.0), deg_to_rad(60.0), 121);
         (est - az).abs() < deg_to_rad(3.0)
     }
 

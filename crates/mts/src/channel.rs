@@ -86,8 +86,8 @@ impl MtsLink {
         let th_out = array.off_boresight_angle(rx);
         let pattern =
             element_pattern(th_in, array.half_fov) * element_pattern(th_out, array.half_fov);
-        let alpha = ATOM_GAIN * lam * lam * pattern
-            / ((4.0 * std::f64::consts::PI).powi(2) * d1 * d2);
+        let alpha =
+            ATOM_GAIN * lam * lam * pattern / ((4.0 * std::f64::consts::PI).powi(2) * d1 * d2);
 
         MtsLink {
             tx,

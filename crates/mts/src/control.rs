@@ -80,7 +80,7 @@ impl ControlModel {
     /// 2 bits per atom) means each group's stream is exactly 32 bits.
     pub fn pattern_bits(&self, codes: &[crate::atom::PhaseCode]) -> Vec<Vec<bool>> {
         assert!(
-            codes.len() % self.groups == 0,
+            codes.len().is_multiple_of(self.groups),
             "atom count {} must divide into {} groups",
             codes.len(),
             self.groups
@@ -197,8 +197,10 @@ mod tests {
     #[test]
     fn pattern_bits_are_msb_first() {
         use crate::atom::PhaseCode;
-        let mut c = ControlModel::default();
-        c.groups = 1;
+        let c = ControlModel {
+            groups: 1,
+            ..ControlModel::default()
+        };
         let groups = c.pattern_bits(&[PhaseCode::two_bit(2)]); // binary 10
         assert_eq!(groups[0], vec![true, false]);
     }

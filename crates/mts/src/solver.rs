@@ -120,7 +120,6 @@ impl WeightSolver {
             self.num_targets(),
             "one target per phasor set"
         );
-        let m = self.num_atoms();
         let k = self.num_targets();
         let n_states = 1usize << self.bits;
         let state_phasors: Vec<C64> = (0..n_states)
@@ -149,14 +148,14 @@ impl WeightSolver {
         for sweep in 0..self.max_sweeps {
             sweeps = sweep + 1;
             let mut changed = false;
-            for atom in 0..m {
+            for (atom, code) in codes.iter_mut().enumerate() {
                 // Remove this atom's contribution from every sum.
-                let current = C64::cis(codes[atom].phase());
-                for t in 0..k {
-                    sums[t] -= self.phasors[t][atom] * current;
+                let current = C64::cis(code.phase());
+                for (t, sum) in sums.iter_mut().enumerate() {
+                    *sum -= self.phasors[t][atom] * current;
                 }
                 // Try every state; keep the one minimizing total error.
-                let mut best_state = codes[atom].index as usize;
+                let mut best_state = code.index as usize;
                 let mut best_err = f64::INFINITY;
                 for (s, &sp) in state_phasors.iter().enumerate() {
                     let err: f64 = (0..k)
@@ -170,13 +169,13 @@ impl WeightSolver {
                         best_state = s;
                     }
                 }
-                if best_state != codes[atom].index as usize {
+                if best_state != code.index as usize {
                     changed = true;
-                    codes[atom] = PhaseCode::new(best_state as u8, self.bits);
+                    *code = PhaseCode::new(best_state as u8, self.bits);
                 }
                 let chosen = state_phasors[best_state];
-                for t in 0..k {
-                    sums[t] += self.phasors[t][atom] * chosen;
+                for (t, sum) in sums.iter_mut().enumerate() {
+                    *sum += self.phasors[t][atom] * chosen;
                 }
             }
             if !changed {
@@ -260,10 +259,7 @@ mod tests {
             let r = solver.reachable_radius(0);
             // With 4 states, each atom contributes at least cos(π/4) ≈ 0.707
             // toward any direction; typically ≈ 0.9.
-            assert!(
-                r > 0.7 * m as f64 && r <= m as f64,
-                "m={m} radius={r}"
-            );
+            assert!(r > 0.7 * m as f64 && r <= m as f64, "m={m} radius={r}");
         }
     }
 

@@ -100,10 +100,7 @@ mod tests {
     fn wdd_increases_with_atom_count() {
         let cfg = quick_cfg();
         let sweep = wdd_sweep(&[16, 64, 256], &cfg, 42);
-        assert!(
-            sweep[0].1 <= sweep[1].1 + 0.1,
-            "16 vs 64 atoms: {sweep:?}"
-        );
+        assert!(sweep[0].1 <= sweep[1].1 + 0.1, "16 vs 64 atoms: {sweep:?}");
         assert!(
             sweep[1].1 <= sweep[2].1 + 0.05,
             "64 vs 256 atoms: {sweep:?}"

@@ -158,9 +158,7 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(2);
         let x = sample(64);
         let aug = Augmentation::cdfa_default();
-        let changed = (0..100)
-            .filter(|_| aug.apply(&x, &mut rng) != x)
-            .count();
+        let changed = (0..100).filter(|_| aug.apply(&x, &mut rng) != x).count();
         assert!((20..80).contains(&changed), "changed {changed}/100");
     }
 
@@ -176,7 +174,10 @@ mod tests {
         };
         let fine_moves = moved(&fine, &mut rng_a);
         let coarse_moves = moved(&coarse, &mut rng_b);
-        assert!(coarse_moves > fine_moves, "coarse {coarse_moves} vs fine {fine_moves}");
+        assert!(
+            coarse_moves > fine_moves,
+            "coarse {coarse_moves} vs fine {fine_moves}"
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@
 
 use crate::loss::{magnitude_ce, MagnitudeCeLoss};
 use metaai_math::rng::SimRng;
-use metaai_math::{C64, CMat, CVec};
+use metaai_math::{CMat, CVec, C64};
 
 /// A single-layer complex linear network.
 #[derive(Clone, Debug)]
@@ -127,7 +127,7 @@ mod tests {
         let pred = net.predict(&x);
         let mut scaled = net.weights.clone();
         for w in scaled.as_mut_slice() {
-            *w = *w * C64::from_polar(3.7, 1.2);
+            *w *= C64::from_polar(3.7, 1.2);
         }
         let net2 = ComplexLnn::from_weights(scaled);
         assert_eq!(net2.predict(&x), pred);

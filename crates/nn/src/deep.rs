@@ -203,10 +203,7 @@ mod tests {
             (-1.0, 1.0, 1),
         ] {
             for _ in 0..n_per_quadrant {
-                inputs.push(vec![
-                    sx + rng.normal(0.0, 0.2),
-                    sy + rng.normal(0.0, 0.2),
-                ]);
+                inputs.push(vec![sx + rng.normal(0.0, 0.2), sy + rng.normal(0.0, 0.2)]);
                 labels.push(label);
             }
         }
@@ -233,7 +230,7 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(3);
         let net = DeepMlp::init(10, &[8, 6], 4, &mut rng);
         assert_eq!(net.layers.len(), 3);
-        assert_eq!(net.logits(&vec![0.5; 10]).len(), 4);
+        assert_eq!(net.logits(&[0.5; 10]).len(), 4);
     }
 
     #[test]

@@ -19,7 +19,7 @@ use crate::data::ComplexDataset;
 use crate::loss::magnitude_ce;
 use metaai_math::rng::SimRng;
 use metaai_math::stats::argmax;
-use metaai_math::{C64, CMat, CVec};
+use metaai_math::{CMat, CVec, C64};
 
 /// A complex-valued MLP with modReLU hidden activations.
 #[derive(Clone, Debug)]
@@ -155,11 +155,7 @@ impl DeepComplex {
 
     /// Loss and gradients for one sample: per-layer weight cogradients and
     /// per-hidden-layer bias gradients.
-    pub fn loss_and_grads(
-        &self,
-        x: &CVec,
-        label: usize,
-    ) -> (f64, Vec<CMat>, Vec<Vec<f64>>) {
+    pub fn loss_and_grads(&self, x: &CVec, label: usize) -> (f64, Vec<CMat>, Vec<Vec<f64>>) {
         let (pres, acts) = self.forward_trace(x);
         let logits = acts.last().expect("non-empty");
         let out = magnitude_ce(logits, label);
@@ -282,8 +278,7 @@ mod tests {
             let g_out = modrelu(z, b) - t;
             let (g_in, db) = modrelu_backward(z, b, g_out);
             let eps = 1e-6;
-            let d_re =
-                (loss(z + C64::real(eps), b) - loss(z - C64::real(eps), b)) / (2.0 * eps);
+            let d_re = (loss(z + C64::real(eps), b) - loss(z - C64::real(eps), b)) / (2.0 * eps);
             let d_im =
                 (loss(z + C64::new(0.0, eps), b) - loss(z - C64::new(0.0, eps), b)) / (2.0 * eps);
             let d_b = (loss(z, b + eps) - loss(z, b - eps)) / (2.0 * eps);
@@ -321,8 +316,8 @@ mod tests {
                 p.layers[l][(r, c)] += delta;
                 let mut m = net.clone();
                 m.layers[l][(r, c)] -= delta;
-                let num = (p.loss_and_grads(&x, label).0 - m.loss_and_grads(&x, label).0)
-                    / (2.0 * eps);
+                let num =
+                    (p.loss_and_grads(&x, label).0 - m.loss_and_grads(&x, label).0) / (2.0 * eps);
                 let a = if part == 0 {
                     2.0 * gw[l][(r, c)].re
                 } else {

@@ -17,7 +17,7 @@ use crate::complex_lnn::ComplexLnn;
 use crate::data::ComplexDataset;
 use crate::train::TrainConfig;
 use metaai_math::rng::SimRng;
-use metaai_math::{C64, CMat};
+use metaai_math::{CMat, C64};
 
 /// Quantizes one weight to the discrete alphabet: fixed magnitude `rho`,
 /// phase snapped to `2^bits` uniform states.
@@ -30,7 +30,9 @@ pub fn quantize_weight(w: C64, rho: f64, bits: u8) -> C64 {
 
 /// Quantizes a full weight matrix.
 pub fn quantize_matrix(w: &CMat, rho: f64, bits: u8) -> CMat {
-    CMat::from_fn(w.rows(), w.cols(), |r, c| quantize_weight(w[(r, c)], rho, bits))
+    CMat::from_fn(w.rows(), w.cols(), |r, c| {
+        quantize_weight(w[(r, c)], rho, bits)
+    })
 }
 
 /// Trains a DiscreteNN: straight-through estimator over a continuous

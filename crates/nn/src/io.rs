@@ -12,7 +12,7 @@
 //! ```
 
 use crate::complex_lnn::ComplexLnn;
-use metaai_math::{C64, CMat};
+use metaai_math::{CMat, C64};
 use std::io::{self, Read, Write};
 use std::path::Path;
 

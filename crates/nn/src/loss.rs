@@ -13,7 +13,7 @@
 //! `g_r · z_r / (2|z_r|)` with `g_r = softmax_r − 1{r = label}`.
 
 use metaai_math::stats::softmax;
-use metaai_math::{C64, CVec};
+use metaai_math::{CVec, C64};
 
 /// Forward + backward of magnitude-softmax-CE for one sample.
 #[derive(Clone, Debug)]

@@ -35,7 +35,10 @@ impl ConfusionMatrix {
 
     /// Records one decision.
     pub fn record(&mut self, truth: usize, predicted: usize) {
-        assert!(truth < self.classes && predicted < self.classes, "class out of range");
+        assert!(
+            truth < self.classes && predicted < self.classes,
+            "class out of range"
+        );
         self.counts[truth * self.classes + predicted] += 1;
     }
 
@@ -112,7 +115,7 @@ impl ConfusionMatrix {
                     continue;
                 }
                 let c = self.count(t, p);
-                if c > 0 && best.map_or(true, |(_, _, bc)| c > bc) {
+                if c > 0 && best.is_none_or(|(_, _, bc)| c > bc) {
                     best = Some((t, p, c));
                 }
             }

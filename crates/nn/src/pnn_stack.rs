@@ -19,13 +19,19 @@ use crate::data::ComplexDataset;
 use crate::loss::magnitude_ce;
 use metaai_math::rng::SimRng;
 use metaai_math::stats::argmax;
-use metaai_math::{C64, CMat, CVec};
+use metaai_math::{CMat, CVec, C64};
 
 /// Builds the free-space propagation kernel between two element planes:
 /// `β_{jk} = e^{−j k₀ d_{jk}} / d_{jk}`, row-normalized to keep activations
 /// of order one. Elements sit on centred 1-D grids with spacing `s`,
 /// planes separated by `d`.
-pub fn propagation_kernel(n_to: usize, n_from: usize, spacing: f64, distance: f64, k0: f64) -> CMat {
+pub fn propagation_kernel(
+    n_to: usize,
+    n_from: usize,
+    spacing: f64,
+    distance: f64,
+    k0: f64,
+) -> CMat {
     assert!(distance > 0.0 && spacing > 0.0, "geometry must be positive");
     let off_to = (n_to as f64 - 1.0) / 2.0;
     let off_from = (n_from as f64 - 1.0) / 2.0;
@@ -116,10 +122,7 @@ impl StackedPnn {
         if data.is_empty() {
             return 0.0;
         }
-        let correct = data
-            .iter()
-            .filter(|(x, l)| self.predict(x) == *l)
-            .count();
+        let correct = data.iter().filter(|(x, l)| self.predict(x) == *l).count();
         correct as f64 / data.len() as f64
     }
 
@@ -133,11 +136,7 @@ impl StackedPnn {
     pub fn loss_and_grads(&self, x: &CVec, label: usize) -> (f64, Vec<Vec<f64>>) {
         let (logits, post, _pre) = self.forward_trace(x);
         let out = magnitude_ce(&logits, label);
-        let mut grads: Vec<Vec<f64>> = self
-            .thetas
-            .iter()
-            .map(|t| vec![0.0; t.len()])
-            .collect();
+        let mut grads: Vec<Vec<f64>> = self.thetas.iter().map(|t| vec![0.0; t.len()]).collect();
 
         // Cogradient at the detector plane.
         let mut gamma = out.cograd;
@@ -154,9 +153,7 @@ impl StackedPnn {
                 grads[l][m] = -2.0 * (gamma_b[m].conj() * post[l][m]).im;
             }
             // Continue to the previous plane.
-            gamma = CVec::from_fn(gamma_b.len(), |m| {
-                gamma_b[m] * C64::cis(-self.thetas[l][m])
-            });
+            gamma = CVec::from_fn(gamma_b.len(), |m| gamma_b[m] * C64::cis(-self.thetas[l][m]));
         }
         (out.loss, grads)
     }
@@ -215,6 +212,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // indexes thetas and grads in lockstep
     fn phase_gradients_match_numeric() {
         let mut rng = SimRng::seed_from_u64(1);
         let net = StackedPnn::new(4, 6, 3, 2, &mut rng);

@@ -184,8 +184,8 @@ mod tests {
         let l = layout();
         let payload = vec![C64::ONE; 64];
         let frame = build_frame(&l, &payload);
-        let mean: C64 = frame[..l.payload_start()].iter().copied().sum::<C64>()
-            / l.payload_start() as f64;
+        let mean: C64 =
+            frame[..l.payload_start()].iter().copied().sum::<C64>() / l.payload_start() as f64;
         assert!(mean.abs() < 1e-12);
     }
 
@@ -210,9 +210,7 @@ mod tests {
         let det = EnvelopeDetector::default();
         let mut rng = SimRng::seed_from_u64(1);
         let residuals: Vec<f64> = (0..60)
-            .filter_map(|k| {
-                simulate_alignment(&l, &det, 40 + (k % 13), 18.0, 8, &mut rng)
-            })
+            .filter_map(|k| simulate_alignment(&l, &det, 40 + (k % 13), 18.0, 8, &mut rng))
             .collect();
         assert!(residuals.len() > 50, "detector must fire reliably");
         let spread = stats::std_dev(&residuals);

@@ -131,8 +131,7 @@ impl SyncErrorModel {
     /// deviation `σ_single / √detections`.
     pub fn sample_residual_symbols(&self, symbol_rate: f64, rng: &mut SimRng) -> isize {
         let n = self.detections.max(1);
-        let mean_est: f64 =
-            (0..n).map(|_| self.sample_us(rng)).sum::<f64>() / n as f64;
+        let mean_est: f64 = (0..n).map(|_| self.sample_us(rng)).sum::<f64>() / n as f64;
         let us = mean_est - self.mean_us();
         (us * 1e-6 * symbol_rate).round() as isize
     }

@@ -123,8 +123,12 @@ impl Environment {
         // Direct Tx→Rx leakage, attenuated by how far off boresight the
         // other terminal sits for each antenna.
         if self.line_of_sight {
-            let g_tx = self.tx_antenna.gain(self.tx.angle_between(self.boresight, self.rx));
-            let g_rx = self.rx_antenna.gain(self.rx.angle_between(self.boresight, self.tx));
+            let g_tx = self
+                .tx_antenna
+                .gain(self.tx.angle_between(self.boresight, self.rx));
+            let g_rx = self
+                .rx_antenna
+                .gain(self.rx.angle_between(self.boresight, self.tx));
             let d = self.tx.distance(self.rx).max(0.05);
             h += freespace_gain(d, self.freq_hz) * (g_tx * g_rx);
         }
@@ -221,8 +225,7 @@ mod tests {
     #[test]
     fn richer_environments_have_more_scatterers() {
         assert!(
-            EnvironmentKind::Corridor.scatterer_count()
-                < EnvironmentKind::Office.scatterer_count()
+            EnvironmentKind::Corridor.scatterer_count() < EnvironmentKind::Office.scatterer_count()
         );
         assert!(
             EnvironmentKind::Office.scatterer_count()

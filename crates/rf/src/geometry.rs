@@ -32,11 +32,6 @@ impl Point3 {
         (dx * dx + dy * dy + dz * dz).sqrt()
     }
 
-    /// Vector difference `self − other`.
-    pub fn sub(self, other: Point3) -> Point3 {
-        Point3::new(self.x - other.x, self.y - other.y, self.z - other.z)
-    }
-
     /// Dot product, treating points as vectors.
     pub fn dot(self, other: Point3) -> f64 {
         self.x * other.x + self.y * other.y + self.z * other.z
@@ -59,9 +54,18 @@ impl Point3 {
 
     /// Angle in radians between the vectors `a − self` and `b − self`.
     pub fn angle_between(self, a: Point3, b: Point3) -> f64 {
-        let u = a.sub(self).normalized();
-        let v = b.sub(self).normalized();
+        let u = (a - self).normalized();
+        let v = (b - self).normalized();
         u.dot(v).clamp(-1.0, 1.0).acos()
+    }
+}
+
+impl std::ops::Sub for Point3 {
+    type Output = Point3;
+
+    /// Vector difference `self − other`.
+    fn sub(self, other: Point3) -> Point3 {
+        Point3::new(self.x - other.x, self.y - other.y, self.z - other.z)
     }
 }
 
@@ -93,12 +97,12 @@ pub fn place_at(anchor: Point3, distance: f64, azimuth_rad: f64, z: f64) -> Poin
 /// Used by the interference model to decide whether a walking person blocks
 /// the line-of-sight between two devices.
 pub fn point_segment_distance(p: Point3, a: Point3, b: Point3) -> f64 {
-    let ab = b.sub(a);
+    let ab = b - a;
     let len_sq = ab.dot(ab);
     if len_sq == 0.0 {
         return p.distance(a);
     }
-    let t = (p.sub(a).dot(ab) / len_sq).clamp(0.0, 1.0);
+    let t = ((p - a).dot(ab) / len_sq).clamp(0.0, 1.0);
     let proj = Point3::new(a.x + t * ab.x, a.y + t * ab.y, a.z + t * ab.z);
     p.distance(proj)
 }

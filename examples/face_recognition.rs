@@ -20,7 +20,11 @@ use metaai_nn::train::TrainConfig;
 /// Renders one synthetic "face capture" for a volunteer in a background.
 fn capture(face: &[f64], light: f64, rng: &mut SimRng) -> Vec<u8> {
     face.iter()
-        .map(|&p| (p + light + rng.normal(0.0, 22.0)).round().clamp(0.0, 255.0) as u8)
+        .map(|&p| {
+            (p + light + rng.normal(0.0, 22.0))
+                .round()
+                .clamp(0.0, 255.0) as u8
+        })
         .collect()
 }
 

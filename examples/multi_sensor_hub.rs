@@ -46,7 +46,10 @@ fn main() {
     .with_augmentation(Augmentation::cdfa_default())
     .with_augmentation(Augmentation::noise_default());
 
-    println!("USC-HAD stand-in: 6 activities, {} events per modality", split.train.len());
+    println!(
+        "USC-HAD stand-in: 6 activities, {} events per modality",
+        split.train.len()
+    );
     let mut last = 0.0;
     for n in 1..=2usize {
         let train = fuse_views(&train_views, n);

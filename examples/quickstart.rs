@@ -6,6 +6,7 @@
 //! ```
 
 use metaai::config::SystemConfig;
+use metaai::engine::InferenceRequest;
 use metaai::pipeline::MetaAiSystem;
 use metaai_math::rng::SimRng;
 use metaai_nn::augment::Augmentation;
@@ -15,7 +16,12 @@ fn main() {
     // 1. A small 4-class problem: 48 complex symbols per sample.
     let train = toy_problem(4, 48, 80, 0.4, 7, 70);
     let test = toy_problem(4, 48, 25, 0.4, 7, 71);
-    println!("dataset: {} train / {} test samples, U = {}", train.len(), test.len(), train.input_len());
+    println!(
+        "dataset: {} train / {} test samples, U = {}",
+        train.len(),
+        test.len(),
+        train.input_len()
+    );
 
     // 2. The paper's default deployment: dual-band 16×16 metasurface at
     //    5.25 GHz, Tx 1 m / Rx 3 m, office multipath, CDFA sync.
@@ -30,7 +36,10 @@ fn main() {
     }
     .with_augmentation(Augmentation::cdfa_default())
     .with_augmentation(Augmentation::noise_default());
-    let system = MetaAiSystem::build(&train, &config, &tcfg);
+    let system = MetaAiSystem::builder()
+        .config(config)
+        .num_atoms(256)
+        .train_and_deploy(&train, &tcfg);
 
     println!(
         "deployed: {} meta-atoms, weight-realization error {:.3} %",
@@ -48,15 +57,15 @@ fn main() {
     //    accumulations — never the raw sensor data.
     let mut rng = SimRng::seed_from_u64(99);
     let cond = system.default_conditions(test.input_len(), &mut rng);
-    let scores = metaai::ota::OtaReceiver::scores(
-        &system.channels,
-        &test.inputs[0],
-        &cond,
-        &mut rng,
-    );
+    let outcome = system.run(&InferenceRequest::new(&test.inputs[0], cond), &mut rng);
     println!("\nclass scores at the receiver for one transmission:");
-    for (class, s) in scores.iter().enumerate() {
-        let marker = if class == test.labels[0] { "  ← true class" } else { "" };
+    for (class, s) in outcome.scores.iter().enumerate() {
+        let marker = if class == test.labels[0] {
+            "  ← true class"
+        } else {
+            ""
+        };
         println!("  class {class}: {s:.3e}{marker}");
     }
+    println!("decision: class {}", outcome.predicted);
 }

@@ -18,9 +18,9 @@ use metaai::config::SystemConfig;
 use metaai::ota::realize_channels;
 use metaai::pipeline::{redeploy, MetaAiSystem};
 use metaai_datasets::{generate, DatasetId, Scale};
-use metaai_nn::data::ComplexDataset;
 use metaai_math::rng::SimRng;
 use metaai_nn::augment::Augmentation;
+use metaai_nn::data::ComplexDataset;
 use metaai_nn::train::TrainConfig;
 
 fn main() {
@@ -69,7 +69,10 @@ fn main() {
     );
     stale.channels = realize_channels(&stale.schedule, &stale.mapper.link, &stale.array);
     let stale_acc = stale.ota_accuracy(&test, "retail-stale");
-    println!("after receiver moved (stale schedule): {:.1} %", 100.0 * stale_acc);
+    println!(
+        "after receiver moved (stale schedule): {:.1} %",
+        100.0 * stale_acc
+    );
 
     // Feedback protocol kicks in: re-estimate the angle by beam scanning,
     // re-solve the schedule, resume.

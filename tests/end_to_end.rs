@@ -56,7 +56,7 @@ fn classification_is_invariant_to_global_weight_scale() {
     let (sys, test) = quick_mnist_system();
     let mut scaled = sys.net.clone();
     for w in scaled.weights.as_mut_slice() {
-        *w = *w * C64::from_polar(2.5, 0.9);
+        *w *= C64::from_polar(2.5, 0.9);
     }
     for x in test.inputs.iter().take(30) {
         assert_eq!(sys.net.predict(x), scaled.predict(x));

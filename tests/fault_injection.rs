@@ -66,8 +66,7 @@ fn strong_phase_noise_hurts_more_than_weak() {
             atom_phase_noise: sigma,
             ..SystemConfig::paper_default()
         };
-        MetaAiSystem::build(&train, &config, &tcfg)
-            .ota_accuracy(&test, &format!("pn-{sigma}"))
+        MetaAiSystem::build(&train, &config, &tcfg).ota_accuracy(&test, &format!("pn-{sigma}"))
     };
     let weak = acc_at(0.05);
     let strong = acc_at(1.2);

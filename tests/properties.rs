@@ -2,7 +2,7 @@
 
 use metaai_math::fft::{fft, ifft};
 use metaai_math::rng::SimRng;
-use metaai_math::{C64, CVec};
+use metaai_math::{CVec, C64};
 use metaai_mts::atom::PhaseCode;
 use metaai_mts::solver::WeightSolver;
 use metaai_phy::bits::{bits_to_bytes, bytes_to_bits};

@@ -97,7 +97,9 @@ fn noise_training_helps_at_low_snr() {
         ..TrainConfig::default()
     }
     .with_augmentation(Augmentation::cdfa_default());
-    let robust = plain.clone().with_augmentation(Augmentation::noise_default());
+    let robust = plain
+        .clone()
+        .with_augmentation(Augmentation::noise_default());
 
     let acc_plain = MetaAiSystem::build(&train, &config, &plain).ota_accuracy(&test, "nz-a");
     let acc_robust = MetaAiSystem::build(&train, &config, &robust).ota_accuracy(&test, "nz-b");

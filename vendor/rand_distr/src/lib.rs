@@ -1,0 +1,173 @@
+//! Minimal vendored stand-in for the `rand_distr` crate (offline build).
+//!
+//! Provides the `Distribution` trait plus `Normal` and `Gamma`, the only
+//! distributions this workspace samples. `Normal` is a stateless Box–Muller
+//! (no cached second variate) so that a given rng state always yields the
+//! same value for the same call sequence — important for the simulator's
+//! reproducibility contracts. `Gamma` is Marsaglia–Tsang squeeze sampling
+//! with the standard shape<1 boost.
+
+use rand::RngCore;
+use std::fmt;
+
+/// Sampling interface, mirroring `rand_distr::Distribution`.
+pub trait Distribution<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Parameter-validation error for distribution constructors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Error(&'static str);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Uniform in the open interval (0, 1) — never 0 so `ln` stays finite.
+#[inline]
+fn open01<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    ((rng.next_u64() >> 11) as f64 + 0.5) * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Normal distribution N(mean, std²).
+#[derive(Clone, Copy, Debug)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, Error> {
+        if !mean.is_finite() || !std_dev.is_finite() {
+            return Err(Error("normal parameters must be finite"));
+        }
+        if std_dev < 0.0 {
+            return Err(Error("normal std_dev must be non-negative"));
+        }
+        Ok(Normal { mean, std_dev })
+    }
+
+    #[inline]
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // Box–Muller, consuming exactly two u64 draws per variate.
+        let r = (-2.0 * open01(rng).ln()).sqrt();
+        let theta = std::f64::consts::TAU * open01(rng);
+        r * theta.cos()
+    }
+}
+
+impl Distribution<f64> for Normal {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * Self::standard(rng)
+    }
+}
+
+/// Gamma distribution with shape k and scale θ.
+#[derive(Clone, Copy, Debug)]
+pub struct Gamma {
+    shape: f64,
+    scale: f64,
+}
+
+impl Gamma {
+    pub fn new(shape: f64, scale: f64) -> Result<Self, Error> {
+        if shape <= 0.0 || !shape.is_finite() {
+            return Err(Error("gamma shape must be positive and finite"));
+        }
+        if scale <= 0.0 || !scale.is_finite() {
+            return Err(Error("gamma scale must be positive and finite"));
+        }
+        Ok(Gamma { shape, scale })
+    }
+
+    /// Marsaglia–Tsang (2000) for shape ≥ 1.
+    fn standard_at_least_one<R: RngCore + ?Sized>(shape: f64, rng: &mut R) -> f64 {
+        debug_assert!(shape >= 1.0);
+        let d = shape - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            let x = Normal::standard(rng);
+            let v = 1.0 + c * x;
+            if v <= 0.0 {
+                continue;
+            }
+            let v = v * v * v;
+            let u = open01(rng);
+            if u < 1.0 - 0.0331 * x * x * x * x {
+                return d * v;
+            }
+            if u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+                return d * v;
+            }
+        }
+    }
+}
+
+impl Distribution<f64> for Gamma {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let std = if self.shape >= 1.0 {
+            Self::standard_at_least_one(self.shape, rng)
+        } else {
+            // Boost: Gamma(k) = Gamma(k+1) · U^(1/k) for k < 1.
+            let g = Self::standard_at_least_one(self.shape + 1.0, rng);
+            g * open01(rng).powf(1.0 / self.shape)
+        };
+        std * self.scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = Normal::new(2.0, 3.0).unwrap();
+        let samples: Vec<f64> = (0..20_000).map(|_| n.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var =
+            samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / samples.len() as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.5, "var {var}");
+    }
+
+    #[test]
+    fn normal_is_stateless_per_call() {
+        let n = Normal::new(0.0, 1.0).unwrap();
+        let mut a = StdRng::seed_from_u64(5);
+        let first = n.sample(&mut a);
+        let mut b = StdRng::seed_from_u64(5);
+        assert_eq!(first.to_bits(), n.sample(&mut b).to_bits());
+    }
+
+    #[test]
+    fn gamma_mean_matches_shape_times_scale() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for (shape, scale) in [(0.5, 2.0), (2.0, 1.5), (7.5, 0.25)] {
+            let g = Gamma::new(shape, scale).unwrap();
+            let samples: Vec<f64> = (0..20_000).map(|_| g.sample(&mut rng)).collect();
+            assert!(samples.iter().all(|&s| s >= 0.0));
+            let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+            let expect = shape * scale;
+            assert!(
+                (mean - expect).abs() < 0.1 * expect.max(1.0),
+                "shape {shape} scale {scale}: mean {mean} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Gamma::new(0.0, 1.0).is_err());
+        assert!(Gamma::new(1.0, 0.0).is_err());
+    }
+}

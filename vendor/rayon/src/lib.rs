@@ -1,0 +1,226 @@
+//! Minimal vendored stand-in for the `rayon` crate (offline build).
+//!
+//! Implements an order-preserving parallel iterator over a materialized
+//! `Vec`, executed with `std::thread::scope` over contiguous chunks. The
+//! worker count is `min(available_parallelism, RAYON_NUM_THREADS)` and is
+//! re-read on every parallel operation, so tests can pin the thread count
+//! via the environment variable exactly as with real rayon.
+//!
+//! Semantics guaranteed (and relied on by the workspace):
+//! - `map`/`filter`/`zip`/`collect` preserve input order, as rayon's
+//!   indexed parallel iterators do;
+//! - closures run at most once per item;
+//! - with `RAYON_NUM_THREADS=1` everything runs inline on the caller's
+//!   thread.
+
+use std::ops::Range;
+
+pub mod prelude {
+    pub use super::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+/// Worker count for the next parallel operation.
+fn threads() -> usize {
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    match std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(0) | None => hw,
+        Some(n) => n.min(hw.max(n)).min(64),
+    }
+}
+
+/// Order-preserving chunked parallel map.
+fn par_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let workers = threads().min(n).max(1);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut source = items;
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    while !source.is_empty() {
+        let tail = source.split_off(source.len().min(chunk));
+        chunks.push(std::mem::replace(&mut source, tail));
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| scope.spawn(move || c.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for h in handles {
+            out.extend(h.join().expect("rayon shim worker panicked"));
+        }
+        out
+    })
+}
+
+/// A materialized, order-preserving parallel iterator.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    pub fn map<U, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        ParIter {
+            items: par_map(self.items, f),
+        }
+    }
+
+    pub fn filter<F>(self, f: F) -> ParIter<T>
+    where
+        F: Fn(&T) -> bool + Sync,
+    {
+        let kept = par_map(self.items, |item| if f(&item) { Some(item) } else { None });
+        ParIter {
+            items: kept.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Pair elements with another parallel source, truncating to the
+    /// shorter of the two (rayon's `zip` semantics on equal-length inputs).
+    pub fn zip<O: IntoParallelIterator>(self, other: O) -> ParIter<(T, O::Item)> {
+        let items = self
+            .items
+            .into_iter()
+            .zip(other.into_par_iter().items)
+            .collect();
+        ParIter { items }
+    }
+
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<T>,
+    {
+        self.items.into_iter().sum()
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        par_map(self.items, f);
+    }
+
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// Conversion into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// `.par_iter()` on slices and `Vec`s (via deref).
+pub trait IntoParallelRefIterator<T: Sync> {
+    fn par_iter(&self) -> ParIter<&T>;
+}
+
+impl<T: Sync> IntoParallelRefIterator<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let doubled: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(doubled.len(), 1000);
+        assert!(doubled.iter().enumerate().all(|(i, &v)| v == i * 2));
+    }
+
+    #[test]
+    fn filter_and_count() {
+        let n = (0..1000usize)
+            .into_par_iter()
+            .filter(|&i| i % 3 == 0)
+            .count();
+        assert_eq!(n, 334);
+    }
+
+    #[test]
+    fn zip_pairs_in_order() {
+        let xs = vec![10, 20, 30];
+        let labels = vec![1usize, 2, 3];
+        let pairs: Vec<(i32, &usize)> = xs.into_par_iter().zip(&labels).collect();
+        assert_eq!(pairs, vec![(10, &1), (20, &2), (30, &3)]);
+    }
+
+    #[test]
+    fn par_iter_on_vec_slices() {
+        let v = [1.0f64, 2.0, 3.0];
+        let s: f64 = v.par_iter().map(|x| x * x).sum();
+        assert!((s - 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_thread_env_matches_default() {
+        let seq: Vec<usize> = {
+            std::env::set_var("RAYON_NUM_THREADS", "1");
+            let out = (0..64usize).into_par_iter().map(|i| i + 1).collect();
+            std::env::remove_var("RAYON_NUM_THREADS");
+            out
+        };
+        let par: Vec<usize> = (0..64usize).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(seq, par);
+    }
+}
