@@ -1,0 +1,199 @@
+//! PR-2 throughput benches: the batched deterministic training engine
+//! against the old sequential loop, and the table-driven weight solver
+//! against the recompute-every-probe reference kernel.
+//!
+//! The baselines below are verbatim transplants of the pre-optimization
+//! code, kept here (not in the library) so the comparison survives after
+//! the library moves on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use metaai::config::SystemConfig;
+use metaai::mapper::WeightMapper;
+use metaai_math::rng::SimRng;
+use metaai_math::{CMat, C64};
+use metaai_mts::array::{MtsArray, Prototype};
+use metaai_mts::atom::PhaseCode;
+use metaai_mts::solver::{SolverScratch, WeightSolver};
+use metaai_nn::augment::{apply_all, Augmentation};
+use metaai_nn::complex_lnn::ComplexLnn;
+use metaai_nn::data::ComplexDataset;
+use metaai_nn::train::{toy_problem, TrainConfig};
+use metaai_nn::TrainEngine;
+use std::hint::black_box;
+
+/// The pre-engine training loop: sequential over samples, one fresh
+/// gradient matrix per batch, one input clone (or augmented copy) per
+/// sample, shuffling and augmentation drawn from a single serial RNG.
+fn train_sequential_baseline(data: &ComplexDataset, cfg: &TrainConfig) -> ComplexLnn {
+    let mut rng = SimRng::derive(cfg.seed, "train-complex");
+    let mut net = ComplexLnn::init(data.num_classes, data.input_len(), &mut rng);
+    let mut velocity = CMat::zeros(data.num_classes, data.input_len());
+    for _epoch in 0..cfg.epochs {
+        let order = rng.permutation(data.len());
+        for chunk in order.chunks(cfg.batch) {
+            let mut grad = CMat::zeros(data.num_classes, data.input_len());
+            for &idx in chunk {
+                let x = if cfg.augmentations.is_empty() {
+                    data.inputs[idx].clone()
+                } else {
+                    apply_all(&cfg.augmentations, &data.inputs[idx], &mut rng)
+                };
+                net.accumulate_grad(&x, data.labels[idx], &mut grad);
+            }
+            grad.scale_mut(1.0 / chunk.len() as f64);
+            velocity.scale_mut(cfg.momentum);
+            velocity.axpy(-cfg.lr, &grad);
+            for (w, &v) in net
+                .weights
+                .as_mut_slice()
+                .iter_mut()
+                .zip(velocity.as_slice())
+            {
+                *w += v;
+            }
+        }
+    }
+    net
+}
+
+fn train_workload() -> (ComplexDataset, TrainConfig) {
+    let data = toy_problem(10, 64, 40, 0.3, 1, 2);
+    let cfg = TrainConfig {
+        epochs: 2,
+        seed: 3,
+        ..TrainConfig::default()
+    }
+    .with_augmentation(Augmentation::cdfa_default());
+    (data, cfg)
+}
+
+fn bench_train(c: &mut Criterion) {
+    let (data, cfg) = train_workload();
+    let engine = TrainEngine::new(cfg.clone());
+    c.bench_function("train/engine_batched_400x64_2_epochs", |b| {
+        b.iter(|| black_box(engine.train(&data)))
+    });
+    c.bench_function("train/sequential_baseline_400x64_2_epochs", |b| {
+        b.iter(|| black_box(train_sequential_baseline(&data, &cfg)))
+    });
+}
+
+/// The pre-table solver kernel: recomputes `phasors[t][atom] * e^{jφ_s}`
+/// on every probe instead of reading the precomputed state table.
+fn reference_solve(solver: &WeightSolver, targets: &[C64]) -> (Vec<PhaseCode>, f64) {
+    let k = solver.num_targets();
+    let n_states = 1usize << solver.bits;
+    let state_phasors: Vec<C64> = (0..n_states)
+        .map(|i| C64::cis(PhaseCode::new(i as u8, solver.bits).phase()))
+        .collect();
+    let mut codes: Vec<PhaseCode> = solver.phasors[0]
+        .iter()
+        .map(|u| PhaseCode::quantize(targets[0].arg() - u.arg(), solver.bits))
+        .collect();
+    let mut sums: Vec<C64> = (0..k)
+        .map(|t| {
+            solver.phasors[t]
+                .iter()
+                .zip(&codes)
+                .map(|(&u, c)| u * C64::cis(c.phase()))
+                .sum()
+        })
+        .collect();
+    for _sweep in 0..solver.max_sweeps {
+        let mut changed = false;
+        for (atom, code) in codes.iter_mut().enumerate() {
+            let current = C64::cis(code.phase());
+            for (t, sum) in sums.iter_mut().enumerate() {
+                *sum -= solver.phasors[t][atom] * current;
+            }
+            let mut best_state = code.index as usize;
+            let mut best_err = f64::INFINITY;
+            for (s, &sp) in state_phasors.iter().enumerate() {
+                let err: f64 = (0..k)
+                    .map(|t| {
+                        let trial = sums[t] + solver.phasors[t][atom] * sp;
+                        (trial - targets[t]).norm_sq()
+                    })
+                    .sum();
+                if err < best_err {
+                    best_err = err;
+                    best_state = s;
+                }
+            }
+            if best_state != code.index as usize {
+                changed = true;
+                *code = PhaseCode::new(best_state as u8, solver.bits);
+            }
+            let chosen = state_phasors[best_state];
+            for (t, sum) in sums.iter_mut().enumerate() {
+                *sum += solver.phasors[t][atom] * chosen;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let residual = sums
+        .iter()
+        .zip(targets)
+        .map(|(&s, &t)| (s - t).norm_sq())
+        .sum::<f64>()
+        .sqrt();
+    (codes, residual)
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let mut rng = SimRng::seed_from_u64(7);
+    let phasors: Vec<C64> = (0..256).map(|_| rng.unit_phasor()).collect();
+    let solver = WeightSolver::single(phasors, 2);
+    let reach = solver.reachable_radius(0);
+    let targets: Vec<C64> = (0..32)
+        .map(|_| C64::from_polar(0.5 * reach * rng.uniform(), rng.phase()))
+        .collect();
+
+    let table = solver.state_table();
+    let mut scratch = SolverScratch::new();
+    let mut k = 0usize;
+    c.bench_function("solver/table_driven_256_atoms", |b| {
+        b.iter(|| {
+            k = (k + 1) % targets.len();
+            black_box(
+                solver
+                    .solve_with(&[targets[k]], &table, &mut scratch)
+                    .residual,
+            )
+        })
+    });
+    let mut j = 0usize;
+    c.bench_function("solver/reference_kernel_256_atoms", |b| {
+        b.iter(|| {
+            j = (j + 1) % targets.len();
+            black_box(reference_solve(&solver, &[targets[j]]).1)
+        })
+    });
+}
+
+fn bench_map(c: &mut Criterion) {
+    // The acceptance workload: a full 10 × 32 weight matrix mapped onto
+    // 256 atoms (per-worker scratch + shared table inside `map`).
+    let config = SystemConfig::paper_default();
+    let array = MtsArray::paper_prototype(Prototype::DualBand, config.mts_center);
+    let mapper = WeightMapper::new(&config, &array);
+    let mut rng = SimRng::seed_from_u64(9);
+    let weights = CMat::from_fn(10, 32, |_, _| rng.complex_gaussian(1.0));
+    c.bench_function("solver/map_10x32_weights_256_atoms", |b| {
+        b.iter(|| black_box(mapper.map(&weights, C64::ZERO).rms_residual))
+    });
+}
+
+criterion_group! {
+    name = train_throughput;
+    config = Criterion::default().sample_size(10);
+    targets = bench_train
+}
+criterion_group! {
+    name = solver_throughput;
+    config = Criterion::default().sample_size(10);
+    targets = bench_solver, bench_map
+}
+criterion_main!(train_throughput, solver_throughput);

@@ -1,0 +1,188 @@
+//! Machine-readable PR-2 performance report.
+//!
+//! Times the batched training engine against the pre-engine sequential
+//! loop, and the table-driven weight solver (via `WeightMapper::map`)
+//! against the recompute-every-probe reference kernel, then writes
+//! `BENCH_pr2.json` for CI to archive. The host core count is recorded
+//! because the training speedup is a function of it: on one core the
+//! engine's fixed-order reduction is pure overhead, and the ≥4× target
+//! only applies at ≥8 cores.
+//!
+//! Usage: `perf_report [output-path]` (default `BENCH_pr2.json`).
+
+use metaai::config::SystemConfig;
+use metaai::mapper::WeightMapper;
+use metaai_math::rng::SimRng;
+use metaai_math::{CMat, C64};
+use metaai_mts::array::{MtsArray, Prototype};
+use metaai_mts::atom::PhaseCode;
+use metaai_mts::solver::{SolverScratch, WeightSolver};
+use metaai_nn::augment::{apply_all, Augmentation};
+use metaai_nn::complex_lnn::ComplexLnn;
+use metaai_nn::data::ComplexDataset;
+use metaai_nn::train::{toy_problem, TrainConfig};
+use metaai_nn::TrainEngine;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Median-of-`reps` wall time for `f`, in seconds.
+fn time_median<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    f(); // warmup
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+/// The pre-engine training loop (see `benches/throughput.rs` for the
+/// provenance of this transplant).
+fn train_sequential_baseline(data: &ComplexDataset, cfg: &TrainConfig) -> ComplexLnn {
+    let mut rng = SimRng::derive(cfg.seed, "train-complex");
+    let mut net = ComplexLnn::init(data.num_classes, data.input_len(), &mut rng);
+    let mut velocity = CMat::zeros(data.num_classes, data.input_len());
+    for _epoch in 0..cfg.epochs {
+        let order = rng.permutation(data.len());
+        for chunk in order.chunks(cfg.batch) {
+            let mut grad = CMat::zeros(data.num_classes, data.input_len());
+            for &idx in chunk {
+                let x = if cfg.augmentations.is_empty() {
+                    data.inputs[idx].clone()
+                } else {
+                    apply_all(&cfg.augmentations, &data.inputs[idx], &mut rng)
+                };
+                net.accumulate_grad(&x, data.labels[idx], &mut grad);
+            }
+            grad.scale_mut(1.0 / chunk.len() as f64);
+            velocity.scale_mut(cfg.momentum);
+            velocity.axpy(-cfg.lr, &grad);
+            for (w, &v) in net
+                .weights
+                .as_mut_slice()
+                .iter_mut()
+                .zip(velocity.as_slice())
+            {
+                *w += v;
+            }
+        }
+    }
+    net
+}
+
+/// The pre-table solver kernel (single target), for the solve-rate
+/// baseline.
+fn reference_solve(solver: &WeightSolver, target: C64) -> f64 {
+    let n_states = 1usize << solver.bits;
+    let state_phasors: Vec<C64> = (0..n_states)
+        .map(|i| C64::cis(PhaseCode::new(i as u8, solver.bits).phase()))
+        .collect();
+    let mut codes: Vec<PhaseCode> = solver.phasors[0]
+        .iter()
+        .map(|u| PhaseCode::quantize(target.arg() - u.arg(), solver.bits))
+        .collect();
+    let mut sum: C64 = solver.phasors[0]
+        .iter()
+        .zip(&codes)
+        .map(|(&u, c)| u * C64::cis(c.phase()))
+        .sum();
+    for _sweep in 0..solver.max_sweeps {
+        let mut changed = false;
+        for (atom, code) in codes.iter_mut().enumerate() {
+            sum -= solver.phasors[0][atom] * C64::cis(code.phase());
+            let mut best_state = code.index as usize;
+            let mut best_err = f64::INFINITY;
+            for (s, &sp) in state_phasors.iter().enumerate() {
+                let err = (sum + solver.phasors[0][atom] * sp - target).norm_sq();
+                if err < best_err {
+                    best_err = err;
+                    best_state = s;
+                }
+            }
+            if best_state != code.index as usize {
+                changed = true;
+                *code = PhaseCode::new(best_state as u8, solver.bits);
+            }
+            sum += solver.phasors[0][atom] * state_phasors[best_state];
+        }
+        if !changed {
+            break;
+        }
+    }
+    (sum - target).abs()
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pr2.json".to_string());
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // --- Training throughput: 400 samples × 64 symbols, CDFA on. ---
+    let data = toy_problem(10, 64, 40, 0.3, 1, 2);
+    let cfg = TrainConfig {
+        epochs: 2,
+        seed: 3,
+        ..TrainConfig::default()
+    }
+    .with_augmentation(Augmentation::cdfa_default());
+    let samples_per_run = (data.len() * cfg.epochs) as f64;
+    let engine = TrainEngine::new(cfg.clone());
+    let t_engine = time_median(5, || {
+        black_box(engine.train(&data));
+    });
+    let t_seq = time_median(5, || {
+        black_box(train_sequential_baseline(&data, &cfg));
+    });
+    let train_engine_sps = samples_per_run / t_engine;
+    let train_seq_sps = samples_per_run / t_seq;
+
+    // --- Solver throughput: WeightMapper::map on 10 × 32 weights at the
+    // paper's 256-atom prototype (320 solves per map call). ---
+    let config = SystemConfig::paper_default();
+    let array = MtsArray::paper_prototype(Prototype::DualBand, config.mts_center);
+    let mapper = WeightMapper::new(&config, &array);
+    let mut rng = SimRng::seed_from_u64(9);
+    let weights = CMat::from_fn(10, 32, |_, _| rng.complex_gaussian(1.0));
+    let solves_per_map = (weights.rows() * weights.cols()) as f64;
+    let t_map = time_median(5, || {
+        black_box(mapper.map(&weights, C64::ZERO));
+    });
+    let map_solves_per_sec = solves_per_map / t_map;
+
+    // Reference solve rate on the same link phasors, same target radius.
+    let solver = WeightSolver::single(mapper.link.path_phasors.clone(), 2);
+    let reach = solver.reachable_radius(0);
+    let targets: Vec<C64> = (0..solves_per_map as usize)
+        .map(|_| C64::from_polar(mapper.kappa * reach * rng.uniform(), rng.phase()))
+        .collect();
+    let t_ref = time_median(5, || {
+        for &t in &targets {
+            black_box(reference_solve(&solver, t));
+        }
+    });
+    let ref_solves_per_sec = solves_per_map / t_ref;
+
+    // Table-driven solve rate outside `map` (no parallel dispatch), for a
+    // like-for-like kernel comparison.
+    let table = solver.state_table();
+    let mut scratch = SolverScratch::new();
+    let t_table = time_median(5, || {
+        for &t in &targets {
+            black_box(solver.solve_with(&[t], &table, &mut scratch).residual);
+        }
+    });
+    let table_solves_per_sec = solves_per_map / t_table;
+
+    let json = format!(
+        "{{\n  \"pr\": 2,\n  \"cores\": {cores},\n  \"train\": {{\n    \"workload\": \"toy_problem 10x64, 400 samples, 2 epochs, cdfa\",\n    \"engine_samples_per_sec\": {train_engine_sps:.1},\n    \"sequential_samples_per_sec\": {train_seq_sps:.1},\n    \"speedup\": {:.3}\n  }},\n  \"solver\": {{\n    \"workload\": \"WeightMapper::map 10x32 weights, 256 atoms\",\n    \"map_solves_per_sec\": {map_solves_per_sec:.1},\n    \"table_kernel_solves_per_sec\": {table_solves_per_sec:.1},\n    \"reference_kernel_solves_per_sec\": {ref_solves_per_sec:.1},\n    \"kernel_speedup\": {:.3}\n  }}\n}}\n",
+        train_engine_sps / train_seq_sps,
+        table_solves_per_sec / ref_solves_per_sec,
+    );
+    std::fs::write(&out_path, &json).expect("write report");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}

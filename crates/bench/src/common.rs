@@ -75,7 +75,9 @@ impl ExpContext {
             ..SystemConfig::paper_default()
         };
         (
-            MetaAiSystem::build(&train, &config, &self.train_config()),
+            MetaAiSystem::builder()
+                .config(config.clone())
+                .train_and_deploy(&train, &self.train_config()),
             test,
         )
     }

@@ -47,7 +47,9 @@ pub fn kappa_sweep(ctx: &ExpContext, kappas: &[f64]) -> Vec<(f64, f64, f64)> {
                 seed: ctx.seed,
                 ..SystemConfig::paper_default()
             };
-            let sys = MetaAiSystem::from_network(net.clone(), &config);
+            let sys = MetaAiSystem::builder()
+                .config(config.clone())
+                .deploy(net.clone());
             let err = sys.realization_error();
             let acc = sys.ota_accuracy(&test, &format!("abl-kappa-{kappa}"));
             (kappa, err, acc)
@@ -108,7 +110,9 @@ pub fn detection_averaging(ctx: &ExpContext, detections: &[usize]) -> Vec<(usize
         seed: ctx.seed,
         ..SystemConfig::paper_default()
     };
-    let sys = MetaAiSystem::build(&train, &config, &ctx.train_config());
+    let sys = MetaAiSystem::builder()
+        .config(config.clone())
+        .train_and_deploy(&train, &ctx.train_config());
     let n = test.input_len();
     detections
         .iter()
@@ -139,7 +143,9 @@ pub fn phase_noise_sweep(ctx: &ExpContext, sigmas: &[f64]) -> Vec<(f64, f64)> {
                 seed: ctx.seed,
                 ..SystemConfig::paper_default()
             };
-            let sys = MetaAiSystem::from_network(net.clone(), &config);
+            let sys = MetaAiSystem::builder()
+                .config(config.clone())
+                .deploy(net.clone());
             (sigma, sys.ota_accuracy(&test, &format!("abl-pn-{sigma}")))
         })
         .collect()
@@ -159,7 +165,9 @@ pub fn multipath_scheme_comparison(ctx: &ExpContext) -> Vec<(&'static str, f64, 
 
     // The environmental gain both schemes must defeat.
     let mut env_rng = SimRng::derive(ctx.seed, "abl-env");
-    let probe = MetaAiSystem::from_network(net.clone(), &base);
+    let probe = MetaAiSystem::builder()
+        .config(base.clone())
+        .deploy(net.clone());
     let h_env_phys = C64::from_polar(signal_power(&probe.channels).sqrt() * 0.8, env_rng.phase());
 
     // Eqn 8: fold −H_e/α into the solve targets, no chip flipping.
@@ -172,7 +180,9 @@ pub fn multipath_scheme_comparison(ctx: &ExpContext) -> Vec<(&'static str, f64, 
     let mapper = WeightMapper::new(&base, &array);
     let h_env_norm = h_env_phys / mapper.link.alpha;
     let sched_eqn8 = mapper.map(&net.weights, h_env_norm);
-    let mut sys_eqn8 = MetaAiSystem::from_network(net.clone(), &base);
+    let mut sys_eqn8 = MetaAiSystem::builder()
+        .config(base.clone())
+        .deploy(net.clone());
     sys_eqn8.schedule = sched_eqn8;
     sys_eqn8.channels = realize_channels(&sys_eqn8.schedule, &mapper.link, &array);
 

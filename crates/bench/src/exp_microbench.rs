@@ -57,7 +57,10 @@ pub fn fig7(
             // The receiver's thermal noise floor is a physical constant:
             // anchor it at the 256-atom reference so smaller surfaces pay
             // their real SNR penalty (less aperture, same noise).
-            let reference = MetaAiSystem::from_network_with_atoms(net.clone(), &config, 256);
+            let reference = MetaAiSystem::builder()
+                .config(config.clone())
+                .num_atoms(256)
+                .deploy(net.clone());
             // Fig 7's Tx power is fixed so the 256-atom surface runs at a
             // moderate 12 dB SNR: smaller surfaces then sit progressively
             // deeper in the noise, and the sweep saturates past 256 atoms
@@ -66,7 +69,10 @@ pub fn fig7(
             let series = atom_counts
                 .iter()
                 .map(|&m| {
-                    let mut sys = MetaAiSystem::from_network_with_atoms(net.clone(), &config, m);
+                    let mut sys = MetaAiSystem::builder()
+                        .config(config.clone())
+                        .num_atoms(m)
+                        .deploy(net.clone());
                     sys.noise_floor = floor;
                     let acc = sys.ota_accuracy(&test, &format!("fig7-{}-{m}", id.name()));
                     (m, acc)
@@ -125,8 +131,12 @@ pub fn fig13(ctx: &ExpContext, delays_us: &[f64]) -> Vec<(f64, f64, f64)> {
         augmentations: Vec::new(),
         ..ctx.train_config()
     };
-    let sys_plain = MetaAiSystem::build(&train, &config, &plain);
-    let sys_cdfa = MetaAiSystem::build(&train, &config, &ctx.train_config());
+    let sys_plain = MetaAiSystem::builder()
+        .config(config.clone())
+        .train_and_deploy(&train, &plain);
+    let sys_cdfa = MetaAiSystem::builder()
+        .config(config.clone())
+        .train_and_deploy(&train, &ctx.train_config());
     let guard_us = 4.0;
     let model = SyncErrorModel::default();
     let n = test.input_len();
@@ -173,7 +183,9 @@ pub fn fig16(ctx: &ExpContext) -> (f64, f64, f64) {
         augmentations: Vec::new(),
         ..ctx.train_config()
     };
-    let sys_plain = MetaAiSystem::build(&train, &config, &plain_cfg);
+    let sys_plain = MetaAiSystem::builder()
+        .config(config.clone())
+        .train_and_deploy(&train, &plain_cfg);
     let no_sync = sys_plain.ota_accuracy_with(&test, "fig16-none", |rng| {
         let mut c = sys_plain.default_conditions(n, rng);
         c.sync_shift = rng.below(n.max(1)) as isize;
@@ -188,7 +200,9 @@ pub fn fig16(ctx: &ExpContext) -> (f64, f64, f64) {
     });
 
     // CDFA: averaged detection + matched training augmentation.
-    let sys_cdfa = MetaAiSystem::build(&train, &config, &ctx.train_config());
+    let sys_cdfa = MetaAiSystem::builder()
+        .config(config.clone())
+        .train_and_deploy(&train, &ctx.train_config());
     let cdfa = sys_cdfa.ota_accuracy_with(&test, "fig16-cdfa", |rng| {
         let mut c = sys_cdfa.default_conditions(n, rng);
         c.sync_shift = model.sample_residual_symbols(config.symbol_rate, rng);
@@ -214,7 +228,9 @@ pub fn fig17(ctx: &ExpContext) -> Vec<(EnvironmentKind, &'static str, f64, f64)>
                 seed: ctx.seed,
                 ..SystemConfig::paper_default()
             };
-            let sys = MetaAiSystem::build(&train, &config, &ctx.train_config());
+            let sys = MetaAiSystem::builder()
+                .config(config.clone())
+                .train_and_deploy(&train, &ctx.train_config());
             let make = |cancel: bool| {
                 let label = format!("fig17-{}-{}-{}", env_kind.name(), ant_name, cancel);
                 sys.ota_accuracy_with(&test, &label, |rng| {

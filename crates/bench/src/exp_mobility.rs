@@ -37,7 +37,9 @@ pub fn run(ctx: &ExpContext, speeds: &[f64]) -> Vec<MobilityRow> {
         seed: ctx.seed,
         ..SystemConfig::paper_default()
     };
-    let system = MetaAiSystem::build(&train, &config, &ctx.train_config());
+    let system = MetaAiSystem::builder()
+        .config(config.clone())
+        .train_and_deploy(&train, &ctx.train_config());
     let control = ControlModel::default();
     // The solve time measured on this machine dominates recalibration;
     // 50 ms is representative (see `metaai deploy`).

@@ -40,14 +40,16 @@ pub fn run_row(ctx: &ExpContext, id: DatasetId) -> Table1Row {
     let tcfg = ctx.train_config();
 
     // MetaAI: continuous training, then prototype deployment.
-    let system = MetaAiSystem::build(&train_c, &config, &tcfg);
+    let system = MetaAiSystem::builder()
+        .config(config.clone())
+        .train_and_deploy(&train_c, &tcfg);
     let metaai_sim = system.digital_accuracy(&test_c);
     let metaai_proto = system.ota_accuracy(&test_c, &format!("table1-{}", id.name()));
 
     // DiscreteNN: discrete weights from the start, same deployment path.
     let disc = train_discrete(&train_c, &tcfg, 2);
     let discrete_sim = evaluate(&disc, &test_c);
-    let disc_system = MetaAiSystem::from_network(disc, &config);
+    let disc_system = MetaAiSystem::builder().config(config.clone()).deploy(disc);
     let discrete_proto = disc_system.ota_accuracy(&test_c, &format!("table1-disc-{}", id.name()));
 
     // Deep digital baseline on raw real features.

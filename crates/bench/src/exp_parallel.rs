@@ -35,7 +35,9 @@ pub fn fig18(ctx: &ExpContext, datasets: &[DatasetId]) -> Vec<Fig18Row> {
             };
             let net = train_complex(&train, &ctx.train_config());
 
-            let sys = MetaAiSystem::from_network(net.clone(), &config);
+            let sys = MetaAiSystem::builder()
+                .config(config.clone())
+                .deploy(net.clone());
             let baseline = sys.ota_accuracy(&test, &format!("fig18-base-{}", id.name()));
 
             let array = MtsArray::paper_prototype(config.prototype, config.mts_center);

@@ -20,7 +20,9 @@ fn build_default(ctx: &ExpContext) -> (MetaAiSystem, metaai_nn::data::ComplexDat
         ..SystemConfig::paper_default()
     };
     (
-        MetaAiSystem::build(&train, &config, &ctx.train_config()),
+        MetaAiSystem::builder()
+            .config(config.clone())
+            .train_and_deploy(&train, &ctx.train_config()),
         test,
     )
 }
@@ -38,8 +40,12 @@ pub fn fig19(ctx: &ExpContext, locations: usize) -> (f64, f64, Vec<f64>, Vec<f64
         augmentations: vec![metaai_nn::augment::Augmentation::cdfa_default()],
         ..ctx.train_config()
     };
-    let sys_plain = MetaAiSystem::build(&train, &config, &plain_cfg);
-    let sys_robust = MetaAiSystem::build(&train, &config, &ctx.train_config());
+    let sys_plain = MetaAiSystem::builder()
+        .config(config.clone())
+        .train_and_deploy(&train, &plain_cfg);
+    let sys_robust = MetaAiSystem::builder()
+        .config(config.clone())
+        .train_and_deploy(&train, &ctx.train_config());
     let n = test.input_len();
 
     let run = |sys: &MetaAiSystem, tag: &str| -> Vec<f64> {
@@ -121,7 +127,9 @@ pub fn fig22(ctx: &ExpContext) -> Vec<(f64, f64)> {
                 seed: ctx.seed,
                 ..SystemConfig::paper_default()
             };
-            let sys = MetaAiSystem::build(&train, &config, &ctx.train_config());
+            let sys = MetaAiSystem::builder()
+                .config(config.clone())
+                .train_and_deploy(&train, &ctx.train_config());
             (f, sys.ota_accuracy(&test, &format!("fig22-{f}")))
         })
         .collect()
@@ -157,7 +165,9 @@ pub fn fig23(ctx: &ExpContext) -> Vec<(Modulation, f64)> {
                 seed: ctx.seed,
                 ..SystemConfig::paper_default()
             };
-            let sys = MetaAiSystem::build(&train, &config, &ctx.train_config());
+            let sys = MetaAiSystem::builder()
+                .config(config.clone())
+                .train_and_deploy(&train, &ctx.train_config());
             (m, sys.ota_accuracy(&test, &format!("fig23-{}", m.name())))
         })
         .collect()

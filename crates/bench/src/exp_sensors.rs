@@ -37,7 +37,9 @@ pub fn fig20_dataset(ctx: &ExpContext, id: MultiSensorId) -> Vec<(usize, f64)> {
         .map(|n| {
             let train = fuse_views(&train_views, n);
             let test = fuse_views(&test_views, n);
-            let sys = MetaAiSystem::build(&train, &config, &ctx.train_config());
+            let sys = MetaAiSystem::builder()
+                .config(config.clone())
+                .train_and_deploy(&train, &ctx.train_config());
             let acc = sys.ota_accuracy(&test, &format!("fig20-{}-{n}", id.name()));
             (n, acc)
         })
@@ -138,7 +140,9 @@ pub fn fig28(ctx: &ExpContext) -> Vec<f64> {
     };
     let train = encode_bytes_dataset(&train_bytes, config.modulation);
     let test = encode_bytes_dataset(&test_bytes, config.modulation);
-    let sys = MetaAiSystem::build(&train, &config, &ctx.train_config());
+    let sys = MetaAiSystem::builder()
+        .config(config.clone())
+        .train_and_deploy(&train, &ctx.train_config());
 
     // Per-volunteer accuracy over the air.
     (0..volunteers)

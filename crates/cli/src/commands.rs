@@ -137,7 +137,7 @@ pub fn eval(args: &Args) -> i32 {
     let digital = metaai_nn::train::evaluate(&net, &s.test);
     println!("digital (simulation) accuracy: {:.2} %", 100.0 * digital);
 
-    let system = MetaAiSystem::from_network(net, &s.config);
+    let system = MetaAiSystem::builder().config(s.config.clone()).deploy(net);
     println!(
         "deployed on {} atoms; realization error {:.3} %",
         system.array.num_atoms(),
@@ -179,7 +179,7 @@ pub fn deploy(args: &Args) -> i32 {
         Err(e) => return fail(&e),
     };
     let t0 = std::time::Instant::now();
-    let system = MetaAiSystem::from_network(net, &s.config);
+    let system = MetaAiSystem::builder().config(s.config.clone()).deploy(net);
     let solve_time = t0.elapsed();
 
     let control = ControlModel::default();
@@ -227,7 +227,7 @@ pub fn infer(args: &Args) -> i32 {
             s.test.len()
         ));
     }
-    let system = MetaAiSystem::from_network(net, &s.config);
+    let system = MetaAiSystem::builder().config(s.config.clone()).deploy(net);
     let x = &s.test.inputs[idx];
     let mut rng = SimRng::derive_indexed(s.config.seed, SimRng::stream_id("cli-infer"), idx as u64);
     let cond = system.default_conditions(x.len(), &mut rng);

@@ -256,7 +256,10 @@ mod tests {
             ..TrainConfig::default()
         }
         .with_augmentation(Augmentation::cdfa_default());
-        (MetaAiSystem::build(&train, &cfg, &tcfg), test)
+        let sys = MetaAiSystem::builder()
+            .config(cfg)
+            .train_and_deploy(&train, &tcfg);
+        (sys, test)
     }
 
     #[test]

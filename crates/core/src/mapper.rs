@@ -16,8 +16,13 @@ use metaai_math::{CMat, C64};
 use metaai_mts::array::MtsArray;
 use metaai_mts::atom::PhaseCode;
 use metaai_mts::channel::MtsLink;
-use metaai_mts::solver::WeightSolver;
+use metaai_mts::solver::{SolverScratch, StateTable, WeightSolver};
 use rayon::prelude::*;
+
+/// Weights solved per parallel work item in [`WeightMapper::map`]. Each
+/// chunk owns one [`SolverScratch`], amortizing buffer allocation over the
+/// chunk instead of paying it per (r, i).
+const MAP_CHUNK: usize = 32;
 
 /// The complete metasurface programme for one trained network: one
 /// configuration per (output class, input symbol).
@@ -51,6 +56,8 @@ pub struct WeightMapper {
     pub link: MtsLink,
     /// Single-target solver sharing the link's path phasors.
     solver: WeightSolver,
+    /// Precomputed per-atom state contributions, shared by every solve.
+    table: StateTable,
     /// Safe reachable radius (normalized units).
     pub reach: f64,
     /// κ safety factor.
@@ -66,12 +73,17 @@ impl WeightMapper {
 
     /// Creates a mapper from an explicit link.
     pub fn from_link(link: MtsLink, kappa: f64) -> Self {
-        assert!((0.0..=1.0).contains(&kappa), "κ must be in (0, 1]");
+        // κ = 0 would scale every weight to the origin and make the
+        // schedule meaningless, so zero is excluded (the old
+        // `(0.0..=1.0).contains` check let it through).
+        assert!(kappa > 0.0 && kappa <= 1.0, "κ must be in (0, 1]");
         let solver = WeightSolver::single(link.path_phasors.clone(), 2);
+        let table = solver.state_table();
         let reach = solver.reachable_radius(0);
         WeightMapper {
             link,
             solver,
+            table,
             reach,
             kappa,
         }
@@ -92,21 +104,31 @@ impl WeightMapper {
         let r = weights.rows();
         let u = weights.cols();
 
-        // Solve each (r, i) independently — embarrassingly parallel.
-        let results: Vec<(Vec<PhaseCode>, C64, f64)> = (0..r * u)
+        // Solve each (r, i) independently — embarrassingly parallel. Work
+        // is chunked so each worker reuses one solver scratch across its
+        // chunk; the state table is shared read-only by everyone.
+        let total = r * u;
+        let per_chunk: Vec<Vec<(Vec<PhaseCode>, C64, f64)>> = (0..total.div_ceil(MAP_CHUNK))
             .into_par_iter()
-            .map(|idx| {
-                let (row, col) = (idx / u, idx % u);
-                let target = weights[(row, col)] * scale - h_env_offset;
-                let res = self.solver.solve_one(target);
-                (res.codes, res.achieved[0], res.residual)
+            .map(|c| {
+                let mut scratch = SolverScratch::new();
+                let lo = c * MAP_CHUNK;
+                let hi = (lo + MAP_CHUNK).min(total);
+                (lo..hi)
+                    .map(|idx| {
+                        let (row, col) = (idx / u, idx % u);
+                        let target = weights[(row, col)] * scale - h_env_offset;
+                        let res = self.solver.solve_with(&[target], &self.table, &mut scratch);
+                        (res.codes, res.achieved[0], res.residual)
+                    })
+                    .collect()
             })
             .collect();
 
         let mut codes = vec![vec![Vec::new(); u]; r];
         let mut achieved = CMat::zeros(r, u);
         let mut sq_sum = 0.0;
-        for (idx, (c, a, resid)) in results.into_iter().enumerate() {
+        for (idx, (c, a, resid)) in per_chunk.into_iter().flatten().enumerate() {
             let (row, col) = (idx / u, idx % u);
             codes[row][col] = c;
             achieved[(row, col)] = a;
@@ -202,5 +224,25 @@ mod tests {
     fn rejects_zero_weights() {
         let m = small_mapper();
         m.weight_scale(&CMat::zeros(2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "κ must be in (0, 1]")]
+    fn rejects_zero_kappa() {
+        // Regression: the old `(0.0..=1.0).contains(&kappa)` check let
+        // κ = 0 through despite the "(0, 1]" message.
+        let config = SystemConfig::paper_default();
+        let array = MtsArray::paper_prototype(Prototype::DualBand, config.mts_center);
+        let link = MtsLink::new(&array, config.tx, config.rx, config.freq_hz);
+        WeightMapper::from_link(link, 0.0);
+    }
+
+    #[test]
+    fn accepts_boundary_kappa_of_one() {
+        let config = SystemConfig::paper_default();
+        let array = MtsArray::paper_prototype(Prototype::DualBand, config.mts_center);
+        let link = MtsLink::new(&array, config.tx, config.rx, config.freq_hz);
+        let m = WeightMapper::from_link(link, 1.0);
+        assert_eq!(m.kappa, 1.0);
     }
 }

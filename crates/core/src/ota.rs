@@ -131,22 +131,17 @@ impl OtaReceiver {
 
     /// Runs all `R` sequential transmissions for one input and returns the
     /// class scores `y_r = |…|`.
-    ///
-    /// **Deprecated-in-spirit:** thin shim over
-    /// [`OtaEngine::scores`](crate::engine::OtaEngine::scores), kept for
-    /// source compatibility. New code should construct an
-    /// [`OtaEngine`](crate::engine::OtaEngine) (or go through
-    /// [`MetaAiSystem::run`](crate::pipeline::MetaAiSystem::run)) so batches
-    /// amortize the per-call setup.
+    #[deprecated(
+        note = "construct an `OtaEngine` (or go through `MetaAiSystem::run`) so \
+                batches amortize the per-call setup"
+    )]
     pub fn scores(h: &CMat, x: &CVec, cond: &OtaConditions, rng: &mut SimRng) -> Vec<f64> {
         crate::engine::OtaEngine::new(h).scores(x, cond, rng)
     }
 
     /// Classifies one input.
-    ///
-    /// **Deprecated-in-spirit:** thin shim over
-    /// [`OtaEngine::predict`](crate::engine::OtaEngine::predict); see
-    /// [`OtaReceiver::scores`].
+    #[deprecated(note = "use `OtaEngine::predict` (or `MetaAiSystem::run`) so batches \
+                amortize the per-call setup")]
     pub fn predict(h: &CMat, x: &CVec, cond: &OtaConditions, rng: &mut SimRng) -> usize {
         crate::engine::OtaEngine::new(h).predict(x, cond, rng)
     }
@@ -207,6 +202,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // exercises the `OtaReceiver::scores` shim on purpose
     fn ideal_conditions_reproduce_the_digital_dot_product() {
         let (mapper, array) = mapper_and_array();
         let w = random_weights(3, 8, 4);

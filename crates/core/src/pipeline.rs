@@ -10,7 +10,8 @@ use metaai_math::{CMat, CVec, C64};
 use metaai_mts::array::MtsArray;
 use metaai_nn::complex_lnn::ComplexLnn;
 use metaai_nn::data::ComplexDataset;
-use metaai_nn::train::{train_complex, TrainConfig};
+use metaai_nn::engine::TrainEngine;
+use metaai_nn::train::TrainConfig;
 use metaai_rf::environment::{EnvChannel, Environment};
 use metaai_rf::noise::Awgn;
 
@@ -108,9 +109,10 @@ impl SystemBuilder {
         }
     }
 
-    /// Trains a network on `train` and deploys it.
+    /// Trains a network on `train` (through the batched, deterministic
+    /// [`TrainEngine`]) and deploys it.
     pub fn train_and_deploy(self, train: &ComplexDataset, tcfg: &TrainConfig) -> MetaAiSystem {
-        let net = train_complex(train, tcfg);
+        let net = TrainEngine::new(tcfg.clone()).train(train);
         self.deploy(net)
     }
 }
@@ -122,17 +124,15 @@ impl MetaAiSystem {
     }
 
     /// Deploys an already-trained network.
-    ///
-    /// **Deprecated-in-spirit:** shim over [`MetaAiSystem::builder`], kept
-    /// for source compatibility.
+    #[deprecated(note = "use `MetaAiSystem::builder().config(...).deploy(net)` instead")]
     pub fn from_network(net: ComplexLnn, config: &SystemConfig) -> Self {
         Self::builder().config(config.clone()).deploy(net)
     }
 
     /// Deploys with an explicit meta-atom count (the Fig 7 sweep).
-    ///
-    /// **Deprecated-in-spirit:** shim over [`MetaAiSystem::builder`] with
-    /// [`SystemBuilder::num_atoms`].
+    #[deprecated(
+        note = "use `MetaAiSystem::builder().config(...).num_atoms(m).deploy(net)` instead"
+    )]
     pub fn from_network_with_atoms(
         net: ComplexLnn,
         config: &SystemConfig,
@@ -145,6 +145,9 @@ impl MetaAiSystem {
     }
 
     /// Trains the network on `train` and deploys it.
+    #[deprecated(
+        note = "use `MetaAiSystem::builder().config(...).train_and_deploy(train, tcfg)` instead"
+    )]
     pub fn build(train: &ComplexDataset, config: &SystemConfig, tcfg: &TrainConfig) -> Self {
         Self::builder()
             .config(config.clone())
@@ -202,10 +205,10 @@ impl MetaAiSystem {
     }
 
     /// Classifies one input over the air under explicit conditions.
-    ///
-    /// **Deprecated-in-spirit:** shim over the engine
-    /// ([`OtaEngine::predict`]); batch work should go through
-    /// [`MetaAiSystem::run_batch`] or the engine's batch methods.
+    #[deprecated(
+        note = "use `MetaAiSystem::run`/`run_batch` or `engine().predict` — batches \
+                amortize the per-call setup"
+    )]
     pub fn infer(&self, x: &CVec, cond: &OtaConditions, rng: &mut SimRng) -> usize {
         self.engine().predict(x, cond, rng)
     }
@@ -252,7 +255,9 @@ impl MetaAiSystem {
 /// receiver's thermal noise floor is *kept* from the original deployment —
 /// moving devices changes signal power, not the noise.
 pub fn redeploy(system: &MetaAiSystem, config: &SystemConfig) -> MetaAiSystem {
-    let mut moved = MetaAiSystem::from_network(system.net.clone(), config);
+    let mut moved = MetaAiSystem::builder()
+        .config(config.clone())
+        .deploy(system.net.clone());
     moved.noise_floor = system.noise_floor;
     moved
 }
@@ -271,7 +276,10 @@ mod tests {
             ..TrainConfig::default()
         }
         .with_augmentation(metaai_nn::augment::Augmentation::cdfa_default());
-        (MetaAiSystem::build(&train, &cfg, &tcfg), test)
+        let sys = MetaAiSystem::builder()
+            .config(cfg)
+            .train_and_deploy(&train, &tcfg);
+        (sys, test)
     }
 
     #[test]

@@ -44,12 +44,12 @@ pub struct InferenceTrace {
 }
 
 /// Runs one traced inference — semantically identical to
-/// [`crate::ota::OtaReceiver::scores`] with cancellation enabled, but
-/// recording every intermediate value.
-///
-/// Thin shim over [`OtaEngine::traced`](crate::engine::OtaEngine::traced),
-/// which shares its chip arithmetic with the untraced scoring kernel so
-/// the two can never drift.
+/// [`OtaEngine::scores`](crate::engine::OtaEngine::scores) with
+/// cancellation enabled, but recording every intermediate value.
+#[deprecated(
+    note = "use `OtaEngine::traced`, which shares its chip arithmetic with \
+            the untraced scoring kernel so the two can never drift"
+)]
 pub fn traced_inference(
     channels: &CMat,
     x: &CVec,
@@ -89,6 +89,7 @@ pub fn write_csv<W: Write>(trace: &InferenceTrace, mut w: W) -> io::Result<()> {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the tests exercise the `traced_inference` shim itself
 mod tests {
     use super::*;
     use crate::ota::OtaReceiver;

@@ -118,6 +118,19 @@ impl CVec {
         self.data.iter().copied().sum::<C64>() / self.data.len() as f64
     }
 
+    /// Overwrites this vector with a copy of `src`, resizing as needed.
+    ///
+    /// Lets hot loops reuse one allocation instead of cloning per sample.
+    pub fn copy_from(&mut self, src: &CVec) {
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
+    /// Resizes to `n` elements, zero-filling any new tail.
+    pub fn resize(&mut self, n: usize) {
+        self.data.resize(n, C64::ZERO);
+    }
+
     /// Cyclically rotates the vector left by `shift` positions.
     ///
     /// Used by the CDFA fine-grained adjustment: synchronization error is

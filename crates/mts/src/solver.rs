@@ -25,6 +25,43 @@
 use crate::atom::PhaseCode;
 use metaai_math::C64;
 
+/// Precomputed per-atom state contributions for one [`WeightSolver`]:
+/// `contrib[t][atom · S + s] = phasors[t][atom] · e^{jφ_s}` with
+/// `S = 2^bits` states.
+///
+/// The coordinate-descent inner loop evaluates `phasors[t][atom] ·
+/// state_phasor` for every atom × state × sweep; tabulating the products
+/// once makes that loop add/compare only. Because `PhaseCode::phase()` is
+/// a pure function of `(index, bits)` and each product is formed from the
+/// exact same operands, table lookups are bit-identical to the on-the-fly
+/// multiplies they replace.
+///
+/// The table depends only on the solver (not on targets), so callers
+/// solving many targets against one geometry — [`WeightSolver`] users like
+/// the weight mapper — build it once and share it read-only across
+/// workers.
+#[derive(Clone, Debug)]
+pub struct StateTable {
+    contrib: Vec<Vec<C64>>,
+    n_states: usize,
+}
+
+/// Reusable per-worker workspace for [`WeightSolver::solve_with`]: the
+/// codes and running-sums buffers that would otherwise be reallocated per
+/// call.
+#[derive(Clone, Debug, Default)]
+pub struct SolverScratch {
+    codes: Vec<PhaseCode>,
+    sums: Vec<C64>,
+}
+
+impl SolverScratch {
+    /// An empty workspace; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        SolverScratch::default()
+    }
+}
+
 /// Result of solving for one configuration.
 #[derive(Clone, Debug)]
 pub struct SolveResult {
@@ -94,16 +131,19 @@ impl WeightSolver {
         let states: Vec<f64> = (0..(1usize << self.bits))
             .map(|i| PhaseCode::new(i as u8, self.bits).phase())
             .collect();
+        // `arg()` is independent of ψ — hoist it out of the grid loop
+        // (the grid re-evaluated atan2 64× per atom before).
+        let args: Vec<f64> = self.phasors[k].iter().map(|u| u.arg()).collect();
         let mut min_r = f64::INFINITY;
         let grid = 64;
         for g in 0..grid {
             let psi = std::f64::consts::TAU * g as f64 / grid as f64;
-            let r: f64 = self.phasors[k]
+            let r: f64 = args
                 .iter()
-                .map(|u| {
+                .map(|&a| {
                     states
                         .iter()
-                        .map(|&s| (u.arg() + s - psi).cos())
+                        .map(|&s| (a + s - psi).cos())
                         .fold(f64::NEG_INFINITY, f64::max)
                 })
                 .sum();
@@ -112,70 +152,135 @@ impl WeightSolver {
         min_r
     }
 
+    /// Builds the per-atom state-contribution table for this solver. Build
+    /// it once and pass it to [`solve_with`](Self::solve_with) when solving
+    /// many targets against the same geometry.
+    pub fn state_table(&self) -> StateTable {
+        let n_states = 1usize << self.bits;
+        let state_phasors: Vec<C64> = (0..n_states)
+            .map(|i| C64::cis(PhaseCode::new(i as u8, self.bits).phase()))
+            .collect();
+        let contrib = self
+            .phasors
+            .iter()
+            .map(|row| {
+                let mut c = Vec::with_capacity(row.len() * n_states);
+                for &u in row {
+                    for &sp in &state_phasors {
+                        c.push(u * sp);
+                    }
+                }
+                c
+            })
+            .collect();
+        StateTable { contrib, n_states }
+    }
+
     /// Solves for one shared configuration approximating `targets[k]` on
     /// target `k`'s phasor set (all in normalized units, i.e. `H_des / α`).
+    ///
+    /// Builds the state table once per call; batch callers should build it
+    /// themselves and use [`solve_with`](Self::solve_with).
     pub fn solve(&self, targets: &[C64]) -> SolveResult {
+        self.solve_with(targets, &self.state_table(), &mut SolverScratch::new())
+    }
+
+    /// [`solve`](Self::solve) with a caller-provided state table and
+    /// reusable workspace. `table` must come from this solver's
+    /// [`state_table`](Self::state_table).
+    ///
+    /// Results are bitwise identical to the pre-table kernel: every product
+    /// the original inner loop computed on the fly is looked up instead
+    /// (same operands, same operation), and the summation order
+    /// `(sums[t] + contrib) − targets[t]` is preserved exactly — do not
+    /// "simplify" it to `(sums − targets) + contrib`, floating-point
+    /// addition is not associative.
+    pub fn solve_with(
+        &self,
+        targets: &[C64],
+        table: &StateTable,
+        scratch: &mut SolverScratch,
+    ) -> SolveResult {
         assert_eq!(
             targets.len(),
             self.num_targets(),
             "one target per phasor set"
         );
+        assert_eq!(
+            table.contrib.len(),
+            self.num_targets(),
+            "state table built for a different solver"
+        );
         let k = self.num_targets();
-        let n_states = 1usize << self.bits;
-        let state_phasors: Vec<C64> = (0..n_states)
-            .map(|i| C64::cis(PhaseCode::new(i as u8, self.bits).phase()))
-            .collect();
+        let n_states = table.n_states;
 
         // Phase-aligned initialization against the first target: point each
         // atom's contribution at the target direction.
-        let mut codes: Vec<PhaseCode> = self.phasors[0]
-            .iter()
-            .map(|u| PhaseCode::quantize(targets[0].arg() - u.arg(), self.bits))
-            .collect();
+        scratch.codes.clear();
+        scratch.codes.extend(
+            self.phasors[0]
+                .iter()
+                .map(|u| PhaseCode::quantize(targets[0].arg() - u.arg(), self.bits)),
+        );
+        let codes = &mut scratch.codes;
 
-        // Running sums per target.
-        let mut sums: Vec<C64> = (0..k)
-            .map(|t| {
-                self.phasors[t]
-                    .iter()
-                    .zip(&codes)
-                    .map(|(&u, c)| u * C64::cis(c.phase()))
-                    .sum()
-            })
-            .collect();
+        // Running sums per target (left fold from zero, matching `Sum`).
+        scratch.sums.clear();
+        scratch.sums.extend((0..k).map(|t| {
+            codes
+                .iter()
+                .enumerate()
+                .map(|(atom, c)| table.contrib[t][atom * n_states + c.index as usize])
+                .fold(C64::ZERO, |a, b| a + b)
+        }));
+        let sums = &mut scratch.sums;
 
         let mut sweeps = 0;
         for sweep in 0..self.max_sweeps {
             sweeps = sweep + 1;
             let mut changed = false;
             for (atom, code) in codes.iter_mut().enumerate() {
+                let base = atom * n_states;
                 // Remove this atom's contribution from every sum.
-                let current = C64::cis(code.phase());
                 for (t, sum) in sums.iter_mut().enumerate() {
-                    *sum -= self.phasors[t][atom] * current;
+                    *sum -= table.contrib[t][base + code.index as usize];
                 }
                 // Try every state; keep the one minimizing total error.
                 let mut best_state = code.index as usize;
                 let mut best_err = f64::INFINITY;
-                for (s, &sp) in state_phasors.iter().enumerate() {
-                    let err: f64 = (0..k)
-                        .map(|t| {
-                            let trial = sums[t] + self.phasors[t][atom] * sp;
-                            (trial - targets[t]).norm_sq()
-                        })
-                        .sum();
-                    if err < best_err {
-                        best_err = err;
-                        best_state = s;
+                if k == 1 {
+                    // Single-target fast path (the mapper's case). A
+                    // one-element f64 sum is `0.0 + x = x`, so this matches
+                    // the generic loop bit for bit.
+                    let (sum0, target0) = (sums[0], targets[0]);
+                    let row = &table.contrib[0][base..base + n_states];
+                    for (s, &c) in row.iter().enumerate() {
+                        let err = (sum0 + c - target0).norm_sq();
+                        if err < best_err {
+                            best_err = err;
+                            best_state = s;
+                        }
+                    }
+                } else {
+                    for s in 0..n_states {
+                        let err: f64 = (0..k)
+                            .map(|t| {
+                                let trial = sums[t] + table.contrib[t][base + s];
+                                (trial - targets[t]).norm_sq()
+                            })
+                            .sum();
+                        if err < best_err {
+                            best_err = err;
+                            best_state = s;
+                        }
                     }
                 }
                 if best_state != code.index as usize {
                     changed = true;
                     *code = PhaseCode::new(best_state as u8, self.bits);
                 }
-                let chosen = state_phasors[best_state];
                 for (t, sum) in sums.iter_mut().enumerate() {
-                    *sum += self.phasors[t][atom] * chosen;
+                    *sum += table.contrib[t][base + best_state];
                 }
             }
             if !changed {
@@ -190,8 +295,8 @@ impl WeightSolver {
             .sum::<f64>()
             .sqrt();
         SolveResult {
-            codes,
-            achieved: sums,
+            codes: codes.clone(),
+            achieved: sums.clone(),
             residual,
             sweeps,
         }
@@ -312,6 +417,133 @@ mod tests {
             e2 += s2.solve_one(t).residual;
         }
         assert!(e2 < e1, "2-bit {e2} must beat 1-bit {e1}");
+    }
+
+    /// The pre-table coordinate-descent kernel, kept verbatim as the
+    /// reference the optimised `solve` must match bit for bit.
+    fn reference_solve(solver: &WeightSolver, targets: &[C64]) -> SolveResult {
+        assert_eq!(targets.len(), solver.num_targets());
+        let k = solver.num_targets();
+        let n_states = 1usize << solver.bits;
+        let state_phasors: Vec<C64> = (0..n_states)
+            .map(|i| C64::cis(PhaseCode::new(i as u8, solver.bits).phase()))
+            .collect();
+        let mut codes: Vec<PhaseCode> = solver.phasors[0]
+            .iter()
+            .map(|u| PhaseCode::quantize(targets[0].arg() - u.arg(), solver.bits))
+            .collect();
+        let mut sums: Vec<C64> = (0..k)
+            .map(|t| {
+                solver.phasors[t]
+                    .iter()
+                    .zip(&codes)
+                    .map(|(&u, c)| u * C64::cis(c.phase()))
+                    .sum()
+            })
+            .collect();
+        let mut sweeps = 0;
+        for sweep in 0..solver.max_sweeps {
+            sweeps = sweep + 1;
+            let mut changed = false;
+            for (atom, code) in codes.iter_mut().enumerate() {
+                let current = C64::cis(code.phase());
+                for (t, sum) in sums.iter_mut().enumerate() {
+                    *sum -= solver.phasors[t][atom] * current;
+                }
+                let mut best_state = code.index as usize;
+                let mut best_err = f64::INFINITY;
+                for (s, &sp) in state_phasors.iter().enumerate() {
+                    let err: f64 = (0..k)
+                        .map(|t| {
+                            let trial = sums[t] + solver.phasors[t][atom] * sp;
+                            (trial - targets[t]).norm_sq()
+                        })
+                        .sum();
+                    if err < best_err {
+                        best_err = err;
+                        best_state = s;
+                    }
+                }
+                if best_state != code.index as usize {
+                    changed = true;
+                    *code = PhaseCode::new(best_state as u8, solver.bits);
+                }
+                let chosen = state_phasors[best_state];
+                for (t, sum) in sums.iter_mut().enumerate() {
+                    *sum += solver.phasors[t][atom] * chosen;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let residual = sums
+            .iter()
+            .zip(targets)
+            .map(|(&s, &t)| (s - t).norm_sq())
+            .sum::<f64>()
+            .sqrt();
+        SolveResult {
+            codes,
+            achieved: sums,
+            residual,
+            sweeps,
+        }
+    }
+
+    #[test]
+    fn table_solve_matches_reference_kernel_bitwise() {
+        let mut rng = SimRng::seed_from_u64(23);
+        for &(m, bits) in &[(64usize, 1u8), (128, 2), (96, 3)] {
+            let solver = WeightSolver::single(random_phasors(m, 1000 + m as u64), bits);
+            let table = solver.state_table();
+            let mut scratch = SolverScratch::new();
+            for _ in 0..10 {
+                let target = C64::from_polar(0.7 * m as f64 * rng.uniform(), rng.phase());
+                let fast = solver.solve_with(&[target], &table, &mut scratch);
+                let refr = reference_solve(&solver, &[target]);
+                assert_eq!(fast.codes, refr.codes);
+                assert_eq!(fast.sweeps, refr.sweeps);
+                assert_eq!(fast.residual.to_bits(), refr.residual.to_bits());
+                for (a, b) in fast.achieved.iter().zip(&refr.achieved) {
+                    assert_eq!(a.re.to_bits(), b.re.to_bits());
+                    assert_eq!(a.im.to_bits(), b.im.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn joint_table_solve_matches_reference_kernel_bitwise() {
+        let m = 64;
+        let phasors: Vec<Vec<C64>> = (0..4).map(|t| random_phasors(m, 300 + t as u64)).collect();
+        let solver = WeightSolver::joint(phasors, 2);
+        let table = solver.state_table();
+        let mut scratch = SolverScratch::new();
+        let mut rng = SimRng::seed_from_u64(29);
+        for _ in 0..5 {
+            let targets: Vec<C64> = (0..4)
+                .map(|_| C64::from_polar(0.3 * m as f64, rng.phase()))
+                .collect();
+            let fast = solver.solve_with(&targets, &table, &mut scratch);
+            let refr = reference_solve(&solver, &targets);
+            assert_eq!(fast.codes, refr.codes);
+            assert_eq!(fast.residual.to_bits(), refr.residual.to_bits());
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_does_not_change_results() {
+        let solver = WeightSolver::single(random_phasors(64, 31), 2);
+        let table = solver.state_table();
+        let mut scratch = SolverScratch::new();
+        let t1 = C64::new(10.0, -5.0);
+        let t2 = C64::new(-3.0, 12.0);
+        let first = solver.solve_with(&[t1], &table, &mut scratch);
+        let _ = solver.solve_with(&[t2], &table, &mut scratch);
+        let again = solver.solve_with(&[t1], &table, &mut scratch);
+        assert_eq!(first.codes, again.codes);
+        assert_eq!(first.residual.to_bits(), again.residual.to_bits());
     }
 
     #[test]

@@ -93,6 +93,16 @@ impl Augmentation {
 
     /// Applies the augmentation to one input.
     pub fn apply(&self, x: &CVec, rng: &mut SimRng) -> CVec {
+        let mut out = CVec::zeros(0);
+        self.apply_into(x, &mut out, rng);
+        out
+    }
+
+    /// Applies the augmentation, writing the result into `out` (resized as
+    /// needed). Draws the exact same RNG sequence as [`Augmentation::apply`]
+    /// and produces bit-identical values — this is the allocation-free path
+    /// the training engine uses per sample.
+    pub fn apply_into(&self, x: &CVec, out: &mut CVec, rng: &mut SimRng) {
         match *self {
             Augmentation::CyclicShiftGamma {
                 shape,
@@ -101,7 +111,14 @@ impl Augmentation {
             } => {
                 let us = rng.gamma(shape, scale_us) - shape * scale_us;
                 let shift = (us * 1e-6 * symbol_rate).round() as isize;
-                x.cyclic_shift_signed(shift)
+                let n = x.len();
+                out.resize(n);
+                if n > 0 {
+                    let s = shift.rem_euclid(n as isize) as usize;
+                    for (i, o) in out.as_mut_slice().iter_mut().enumerate() {
+                        *o = x[(i + s) % n];
+                    }
+                }
             }
             Augmentation::InputSnr {
                 snr_db_min,
@@ -114,22 +131,49 @@ impl Augmentation {
                     x.norm() * x.norm() / x.len() as f64
                 };
                 let var = power / metaai_math::stats::from_db(snr_db);
-                CVec::from_fn(x.len(), |i| x[i] + rng.complex_gaussian(var))
+                out.resize(x.len());
+                for (i, o) in out.as_mut_slice().iter_mut().enumerate() {
+                    *o = x[i] + rng.complex_gaussian(var);
+                }
             }
-            Augmentation::Multiplicative { sigma } => CVec::from_fn(x.len(), |i| {
-                x[i] * (metaai_math::C64::ONE + rng.complex_gaussian(sigma * sigma))
-            }),
+            Augmentation::Multiplicative { sigma } => {
+                out.resize(x.len());
+                for (i, o) in out.as_mut_slice().iter_mut().enumerate() {
+                    *o = x[i] * (metaai_math::C64::ONE + rng.complex_gaussian(sigma * sigma));
+                }
+            }
         }
     }
 }
 
 /// Applies a chain of augmentations in order.
 pub fn apply_all(augs: &[Augmentation], x: &CVec, rng: &mut SimRng) -> CVec {
-    let mut out = x.clone();
-    for a in augs {
-        out = a.apply(&out, rng);
-    }
+    let mut out = CVec::zeros(0);
+    let mut tmp = CVec::zeros(0);
+    apply_all_into(augs, x, &mut out, &mut tmp, &mut *rng);
     out
+}
+
+/// Applies a chain of augmentations in order without allocating: the result
+/// lands in `out`, with `tmp` used as the ping-pong buffer for chains of two
+/// or more. Draw order (and hence every output bit) matches [`apply_all`].
+pub fn apply_all_into(
+    augs: &[Augmentation],
+    x: &CVec,
+    out: &mut CVec,
+    tmp: &mut CVec,
+    rng: &mut SimRng,
+) {
+    match augs {
+        [] => out.copy_from(x),
+        [first, rest @ ..] => {
+            first.apply_into(x, out, rng);
+            for a in rest {
+                std::mem::swap(out, tmp);
+                a.apply_into(tmp, out, rng);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -217,6 +261,27 @@ mod tests {
         let y = apply_all(&augs, &x, &mut rng);
         assert_eq!(y.len(), x.len());
         assert!(y != x);
+    }
+
+    #[test]
+    fn apply_into_matches_apply_with_dirty_buffers() {
+        // Reusing (and never clearing) the scratch buffers across calls of
+        // different lengths must give the same bits as fresh allocation.
+        let augs = [
+            Augmentation::cdfa_coarse_only(),
+            Augmentation::noise_default(),
+            Augmentation::hardware_noise_default(),
+        ];
+        let mut out = CVec::zeros(0);
+        let mut tmp = CVec::zeros(0);
+        let mut rng_a = SimRng::seed_from_u64(11);
+        let mut rng_b = SimRng::seed_from_u64(11);
+        for n in [48usize, 16, 32] {
+            let x = sample(n);
+            let fresh = apply_all(&augs, &x, &mut rng_a);
+            apply_all_into(&augs, &x, &mut out, &mut tmp, &mut rng_b);
+            assert_eq!(fresh, out);
+        }
     }
 
     #[test]

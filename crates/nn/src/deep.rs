@@ -9,6 +9,7 @@
 //! substitution table).
 
 use crate::data::RealDataset;
+use crate::engine::{fold_batch, GRAD_SUBCHUNK};
 use metaai_math::rng::SimRng;
 use metaai_math::stats::{argmax, softmax};
 use metaai_math::RMat;
@@ -114,7 +115,39 @@ impl DeepMlp {
     }
 }
 
+/// Per-sub-chunk gradient scratch for the deep trainer.
+struct DeepGrad {
+    w: Vec<RMat>,
+    b: Vec<Vec<f64>>,
+}
+
+impl DeepGrad {
+    fn like(net: &DeepMlp) -> Self {
+        DeepGrad {
+            w: net
+                .layers
+                .iter()
+                .map(|w| RMat::zeros(w.rows(), w.cols()))
+                .collect(),
+            b: net.biases.iter().map(|b| vec![0.0; b.len()]).collect(),
+        }
+    }
+
+    fn reset(&mut self) {
+        for w in &mut self.w {
+            w.as_mut_slice().fill(0.0);
+        }
+        for b in &mut self.b {
+            b.fill(0.0);
+        }
+    }
+}
+
 /// Trains the deep baseline with momentum SGD and cross-entropy.
+///
+/// Mini-batches fold through [`fold_batch`], so the result is bitwise
+/// independent of the rayon worker count; the epoch shuffle draws from a
+/// counter-derived stream indexed by epoch.
 pub fn train_deep(data: &RealDataset, cfg: &DeepConfig) -> DeepMlp {
     assert!(!data.is_empty(), "cannot train on an empty dataset");
     let mut rng = SimRng::derive(cfg.seed, "train-deep");
@@ -126,57 +159,72 @@ pub fn train_deep(data: &RealDataset, cfg: &DeepConfig) -> DeepMlp {
         .collect();
     let mut vel_b: Vec<Vec<f64>> = net.biases.iter().map(|b| vec![0.0; b.len()]).collect();
 
-    for _epoch in 0..cfg.epochs {
-        let order = rng.permutation(data.len());
-        for chunk in order.chunks(cfg.batch) {
-            let mut grad_w: Vec<RMat> = net
-                .layers
-                .iter()
-                .map(|w| RMat::zeros(w.rows(), w.cols()))
-                .collect();
-            let mut grad_b: Vec<Vec<f64>> = net.biases.iter().map(|b| vec![0.0; b.len()]).collect();
+    let shuffle_stream = SimRng::stream_id("train-deep-shuffle");
+    let slots = cfg.batch.min(data.len()).div_ceil(GRAD_SUBCHUNK);
+    let mut scratch: Vec<DeepGrad> = (0..slots).map(|_| DeepGrad::like(&net)).collect();
 
-            for &idx in chunk {
-                let x = &data.inputs[idx];
-                let label = data.labels[idx];
-                let acts = net.forward_trace(x);
-                let logits = acts.last().expect("trace");
-                let probs = softmax(logits);
-                // δ at the output layer.
-                let mut delta: Vec<f64> = probs
-                    .iter()
-                    .enumerate()
-                    .map(|(k, &p)| p - if k == label { 1.0 } else { 0.0 })
-                    .collect();
-                // Backpropagate.
-                for l in (0..net.layers.len()).rev() {
-                    grad_w[l].add_outer(1.0, &delta, &acts[l]);
-                    for (gb, d) in grad_b[l].iter_mut().zip(&delta) {
-                        *gb += d;
-                    }
-                    if l > 0 {
-                        let mut prev = net.layers[l].matvec_t(&delta);
-                        // ReLU mask of the previous activation.
-                        for (p, a) in prev.iter_mut().zip(&acts[l]) {
-                            if *a <= 0.0 {
-                                *p = 0.0;
-                            }
+    for epoch in 0..cfg.epochs {
+        let order =
+            SimRng::derive_indexed(cfg.seed, shuffle_stream, epoch as u64).permutation(data.len());
+        for chunk in order.chunks(cfg.batch) {
+            let net_ref = &net;
+            fold_batch(
+                chunk,
+                0,
+                &mut scratch,
+                DeepGrad::reset,
+                |g, _pos, idx| {
+                    let x = &data.inputs[idx];
+                    let label = data.labels[idx];
+                    let acts = net_ref.forward_trace(x);
+                    let logits = acts.last().expect("trace");
+                    let probs = softmax(logits);
+                    // δ at the output layer.
+                    let mut delta: Vec<f64> = probs
+                        .iter()
+                        .enumerate()
+                        .map(|(k, &p)| p - if k == label { 1.0 } else { 0.0 })
+                        .collect();
+                    // Backpropagate.
+                    for l in (0..net_ref.layers.len()).rev() {
+                        g.w[l].add_outer(1.0, &delta, &acts[l]);
+                        for (gb, d) in g.b[l].iter_mut().zip(&delta) {
+                            *gb += d;
                         }
-                        delta = prev;
+                        if l > 0 {
+                            let mut prev = net_ref.layers[l].matvec_t(&delta);
+                            // ReLU mask of the previous activation.
+                            for (p, a) in prev.iter_mut().zip(&acts[l]) {
+                                if *a <= 0.0 {
+                                    *p = 0.0;
+                                }
+                            }
+                            delta = prev;
+                        }
                     }
-                }
-            }
+                },
+                |acc, part| {
+                    for (a, p) in acc.w.iter_mut().zip(&part.w) {
+                        a.axpy(1.0, p);
+                    }
+                    for (a, p) in acc.b.iter_mut().zip(&part.b) {
+                        for (ai, pi) in a.iter_mut().zip(p) {
+                            *ai += pi;
+                        }
+                    }
+                },
+            );
 
             let inv = 1.0 / chunk.len() as f64;
+            let merged = &scratch[0];
             for l in 0..net.layers.len() {
-                grad_w[l].scale_mut(inv);
                 vel_w[l].scale_mut(cfg.momentum);
-                vel_w[l].axpy(-cfg.lr, &grad_w[l]);
+                vel_w[l].axpy(-cfg.lr * inv, &merged.w[l]);
                 net.layers[l].axpy(1.0, &vel_w[l]);
                 for ((b, v), g) in net.biases[l]
                     .iter_mut()
                     .zip(vel_b[l].iter_mut())
-                    .zip(&grad_b[l])
+                    .zip(&merged.b[l])
                 {
                     *v = cfg.momentum * *v - cfg.lr * g * inv;
                     *b += *v;

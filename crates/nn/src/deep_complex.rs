@@ -16,6 +16,7 @@
 //! the linear network, validated numerically in the tests.
 
 use crate::data::ComplexDataset;
+use crate::engine::{fold_batch, GRAD_SUBCHUNK};
 use crate::loss::magnitude_ce;
 use metaai_math::rng::SimRng;
 use metaai_math::stats::argmax;
@@ -201,7 +202,39 @@ impl DeepComplex {
     }
 }
 
+/// Per-sub-chunk gradient scratch for the deep complex trainer.
+struct DeepComplexGrad {
+    w: Vec<CMat>,
+    b: Vec<Vec<f64>>,
+}
+
+impl DeepComplexGrad {
+    fn like(net: &DeepComplex) -> Self {
+        DeepComplexGrad {
+            w: net
+                .layers
+                .iter()
+                .map(|w| CMat::zeros(w.rows(), w.cols()))
+                .collect(),
+            b: net.biases.iter().map(|b| vec![0.0; b.len()]).collect(),
+        }
+    }
+
+    fn reset(&mut self) {
+        for w in &mut self.w {
+            w.as_mut_slice().fill(C64::ZERO);
+        }
+        for b in &mut self.b {
+            b.fill(0.0);
+        }
+    }
+}
+
 /// Trains a deep complex network with momentum SGD.
+///
+/// Mini-batches fold through [`fold_batch`], so the result is bitwise
+/// independent of the rayon worker count; the epoch shuffle draws from a
+/// counter-derived stream indexed by epoch.
 pub fn train_deep_complex(data: &ComplexDataset, cfg: &DeepComplexConfig) -> DeepComplex {
     assert!(!data.is_empty(), "cannot train on an empty dataset");
     let mut rng = SimRng::derive(cfg.seed, "train-deep-complex");
@@ -213,37 +246,55 @@ pub fn train_deep_complex(data: &ComplexDataset, cfg: &DeepComplexConfig) -> Dee
         .collect();
     let mut vel_b: Vec<Vec<f64>> = net.biases.iter().map(|b| vec![0.0; b.len()]).collect();
 
-    for _ in 0..cfg.epochs {
-        let order = rng.permutation(data.len());
+    let shuffle_stream = SimRng::stream_id("train-deep-complex-shuffle");
+    let slots = cfg.batch.min(data.len()).div_ceil(GRAD_SUBCHUNK);
+    let mut scratch: Vec<DeepComplexGrad> =
+        (0..slots).map(|_| DeepComplexGrad::like(&net)).collect();
+
+    for epoch in 0..cfg.epochs {
+        let order =
+            SimRng::derive_indexed(cfg.seed, shuffle_stream, epoch as u64).permutation(data.len());
         for chunk in order.chunks(cfg.batch) {
-            let mut acc_w: Vec<CMat> = net
-                .layers
-                .iter()
-                .map(|w| CMat::zeros(w.rows(), w.cols()))
-                .collect();
-            let mut acc_b: Vec<Vec<f64>> = net.biases.iter().map(|b| vec![0.0; b.len()]).collect();
-            for &idx in chunk {
-                let (_, gw, gb) = net.loss_and_grads(&data.inputs[idx], data.labels[idx]);
-                for (a, g) in acc_w.iter_mut().zip(&gw) {
-                    a.axpy(1.0, g);
-                }
-                for (a, g) in acc_b.iter_mut().zip(&gb) {
-                    for (ai, gi) in a.iter_mut().zip(g) {
-                        *ai += gi;
+            let net_ref = &net;
+            fold_batch(
+                chunk,
+                0,
+                &mut scratch,
+                DeepComplexGrad::reset,
+                |g, _pos, idx| {
+                    let (_, gw, gb) = net_ref.loss_and_grads(&data.inputs[idx], data.labels[idx]);
+                    for (a, gl) in g.w.iter_mut().zip(&gw) {
+                        a.axpy(1.0, gl);
                     }
-                }
-            }
+                    for (a, gl) in g.b.iter_mut().zip(&gb) {
+                        for (ai, gi) in a.iter_mut().zip(gl) {
+                            *ai += gi;
+                        }
+                    }
+                },
+                |acc, part| {
+                    for (a, p) in acc.w.iter_mut().zip(&part.w) {
+                        a.axpy(1.0, p);
+                    }
+                    for (a, p) in acc.b.iter_mut().zip(&part.b) {
+                        for (ai, pi) in a.iter_mut().zip(p) {
+                            *ai += pi;
+                        }
+                    }
+                },
+            );
+
             let inv = 1.0 / chunk.len() as f64;
-            for l in 0..net.layers.len() {
-                acc_w[l].scale_mut(inv);
-                vel_w[l].scale_mut(cfg.momentum);
-                vel_w[l].axpy(-cfg.lr, &acc_w[l]);
-                net.layers[l].axpy(1.0, &vel_w[l]);
+            let merged = &scratch[0];
+            for ((layer, vel), grad) in net.layers.iter_mut().zip(&mut vel_w).zip(&merged.w) {
+                vel.scale_mut(cfg.momentum);
+                vel.axpy(-cfg.lr * inv, grad);
+                layer.axpy(1.0, vel);
             }
-            for l in 0..net.biases.len() {
-                for i in 0..net.biases[l].len() {
-                    vel_b[l][i] = cfg.momentum * vel_b[l][i] - cfg.lr * acc_b[l][i] * inv;
-                    net.biases[l][i] += vel_b[l][i];
+            for ((bias, vel), grad) in net.biases.iter_mut().zip(&mut vel_b).zip(&merged.b) {
+                for ((bi, vi), gi) in bias.iter_mut().zip(vel.iter_mut()).zip(grad) {
+                    *vi = cfg.momentum * *vi - cfg.lr * gi * inv;
+                    *bi += *vi;
                 }
             }
         }

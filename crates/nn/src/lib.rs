@@ -9,7 +9,8 @@
 //! * the complex linear network with Wirtinger-calculus gradients
 //!   ([`complex_lnn`]),
 //! * magnitude + softmax cross-entropy loss ([`loss`]),
-//! * the training loop with augmentation hooks ([`train`]),
+//! * the batched deterministic training engine ([`engine`]) and the
+//!   config/telemetry types plus compatibility shims around it ([`train`]),
 //! * the CDFA cyclic-shift and SNR-degradation augmentations
 //!   ([`augment`]),
 //! * the DiscreteNN baseline trained with discrete weights from the start
@@ -30,6 +31,7 @@ pub mod data;
 pub mod deep;
 pub mod deep_complex;
 pub mod discrete;
+pub mod engine;
 pub mod io;
 pub mod loss;
 pub mod metrics;
@@ -38,4 +40,5 @@ pub mod train;
 
 pub use complex_lnn::ComplexLnn;
 pub use data::{ComplexDataset, RealDataset};
+pub use engine::TrainEngine;
 pub use train::{train_complex, TrainConfig};

@@ -16,6 +16,7 @@
 //! digital LNN, which is exactly what this simulator reproduces.
 
 use crate::data::ComplexDataset;
+use crate::engine::{fold_batch, GRAD_SUBCHUNK};
 use crate::loss::magnitude_ce;
 use metaai_math::rng::SimRng;
 use metaai_math::stats::argmax;
@@ -160,6 +161,10 @@ impl StackedPnn {
 }
 
 /// Trains the stacked PNN's phases with momentum SGD.
+///
+/// Mini-batches fold through [`fold_batch`], so the result is bitwise
+/// independent of the rayon worker count; the epoch shuffle draws from a
+/// counter-derived stream indexed by epoch.
 pub fn train_stacked(
     data: &ComplexDataset,
     layers: usize,
@@ -175,22 +180,41 @@ pub fn train_stacked(
     let momentum = 0.9;
     let batch = 32;
 
-    for _ in 0..epochs {
-        let order = rng.permutation(data.len());
+    let shuffle_stream = SimRng::stream_id("train-pnn-shuffle");
+    let slots = batch.min(data.len()).div_ceil(GRAD_SUBCHUNK);
+    let theta_shapes: Vec<Vec<f64>> = net.thetas.iter().map(|t| vec![0.0; t.len()]).collect();
+    let mut scratch: Vec<Vec<Vec<f64>>> = (0..slots).map(|_| theta_shapes.clone()).collect();
+
+    for epoch in 0..epochs {
+        let order =
+            SimRng::derive_indexed(seed, shuffle_stream, epoch as u64).permutation(data.len());
         for chunk in order.chunks(batch) {
-            let mut acc: Vec<Vec<f64>> = net.thetas.iter().map(|t| vec![0.0; t.len()]).collect();
-            for &idx in chunk {
-                let (_, grads) = net.loss_and_grads(&data.inputs[idx], data.labels[idx]);
-                for (a, g) in acc.iter_mut().zip(&grads) {
-                    for (ai, gi) in a.iter_mut().zip(g) {
-                        *ai += gi;
+            let net_ref = &net;
+            fold_batch(
+                chunk,
+                0,
+                &mut scratch,
+                |g| g.iter_mut().for_each(|layer| layer.fill(0.0)),
+                |g, _pos, idx| {
+                    let (_, grads) = net_ref.loss_and_grads(&data.inputs[idx], data.labels[idx]);
+                    for (a, gl) in g.iter_mut().zip(&grads) {
+                        for (ai, gi) in a.iter_mut().zip(gl) {
+                            *ai += gi;
+                        }
                     }
-                }
-            }
+                },
+                |acc, part| {
+                    for (a, p) in acc.iter_mut().zip(part) {
+                        for (ai, pi) in a.iter_mut().zip(p) {
+                            *ai += pi;
+                        }
+                    }
+                },
+            );
             let inv = 1.0 / chunk.len() as f64;
             for l in 0..net.thetas.len() {
                 for i in 0..net.thetas[l].len() {
-                    vel[l][i] = momentum * vel[l][i] - lr * acc[l][i] * inv;
+                    vel[l][i] = momentum * vel[l][i] - lr * scratch[0][l][i] * inv;
                     net.thetas[l][i] += vel[l][i];
                 }
             }

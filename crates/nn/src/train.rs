@@ -2,12 +2,17 @@
 //!
 //! Hyperparameters default to the paper's (Sec 4): learning rate
 //! 8 × 10⁻³, momentum 0.95, batch size 64, 60 epochs.
+//!
+//! The training loop itself lives in [`crate::engine::TrainEngine`] —
+//! batched, deterministic, and bitwise independent of the worker count.
+//! The free functions here are thin shims kept for source compatibility.
 
-use crate::augment::{apply_all, Augmentation};
+use crate::augment::Augmentation;
 use crate::complex_lnn::ComplexLnn;
 use crate::data::ComplexDataset;
+use crate::engine::TrainEngine;
 use metaai_math::rng::SimRng;
-use metaai_math::{CMat, CVec};
+use metaai_math::CVec;
 use rayon::prelude::*;
 
 /// Training configuration.
@@ -68,64 +73,18 @@ pub struct EpochStats {
 }
 
 /// Trains a [`ComplexLnn`] on `data`, returning the network and per-epoch
-/// statistics.
+/// statistics. Thin shim over [`TrainEngine::train_with_stats`].
 pub fn train_complex_with_stats(
     data: &ComplexDataset,
     cfg: &TrainConfig,
 ) -> (ComplexLnn, Vec<EpochStats>) {
-    assert!(!data.is_empty(), "cannot train on an empty dataset");
-    assert!(cfg.batch >= 1, "batch size must be at least 1");
-    let mut rng = SimRng::derive(cfg.seed, "train-complex");
-    let mut net = ComplexLnn::init(data.num_classes, data.input_len(), &mut rng);
-    let mut velocity = CMat::zeros(data.num_classes, data.input_len());
-    let mut stats = Vec::with_capacity(cfg.epochs);
-
-    for epoch in 0..cfg.epochs {
-        let order = rng.permutation(data.len());
-        let mut epoch_loss = 0.0;
-        let mut correct = 0usize;
-
-        for chunk in order.chunks(cfg.batch) {
-            let mut grad = CMat::zeros(data.num_classes, data.input_len());
-            for &idx in chunk {
-                let x = if cfg.augmentations.is_empty() {
-                    data.inputs[idx].clone()
-                } else {
-                    apply_all(&cfg.augmentations, &data.inputs[idx], &mut rng)
-                };
-                let out = net.accumulate_grad(&x, data.labels[idx], &mut grad);
-                epoch_loss += out.loss;
-                if out.predicted == data.labels[idx] {
-                    correct += 1;
-                }
-            }
-            grad.scale_mut(1.0 / chunk.len() as f64);
-            // v ← μ·v − lr·g; W ← W + v
-            velocity.scale_mut(cfg.momentum);
-            velocity.axpy(-cfg.lr, &grad);
-            for (w, &v) in net
-                .weights
-                .as_mut_slice()
-                .iter_mut()
-                .zip(velocity.as_slice())
-            {
-                *w += v;
-            }
-        }
-
-        stats.push(EpochStats {
-            epoch,
-            loss: epoch_loss / data.len() as f64,
-            accuracy: correct as f64 / data.len() as f64,
-        });
-    }
-
-    (net, stats)
+    TrainEngine::new(cfg.clone()).train_with_stats(data)
 }
 
-/// Trains a [`ComplexLnn`] and discards telemetry.
+/// Trains a [`ComplexLnn`] and discards telemetry. Thin shim over
+/// [`TrainEngine::train`].
 pub fn train_complex(data: &ComplexDataset, cfg: &TrainConfig) -> ComplexLnn {
-    train_complex_with_stats(data, cfg).0
+    TrainEngine::new(cfg.clone()).train(data)
 }
 
 /// Parallel test-set evaluation.

@@ -64,7 +64,9 @@ fn main() {
     }
     .with_augmentation(Augmentation::cdfa_default())
     .with_augmentation(Augmentation::noise_default());
-    let door = MetaAiSystem::build(&train, &config, &tcfg);
+    let door = MetaAiSystem::builder()
+        .config(config.clone())
+        .train_and_deploy(&train, &tcfg);
     println!(
         "door controller enrolled {} identities ({} captures)",
         volunteers,
@@ -74,6 +76,7 @@ fn main() {
     // Access attempts: each volunteer walks up 20 times.
     let mut correct = 0;
     let mut total = 0;
+    let engine = door.engine();
     for (v, face) in faces.iter().enumerate() {
         for t in 0..20 {
             let mut srng = SimRng::derive(3000, &format!("attempt-{v}-{t}"));
@@ -81,7 +84,7 @@ fn main() {
             let image = capture(face, lights[b], &mut srng);
             let x = encode_sample(&image, config.modulation);
             let cond = door.default_conditions(x.len(), &mut srng);
-            let decided = door.infer(&x, &cond, &mut srng);
+            let decided = engine.predict(&x, &cond, &mut srng);
             if decided == v {
                 correct += 1;
             }

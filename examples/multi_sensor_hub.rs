@@ -55,7 +55,9 @@ fn main() {
         let train = fuse_views(&train_views, n);
         let test = fuse_views(&test_views, n);
         let offsets = segment_offsets(&train_views, n);
-        let hub = MetaAiSystem::build(&train, &config, &tcfg);
+        let hub = MetaAiSystem::builder()
+            .config(config.clone())
+            .train_and_deploy(&train, &tcfg);
         let acc = hub.ota_accuracy(&test, &format!("hub-{n}"));
         println!(
             "{:<28} U = {:>4} symbols (segments at {:?}): {:.1} %",

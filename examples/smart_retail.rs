@@ -43,7 +43,9 @@ fn main() {
     }
     .with_augmentation(Augmentation::cdfa_default())
     .with_augmentation(Augmentation::noise_default());
-    let mut system = MetaAiSystem::build(&train, &config, &tcfg);
+    let mut system = MetaAiSystem::builder()
+        .config(config.clone())
+        .train_and_deploy(&train, &tcfg);
     let healthy = system.ota_accuracy(&test, "retail-healthy");
     println!("healthy installation: {:.1} % accuracy", 100.0 * healthy);
 
@@ -59,7 +61,9 @@ fn main() {
     // The scanner trolley moves the receiver 2 m — the old schedule is
     // now solved for the wrong geometry.
     let moved_cfg = SystemConfig::paper_default().with_rx_at(5.0, 25.0);
-    let mut stale = MetaAiSystem::from_network(system.net.clone(), &config);
+    let mut stale = MetaAiSystem::builder()
+        .config(config.clone())
+        .deploy(system.net.clone());
     // Stale: schedule for the OLD position, receiver at the NEW one.
     stale.mapper.link = metaai_mts::channel::MtsLink::new(
         &stale.array,

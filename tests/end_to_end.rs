@@ -23,7 +23,12 @@ fn quick_mnist_system() -> (MetaAiSystem, metaai_nn::data::ComplexDataset) {
     let split = generate(DatasetId::Mnist, Scale::Quick, 77);
     let config = SystemConfig::paper_default();
     let (train, test) = split.modulate(config.modulation);
-    (MetaAiSystem::build(&train, &config, &train_cfg()), test)
+    (
+        MetaAiSystem::builder()
+            .config(config.clone())
+            .train_and_deploy(&train, &train_cfg()),
+        test,
+    )
 }
 
 #[test]
@@ -69,11 +74,12 @@ fn ideal_channel_matches_digital_decisions_almost_everywhere() {
     let n = test.input_len();
     let mut rng = SimRng::seed_from_u64(1);
     let cond = OtaConditions::ideal(n);
+    let engine = sys.engine();
     let agree = test
         .inputs
         .iter()
         .take(60)
-        .filter(|x| sys.infer(x, &cond, &mut rng) == sys.net.predict(x))
+        .filter(|x| engine.predict(x, &cond, &mut rng) == sys.net.predict(x))
         .count();
     assert!(agree >= 57, "ideal-channel agreement {agree}/60");
 }
@@ -97,7 +103,9 @@ fn every_dataset_flows_through_the_whole_stack() {
     for id in DatasetId::all() {
         let split = generate(id, Scale::Quick, 3);
         let (train, test) = split.modulate(config.modulation);
-        let sys = MetaAiSystem::build(&train, &config, &train_cfg());
+        let sys = MetaAiSystem::builder()
+            .config(config.clone())
+            .train_and_deploy(&train, &train_cfg());
         let acc = sys.ota_accuracy(&test, &format!("all-{}", id.name()));
         let chance = 1.0 / train.num_classes as f64;
         assert!(

@@ -60,6 +60,7 @@ proptest! {
         prop_assert_eq!(outcomes.len(), inputs.len());
         for (i, outcome) in outcomes.iter().enumerate() {
             let mut rng = SimRng::derive_indexed(seed, stream, i as u64);
+            #[allow(deprecated)] // the scalar shim is the reference implementation here
             let scalar = OtaReceiver::scores(&h, &inputs[i], &cond, &mut rng);
             prop_assert_eq!(outcome.scores.len(), scalar.len());
             for (a, b) in outcome.scores.iter().zip(&scalar) {
@@ -90,6 +91,7 @@ proptest! {
         for (i, outcome) in outcomes.iter().enumerate() {
             let mut rng = SimRng::derive_indexed(seed, stream, i as u64);
             let cond = make_cond(&mut rng);
+            #[allow(deprecated)] // the scalar shim is the reference implementation here
             let scalar = OtaReceiver::scores(&h, &inputs[i], &cond, &mut rng);
             for (a, b) in outcome.scores.iter().zip(&scalar) {
                 prop_assert_eq!(a.to_bits(), b.to_bits());

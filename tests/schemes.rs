@@ -29,7 +29,9 @@ fn cancellation_rescues_a_hostile_static_environment() {
     let split = generate(DatasetId::Mnist, Scale::Quick, 9);
     let config = SystemConfig::paper_default();
     let (train, test) = split.modulate(config.modulation);
-    let sys = MetaAiSystem::build(&train, &config, &train_cfg());
+    let sys = MetaAiSystem::builder()
+        .config(config.clone())
+        .train_and_deploy(&train, &train_cfg());
     let n = test.input_len();
 
     // A static env path as strong as the computation path itself.
@@ -67,14 +69,18 @@ fn cdfa_outperforms_coarse_only_sync() {
         epochs: 15,
         ..TrainConfig::default()
     };
-    let sys_plain = MetaAiSystem::build(&train, &config, &plain_cfg);
+    let sys_plain = MetaAiSystem::builder()
+        .config(config.clone())
+        .train_and_deploy(&train, &plain_cfg);
     let coarse = sys_plain.ota_accuracy_with(&test, "cd", |rng| {
         let mut c = sys_plain.default_conditions(n, rng);
         c.sync_shift = model.sample_coarse_residual_symbols(1e6, rng);
         c
     });
 
-    let sys_cdfa = MetaAiSystem::build(&train, &config, &train_cfg());
+    let sys_cdfa = MetaAiSystem::builder()
+        .config(config.clone())
+        .train_and_deploy(&train, &train_cfg());
     let fine = sys_cdfa.ota_accuracy_with(&test, "cdfa", |rng| {
         let mut c = sys_cdfa.default_conditions(n, rng);
         c.sync_shift = model.sample_residual_symbols(1e6, rng);
@@ -101,8 +107,14 @@ fn noise_training_helps_at_low_snr() {
         .clone()
         .with_augmentation(Augmentation::noise_default());
 
-    let acc_plain = MetaAiSystem::build(&train, &config, &plain).ota_accuracy(&test, "nz-a");
-    let acc_robust = MetaAiSystem::build(&train, &config, &robust).ota_accuracy(&test, "nz-b");
+    let acc_plain = MetaAiSystem::builder()
+        .config(config.clone())
+        .train_and_deploy(&train, &plain)
+        .ota_accuracy(&test, "nz-a");
+    let acc_robust = MetaAiSystem::builder()
+        .config(config.clone())
+        .train_and_deploy(&train, &robust)
+        .ota_accuracy(&test, "nz-b");
     assert!(
         acc_robust >= acc_plain - 0.05,
         "noise-trained {acc_robust} vs plain {acc_plain}"
@@ -150,9 +162,13 @@ fn multi_sensor_fusion_does_not_hurt() {
         .map(|v| encode_bytes_dataset(v, config.modulation))
         .collect();
 
-    let one = MetaAiSystem::build(&fuse_views(&views, 1), &config, &train_cfg())
+    let one = MetaAiSystem::builder()
+        .config(config.clone())
+        .train_and_deploy(&fuse_views(&views, 1), &train_cfg())
         .ota_accuracy(&fuse_views(&test_views, 1), "fuse-1");
-    let three = MetaAiSystem::build(&fuse_views(&views, 3), &config, &train_cfg())
+    let three = MetaAiSystem::builder()
+        .config(config.clone())
+        .train_and_deploy(&fuse_views(&views, 3), &train_cfg())
         .ota_accuracy(&fuse_views(&test_views, 3), "fuse-3");
     assert!(
         three + 0.05 >= one,
