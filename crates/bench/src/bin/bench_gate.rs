@@ -1,0 +1,76 @@
+//! CI benchmark regression gate.
+//!
+//! Compares a freshly generated `BENCH_pr*.json` report against the
+//! committed baseline and exits non-zero when throughput regresses by
+//! more than the tolerance or any tier-1 accuracy figure drops (see
+//! `metaai_bench::gate` for the exact rules).
+//!
+//! Usage:
+//!   bench_gate --baseline BENCH_pr3.json --fresh fresh.json [--max-regress 0.15]
+
+use metaai_bench::gate;
+
+fn usage() -> ! {
+    eprintln!("usage: bench_gate --baseline <path> --fresh <path> [--max-regress 0.15]");
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> gate::Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_gate: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    gate::parse(&text).unwrap_or_else(|e| {
+        eprintln!("bench_gate: {path} is not valid JSON: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let mut baseline_path: Option<String> = None;
+    let mut fresh_path: Option<String> = None;
+    let mut max_regress = 0.15;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--baseline" => baseline_path = argv.next(),
+            "--fresh" => fresh_path = argv.next(),
+            "--max-regress" => {
+                max_regress = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            _ => usage(),
+        }
+    }
+    let (Some(baseline_path), Some(fresh_path)) = (baseline_path, fresh_path) else {
+        usage()
+    };
+
+    let baseline = load(&baseline_path);
+    let fresh = load(&fresh_path);
+    let report = gate::compare(&baseline, &fresh, max_regress);
+
+    for w in &report.warnings {
+        eprintln!("bench_gate: warning: {w}");
+    }
+    for f in &report.failures {
+        eprintln!("bench_gate: FAIL: {f}");
+    }
+    if report.passed() {
+        println!(
+            "bench_gate: PASS — {} metrics gated against {baseline_path} \
+             (throughput tolerance {:.0} %, accuracy drops forbidden)",
+            report.checked,
+            100.0 * max_regress
+        );
+    } else {
+        eprintln!(
+            "bench_gate: {} of {} gated metrics failed against {baseline_path}",
+            report.failures.len(),
+            report.checked
+        );
+        std::process::exit(1);
+    }
+}

@@ -1,17 +1,23 @@
-//! Machine-readable PR-2 performance report.
+//! Machine-readable per-PR performance report.
 //!
 //! Times the batched training engine against the pre-engine sequential
 //! loop, and the table-driven weight solver (via `WeightMapper::map`)
-//! against the recompute-every-probe reference kernel, then writes
-//! `BENCH_pr2.json` for CI to archive. The host core count is recorded
+//! against the recompute-every-probe reference kernel; measures tier-1
+//! accuracy (AFHQ quick, digital and over the air); and embeds a
+//! telemetry snapshot of every instrumented stage. Writes
+//! `BENCH_pr<N>.json` for CI to archive and for `bench_gate` to compare
+//! against the committed baseline. The host core count is recorded
 //! because the training speedup is a function of it: on one core the
 //! engine's fixed-order reduction is pure overhead, and the ≥4× target
 //! only applies at ≥8 cores.
 //!
-//! Usage: `perf_report [output-path]` (default `BENCH_pr2.json`).
+//! Usage: `perf_report [--pr N] [output-path]`
+//! (default `--pr 3`, output `BENCH_pr<N>.json`).
 
 use metaai::config::SystemConfig;
 use metaai::mapper::WeightMapper;
+use metaai::pipeline::MetaAiSystem;
+use metaai_datasets::{generate, DatasetId, Scale};
 use metaai_math::rng::SimRng;
 use metaai_math::{CMat, C64};
 use metaai_mts::array::{MtsArray, Prototype};
@@ -25,18 +31,27 @@ use metaai_nn::TrainEngine;
 use std::hint::black_box;
 use std::time::Instant;
 
-/// Median-of-`reps` wall time for `f`, in seconds.
-fn time_median<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+/// Best-of-`reps` wall time for one call of `f`, in seconds, where each
+/// timed sample runs `f` `inner` times back to back. The minimum is the
+/// noise-robust estimator here: scheduler/contention noise is strictly
+/// one-sided (it only ever slows a run down), so the fastest sample is
+/// the closest observation of the code's actual cost, and it is what
+/// keeps `bench_gate`'s regression comparison stable on busy CI hosts
+/// where a median still jitters by double-digit percentages. The inner
+/// repeats stretch each sample to tens of milliseconds so that a single
+/// descheduling doesn't dominate the measurement.
+fn time_best<F: FnMut()>(reps: usize, inner: usize, mut f: F) -> f64 {
     f(); // warmup
-    let mut times: Vec<f64> = (0..reps)
+    (0..reps)
         .map(|_| {
             let start = Instant::now();
-            f();
-            start.elapsed().as_secs_f64()
+            for _ in 0..inner {
+                f();
+            }
+            start.elapsed().as_secs_f64() / inner as f64
         })
-        .collect();
-    times.sort_by(f64::total_cmp);
-    times[times.len() / 2]
+        .min_by(f64::total_cmp)
+        .expect("reps >= 1")
 }
 
 /// The pre-engine training loop (see `benches/throughput.rs` for the
@@ -116,10 +131,25 @@ fn reference_solve(solver: &WeightSolver, target: C64) -> f64 {
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_pr2.json".to_string());
+    let mut pr: u32 = 3;
+    let mut out_arg: Option<String> = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        if arg == "--pr" {
+            let v = argv.next().expect("--pr needs a number");
+            pr = v.parse().expect("--pr needs a number");
+        } else {
+            out_arg = Some(arg);
+        }
+    }
+    let out_path = out_arg.unwrap_or_else(|| format!("BENCH_pr{pr}.json"));
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // Collect stage telemetry for the whole report run; the snapshot is
+    // embedded in the JSON so regressions in instrument coverage show up
+    // in the archived artifacts too.
+    let registry = metaai::telemetry::install();
+    registry.set_enabled(true);
 
     // --- Training throughput: 400 samples × 64 symbols, CDFA on. ---
     let data = toy_problem(10, 64, 40, 0.3, 1, 2);
@@ -131,10 +161,10 @@ fn main() {
     .with_augmentation(Augmentation::cdfa_default());
     let samples_per_run = (data.len() * cfg.epochs) as f64;
     let engine = TrainEngine::new(cfg.clone());
-    let t_engine = time_median(5, || {
+    let t_engine = time_best(15, 8, || {
         black_box(engine.train(&data));
     });
-    let t_seq = time_median(5, || {
+    let t_seq = time_best(15, 8, || {
         black_box(train_sequential_baseline(&data, &cfg));
     });
     let train_engine_sps = samples_per_run / t_engine;
@@ -148,7 +178,7 @@ fn main() {
     let mut rng = SimRng::seed_from_u64(9);
     let weights = CMat::from_fn(10, 32, |_, _| rng.complex_gaussian(1.0));
     let solves_per_map = (weights.rows() * weights.cols()) as f64;
-    let t_map = time_median(5, || {
+    let t_map = time_best(15, 8, || {
         black_box(mapper.map(&weights, C64::ZERO));
     });
     let map_solves_per_sec = solves_per_map / t_map;
@@ -159,7 +189,7 @@ fn main() {
     let targets: Vec<C64> = (0..solves_per_map as usize)
         .map(|_| C64::from_polar(mapper.kappa * reach * rng.uniform(), rng.phase()))
         .collect();
-    let t_ref = time_median(5, || {
+    let t_ref = time_best(15, 8, || {
         for &t in &targets {
             black_box(reference_solve(&solver, t));
         }
@@ -170,15 +200,38 @@ fn main() {
     // like-for-like kernel comparison.
     let table = solver.state_table();
     let mut scratch = SolverScratch::new();
-    let t_table = time_median(5, || {
+    let t_table = time_best(15, 8, || {
         for &t in &targets {
             black_box(solver.solve_with(&[t], &table, &mut scratch).residual);
         }
     });
     let table_solves_per_sec = solves_per_map / t_table;
 
+    // --- Tier-1 accuracy: AFHQ quick, trained and deployed end to end,
+    // scored digitally and over the air. Everything is seeded, so the
+    // numbers are bit-identical run to run and `bench_gate` can require
+    // "no drop" rather than a tolerance band. ---
+    let (acc_train, acc_test) =
+        generate(DatasetId::Afhq, Scale::Quick, 42).modulate(config.modulation);
+    let acc_cfg = TrainConfig {
+        epochs: 8,
+        seed: 42,
+        ..TrainConfig::default()
+    }
+    .with_augmentation(Augmentation::cdfa_default());
+    let system = MetaAiSystem::builder()
+        .config(config.clone())
+        .train_and_deploy(&acc_train, &acc_cfg);
+    let digital_accuracy = system.digital_accuracy(&acc_test);
+    let ota_accuracy = system.ota_accuracy(&acc_test, "perf-report");
+
+    // Embed the telemetry snapshot (re-indented two levels to sit inside
+    // the report object). `bench_gate` skips this subtree.
+    let telemetry = registry.render_json();
+    let telemetry = telemetry.trim_end().replace('\n', "\n  ");
+
     let json = format!(
-        "{{\n  \"pr\": 2,\n  \"cores\": {cores},\n  \"train\": {{\n    \"workload\": \"toy_problem 10x64, 400 samples, 2 epochs, cdfa\",\n    \"engine_samples_per_sec\": {train_engine_sps:.1},\n    \"sequential_samples_per_sec\": {train_seq_sps:.1},\n    \"speedup\": {:.3}\n  }},\n  \"solver\": {{\n    \"workload\": \"WeightMapper::map 10x32 weights, 256 atoms\",\n    \"map_solves_per_sec\": {map_solves_per_sec:.1},\n    \"table_kernel_solves_per_sec\": {table_solves_per_sec:.1},\n    \"reference_kernel_solves_per_sec\": {ref_solves_per_sec:.1},\n    \"kernel_speedup\": {:.3}\n  }}\n}}\n",
+        "{{\n  \"pr\": {pr},\n  \"cores\": {cores},\n  \"train\": {{\n    \"workload\": \"toy_problem 10x64, 400 samples, 2 epochs, cdfa\",\n    \"engine_samples_per_sec\": {train_engine_sps:.1},\n    \"sequential_samples_per_sec\": {train_seq_sps:.1},\n    \"speedup\": {:.3}\n  }},\n  \"solver\": {{\n    \"workload\": \"WeightMapper::map 10x32 weights, 256 atoms\",\n    \"map_solves_per_sec\": {map_solves_per_sec:.1},\n    \"table_kernel_solves_per_sec\": {table_solves_per_sec:.1},\n    \"reference_kernel_solves_per_sec\": {ref_solves_per_sec:.1},\n    \"kernel_speedup\": {:.3}\n  }},\n  \"accuracy\": {{\n    \"workload\": \"afhq quick, 8 epochs, cdfa, seed 42\",\n    \"digital\": {digital_accuracy:.6},\n    \"ota\": {ota_accuracy:.6}\n  }},\n  \"telemetry\": {telemetry}\n}}\n",
         train_engine_sps / train_seq_sps,
         table_solves_per_sec / ref_solves_per_sec,
     );

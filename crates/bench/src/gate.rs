@@ -1,0 +1,439 @@
+//! Benchmark regression gate over `BENCH_pr*.json` reports.
+//!
+//! CI regenerates a fresh report with `perf_report` and compares it
+//! against the committed baseline with [`compare`]:
+//!
+//! * any numeric leaf whose key ends in `_per_sec` is a throughput
+//!   figure and may not regress by more than `max_regress` (relative);
+//! * any numeric leaf under the `accuracy` object is a tier-1 accuracy
+//!   figure and may not drop at all (within float-printing epsilon) —
+//!   the workloads are fully seeded, so baseline and fresh runs produce
+//!   bit-identical accuracy when the code is healthy;
+//! * the `telemetry` subtree is skipped — its timing histograms are
+//!   run-dependent by construction;
+//! * `pr` / `cores` mismatches produce warnings, not failures, because
+//!   throughput is a function of the host and a cores mismatch means
+//!   the relative comparison is advisory.
+//!
+//! The JSON reader below is a minimal recursive-descent parser for the
+//! reports we generate ourselves (the workspace builds offline, with no
+//! serde); it handles the full JSON grammar but is not meant as a
+//! general-purpose library.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    /// Insertion-ordered key/value pairs (duplicate keys keep the last).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up a key in an object; `None` for non-objects/missing keys.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a complete JSON document (trailing whitespace allowed).
+pub fn parse(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected {:?} at byte {}, found {:?}",
+            c as char,
+            *pos,
+            bytes.get(*pos).map(|&b| b as char)
+        ))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii");
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("invalid number {text:?} at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                let esc = bytes.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hex = bytes.get(*pos..*pos + 4).ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                            16,
+                        )
+                        .map_err(|_| "bad \\u escape")?;
+                        *pos += 4;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    other => return Err(format!("bad escape \\{}", *other as char)),
+                }
+            }
+            Some(_) => {
+                // Copy one UTF-8 scalar (the input came from a &str, so
+                // the byte sequence is valid).
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'{')?;
+    let mut pairs = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(pairs));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        pairs.push((key, parse_value(bytes, pos)?));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+/// Flattens a JSON tree to `dotted.path -> value` for every numeric leaf,
+/// with array elements addressed by index.
+pub fn flatten(value: &Json) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    fn walk(prefix: &str, v: &Json, out: &mut BTreeMap<String, f64>) {
+        match v {
+            Json::Num(n) => {
+                out.insert(prefix.to_string(), *n);
+            }
+            Json::Obj(pairs) => {
+                for (k, child) in pairs {
+                    let path = if prefix.is_empty() {
+                        k.clone()
+                    } else {
+                        format!("{prefix}.{k}")
+                    };
+                    walk(&path, child, out);
+                }
+            }
+            Json::Arr(items) => {
+                for (i, child) in items.iter().enumerate() {
+                    walk(&format!("{prefix}.{i}"), child, out);
+                }
+            }
+            _ => {}
+        }
+    }
+    walk("", value, &mut out);
+    out
+}
+
+/// Accuracy figures are seeded/deterministic; allow only float-printing
+/// noise, not a real drop.
+const ACCURACY_EPS: f64 = 1e-6;
+
+/// The result of gating a fresh report against a baseline.
+#[derive(Debug, Default)]
+pub struct GateReport {
+    /// Hard failures (regression / missing metric); non-empty ⇒ exit 1.
+    pub failures: Vec<String>,
+    /// Advisory mismatches (e.g. different core count).
+    pub warnings: Vec<String>,
+    /// Number of gated (throughput + accuracy) comparisons performed.
+    pub checked: usize,
+}
+
+impl GateReport {
+    /// Whether the gate passed (no hard failures).
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Compares a fresh report against the committed baseline.
+///
+/// `max_regress` is the tolerated relative throughput drop (0.15 ⇒ the
+/// fresh value must be ≥ 85 % of the baseline).
+pub fn compare(baseline: &Json, fresh: &Json, max_regress: f64) -> GateReport {
+    let mut report = GateReport::default();
+
+    for key in ["pr", "cores"] {
+        let b = baseline.get(key).and_then(Json::as_num);
+        let f = fresh.get(key).and_then(Json::as_num);
+        if b != f {
+            report.warnings.push(format!(
+                "{key} mismatch (baseline {b:?}, fresh {f:?}); throughput comparison is advisory"
+            ));
+        }
+    }
+
+    let base = flatten(baseline);
+    let new = flatten(fresh);
+    for (path, &b) in &base {
+        if path.starts_with("telemetry.") || path == "pr" || path == "cores" {
+            continue;
+        }
+        let is_throughput = path.ends_with("_per_sec");
+        let is_accuracy = path.starts_with("accuracy.");
+        if !is_throughput && !is_accuracy {
+            continue;
+        }
+        report.checked += 1;
+        let Some(&f) = new.get(path) else {
+            report.failures.push(format!(
+                "{path}: present in baseline but missing from fresh report"
+            ));
+            continue;
+        };
+        if is_throughput {
+            let floor = b * (1.0 - max_regress);
+            if f < floor {
+                report.failures.push(format!(
+                    "{path}: throughput regressed {:.1} % (baseline {b:.1}, fresh {f:.1}, \
+                     tolerance {:.0} %)",
+                    100.0 * (1.0 - f / b),
+                    100.0 * max_regress
+                ));
+            }
+        } else if f < b - ACCURACY_EPS {
+            report.failures.push(format!(
+                "{path}: accuracy dropped (baseline {b:.6}, fresh {f:.6})"
+            ));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str = r#"{
+      "pr": 3, "cores": 4,
+      "train": { "workload": "w", "engine_samples_per_sec": 1000.0, "speedup": 2.0 },
+      "accuracy": { "digital": 0.9, "ota": 0.85 },
+      "telemetry": { "metrics": [ { "name": "x", "value": 7 } ] }
+    }"#;
+
+    fn doctored(engine_sps: f64, digital: f64) -> String {
+        BASE.replace("1000.0", &format!("{engine_sps}"))
+            .replace("0.9", &format!("{digital}"))
+    }
+
+    #[test]
+    fn parser_round_trips_a_report() {
+        let v = parse(BASE).expect("parse");
+        assert_eq!(
+            v.get("train")
+                .and_then(|t| t.get("engine_samples_per_sec"))
+                .and_then(Json::as_num),
+            Some(1000.0)
+        );
+        assert_eq!(v.get("pr").and_then(Json::as_num), Some(3.0));
+    }
+
+    #[test]
+    fn parser_handles_strings_arrays_and_literals() {
+        let v = parse(r#"{"a": [1, -2.5, "s\n", true, false, null], "b": {}}"#).expect("parse");
+        let Some(Json::Arr(items)) = v.get("a") else {
+            panic!("a must be an array")
+        };
+        assert_eq!(items.len(), 6);
+        assert_eq!(items[1], Json::Num(-2.5));
+        assert_eq!(items[2], Json::Str("s\n".to_string()));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("{} extra").is_err());
+        assert!(parse(r#"{"a" 1}"#).is_err());
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let v = parse(BASE).expect("parse");
+        let r = compare(&v, &v, 0.15);
+        assert!(r.passed(), "failures: {:?}", r.failures);
+        assert_eq!(r.checked, 3); // 1 throughput + 2 accuracy leaves
+        assert!(r.warnings.is_empty());
+    }
+
+    #[test]
+    fn small_throughput_dip_is_tolerated() {
+        let base = parse(BASE).expect("parse");
+        let fresh = parse(&doctored(900.0, 0.9)).expect("parse");
+        assert!(compare(&base, &fresh, 0.15).passed());
+    }
+
+    #[test]
+    fn large_throughput_regression_fails() {
+        let base = parse(BASE).expect("parse");
+        let fresh = parse(&doctored(800.0, 0.9)).expect("parse");
+        let r = compare(&base, &fresh, 0.15);
+        assert!(!r.passed());
+        assert!(r.failures[0].contains("engine_samples_per_sec"));
+    }
+
+    #[test]
+    fn any_accuracy_drop_fails() {
+        let base = parse(BASE).expect("parse");
+        let fresh = parse(&doctored(1000.0, 0.89)).expect("parse");
+        let r = compare(&base, &fresh, 0.15);
+        assert!(!r.passed());
+        assert!(r.failures[0].contains("accuracy.digital"));
+    }
+
+    #[test]
+    fn accuracy_gain_and_faster_throughput_pass() {
+        let base = parse(BASE).expect("parse");
+        let fresh = parse(&doctored(2000.0, 0.95)).expect("parse");
+        assert!(compare(&base, &fresh, 0.15).passed());
+    }
+
+    #[test]
+    fn telemetry_subtree_is_ignored() {
+        let base = parse(BASE).expect("parse");
+        // Telemetry values differ wildly run-to-run; must not be gated.
+        let fresh = parse(&BASE.replace("\"value\": 7", "\"value\": 99999")).expect("parse");
+        assert!(compare(&base, &fresh, 0.15).passed());
+    }
+
+    #[test]
+    fn missing_gated_metric_fails() {
+        let base = parse(BASE).expect("parse");
+        let fresh = parse(&BASE.replace("\"ota\": 0.85", "\"other\": 0.85")).expect("parse");
+        let r = compare(&base, &fresh, 0.15);
+        assert!(!r.passed());
+        assert!(r.failures[0].contains("accuracy.ota"));
+    }
+
+    #[test]
+    fn cores_mismatch_warns_but_passes() {
+        let base = parse(BASE).expect("parse");
+        let fresh = parse(&BASE.replace("\"cores\": 4", "\"cores\": 8")).expect("parse");
+        let r = compare(&base, &fresh, 0.15);
+        assert!(r.passed());
+        assert_eq!(r.warnings.len(), 1);
+        assert!(r.warnings[0].contains("cores"));
+    }
+}

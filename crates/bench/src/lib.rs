@@ -16,5 +16,6 @@ pub mod exp_parallel;
 pub mod exp_privacy;
 pub mod exp_robustness;
 pub mod exp_sensors;
+pub mod gate;
 
 pub use common::{csv_write, ExpContext};

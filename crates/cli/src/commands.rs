@@ -41,6 +41,39 @@ fn fail(msg: &str) -> i32 {
     2
 }
 
+/// Enables telemetry for the run when `--metrics-out <path>` is present
+/// (registering the full instrument set so the snapshot is complete even
+/// for stages this command never reaches).
+fn metrics_begin(args: &Args) {
+    if args.options.contains_key("metrics-out") {
+        metaai::telemetry::install().set_enabled(true);
+    }
+}
+
+/// Writes the registry snapshot to the `--metrics-out` path, as JSON by
+/// default or Prometheus text with `--metrics-format prom`. Returns an
+/// exit code override on failure.
+fn metrics_finish(args: &Args) -> Option<i32> {
+    let path = args.options.get("metrics-out")?;
+    let registry = metaai_telemetry::global();
+    let rendered = match args.get_or("metrics-format", "json") {
+        "json" => registry.render_json(),
+        "prom" | "prometheus" => registry.render_prometheus(),
+        other => {
+            return Some(fail(&format!(
+                "unknown --metrics-format {other:?} (expected json|prom)"
+            )))
+        }
+    };
+    match std::fs::write(path, rendered) {
+        Ok(()) => {
+            println!("telemetry snapshot written to {path}");
+            None
+        }
+        Err(e) => Some(fail(&format!("cannot write {path}: {e}"))),
+    }
+}
+
 struct Setup {
     config: SystemConfig,
     train: ComplexDataset,
@@ -80,6 +113,7 @@ fn load(args: &Args) -> Result<ComplexLnn, String> {
 
 /// `metaai train`
 pub fn train(args: &Args) -> i32 {
+    metrics_begin(args);
     let s = match setup(args) {
         Ok(s) => s,
         Err(e) => return fail(&e),
@@ -109,7 +143,7 @@ pub fn train(args: &Args) -> i32 {
     match save_model(&net, out) {
         Ok(()) => {
             println!("model written to {out}");
-            0
+            metrics_finish(args).unwrap_or(0)
         }
         Err(e) => fail(&format!("cannot write {out}: {e}")),
     }
@@ -117,6 +151,7 @@ pub fn train(args: &Args) -> i32 {
 
 /// `metaai eval`
 pub fn eval(args: &Args) -> i32 {
+    metrics_begin(args);
     let s = match setup(args) {
         Ok(s) => s,
         Err(e) => return fail(&e),
@@ -165,7 +200,7 @@ pub fn eval(args: &Args) -> i32 {
             println!("worst confusion: true {t} → predicted {p} ({c} times)");
         }
     }
-    0
+    metrics_finish(args).unwrap_or(0)
 }
 
 /// `metaai deploy`
@@ -212,6 +247,7 @@ pub fn deploy(args: &Args) -> i32 {
 
 /// `metaai infer`
 pub fn infer(args: &Args) -> i32 {
+    metrics_begin(args);
     let s = match setup(args) {
         Ok(s) => s,
         Err(e) => return fail(&e),
@@ -266,7 +302,7 @@ pub fn infer(args: &Args) -> i32 {
             trace.rows.len()
         );
     }
-    0
+    metrics_finish(args).unwrap_or(0)
 }
 
 /// `metaai scan`
@@ -413,6 +449,57 @@ mod tests {
         );
         assert_eq!(eval(&eval_args), 2);
         let _ = std::fs::remove_file(&model);
+    }
+
+    #[test]
+    fn eval_metrics_out_writes_snapshot_with_all_stages() {
+        let dir = std::env::temp_dir().join("metaai-cli-test3");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let model = dir.join("model.bin");
+        let model_s = model.to_str().expect("utf8").to_string();
+        let metrics = dir.join("metrics.json");
+        let metrics_s = metrics.to_str().expect("utf8").to_string();
+
+        let train_args = crate::args::Args::parse(
+            format!("train --dataset afhq --scale quick --epochs 2 --out {model_s}")
+                .split_whitespace()
+                .map(String::from),
+        );
+        assert_eq!(train(&train_args), 0);
+
+        let eval_args = crate::args::Args::parse(
+            format!(
+                "eval --dataset afhq --scale quick --model {model_s} --metrics-out {metrics_s}"
+            )
+            .split_whitespace()
+            .map(String::from),
+        );
+        assert_eq!(eval(&eval_args), 0);
+
+        let snap = std::fs::read_to_string(&metrics).expect("snapshot written");
+        // Engine, train, and solver instruments must all be present — the
+        // solver's Eqn-4 residual histogram in particular.
+        for name in [
+            "metaai.core.engine.samples",
+            "metaai.core.engine.chips",
+            "metaai.nn.train.epochs",
+            "metaai.mts.solver.solves",
+            "metaai.mts.solver.residual",
+        ] {
+            assert!(snap.contains(name), "snapshot missing {name}:\n{snap}");
+        }
+        let _ = std::fs::remove_file(&model);
+        let _ = std::fs::remove_file(&metrics);
+    }
+
+    #[test]
+    fn metrics_finish_rejects_unknown_format() {
+        let args = crate::args::Args::parse(
+            "eval --metrics-out /tmp/x.json --metrics-format yaml"
+                .split_whitespace()
+                .map(String::from),
+        );
+        assert_eq!(metrics_finish(&args), Some(2));
     }
 
     #[test]

@@ -62,6 +62,9 @@ COMMON OPTIONS:
   --dataset <mnist|fashion|fruits|afhq|celeba|widar>   (default mnist)
   --scale   <quick|default|paper>                      (default default)
   --seed    <N>                                        (default 42)
+  --metrics-out    <path>        write a telemetry snapshot after the run
+                                 (train/eval/infer)
+  --metrics-format <json|prom>   snapshot format       (default json)
 
 See README.md for the full workflow."
     );

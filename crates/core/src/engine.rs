@@ -40,7 +40,51 @@ use metaai_math::rng::SimRng;
 use metaai_math::stats::argmax;
 use metaai_math::{CMat, CVec, C64};
 use metaai_phy::shaping;
+use metaai_telemetry::{Counter, Histogram};
 use rayon::prelude::*;
+use std::sync::OnceLock;
+
+/// Inference-stage instruments, registered once with the global registry.
+///
+/// The hot path checks the enabled flag once per sample (`tele()` is a
+/// relaxed atomic load); everything else only happens when telemetry is
+/// on, keeping instrumented-but-disabled throughput at the uninstrumented
+/// level.
+struct EngineMetrics {
+    batches: Counter,
+    samples: Counter,
+    chips: Counter,
+    awgn_draws: Counter,
+    traces: Counter,
+    sample_seconds: Histogram,
+}
+
+fn metrics() -> &'static EngineMetrics {
+    static METRICS: OnceLock<EngineMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = metaai_telemetry::global();
+        EngineMetrics {
+            batches: r.counter("metaai.core.engine.batches"),
+            samples: r.counter("metaai.core.engine.samples"),
+            chips: r.counter("metaai.core.engine.chips"),
+            awgn_draws: r.counter("metaai.core.engine.awgn_draws"),
+            traces: r.counter("metaai.core.engine.traces"),
+            sample_seconds: r.latency_histogram("metaai.core.engine.sample_seconds"),
+        }
+    })
+}
+
+/// The per-sample telemetry gate.
+#[inline]
+fn tele() -> Option<&'static EngineMetrics> {
+    metaai_telemetry::enabled().then(metrics)
+}
+
+/// Registers the engine's instruments with the global telemetry registry,
+/// so snapshots list them (zero-valued) even before the first inference.
+pub fn register_metrics() {
+    let _ = metrics();
+}
 
 /// Samples per worker chunk in batch processing. Small enough to balance
 /// uneven worker speeds, large enough to amortize per-chunk scratch.
@@ -150,6 +194,12 @@ impl<'a> OtaEngine<'a> {
 
     /// Computes class scores for one input, appending into `out` (cleared
     /// first) so batch workers can reuse one allocation.
+    ///
+    /// The telemetry branch happens *around* the scoring kernel, not
+    /// inside it: holding a drop-bearing `Span` local across the hot loop
+    /// costs a few percent even when disabled (drop flags + unwind
+    /// paths), so the disabled path calls the kernel with no telemetry
+    /// state at all.
     pub fn scores_into(
         &self,
         x: &CVec,
@@ -158,6 +208,28 @@ impl<'a> OtaEngine<'a> {
         out: &mut Vec<f64>,
     ) {
         self.check_shapes(x, cond);
+        if let Some(m) = tele() {
+            let span = m.sample_seconds.span();
+            self.score_rows(x, cond, rng, out);
+            drop(span);
+            let u = x.len();
+            let rows = self.channels.rows() as u64;
+            m.samples.inc();
+            m.chips
+                .add(rows * noise_draws_per_row(u, cond.cancellation) as u64);
+            if cond.awgn.variance > 0.0 {
+                // One aggregated CN(0, kσ²) draw per output row.
+                m.awgn_draws.add(rows);
+            }
+        } else {
+            self.score_rows(x, cond, rng, out);
+        }
+    }
+
+    /// The scoring kernel: per-row accumulation with index-based cyclic
+    /// shift and row-aggregated noise.
+    #[inline]
+    fn score_rows(&self, x: &CVec, cond: &OtaConditions, rng: &mut SimRng, out: &mut Vec<f64>) {
         let u = x.len();
         let shift = if u == 0 {
             0
@@ -258,6 +330,16 @@ impl<'a> OtaEngine<'a> {
         }
 
         let predicted = argmax(&scores);
+        if let Some(m) = tele() {
+            let chips = (r_total * u * shaping::SLOTS_PER_SYMBOL) as u64;
+            m.traces.inc();
+            m.samples.inc();
+            m.chips.add(chips);
+            if noisy {
+                // Trace mode resolves noise per chip, not per row.
+                m.awgn_draws.add(chips);
+            }
+        }
         InferenceTrace {
             rows,
             scores,
@@ -293,6 +375,9 @@ impl<'a> OtaEngine<'a> {
         seed: u64,
         stream: u64,
     ) -> Vec<InferenceOutcome> {
+        if let Some(m) = tele() {
+            m.batches.inc();
+        }
         self.chunked(requests.len(), |i| {
             let mut rng = SimRng::derive_indexed(seed, stream, i as u64);
             self.run(&requests[i], &mut rng)
@@ -312,6 +397,9 @@ impl<'a> OtaEngine<'a> {
     where
         F: Fn(&mut SimRng) -> OtaConditions + Sync,
     {
+        if let Some(m) = tele() {
+            m.batches.inc();
+        }
         self.chunked(inputs.len(), |i| {
             let mut rng = SimRng::derive_indexed(seed, stream, i as u64);
             let cond = make_cond(&mut rng);
@@ -340,6 +428,9 @@ impl<'a> OtaEngine<'a> {
         let n = inputs.len();
         if n == 0 {
             return Vec::new();
+        }
+        if let Some(m) = tele() {
+            m.batches.inc();
         }
         let nested: Vec<Vec<usize>> = (0..n.div_ceil(BATCH_CHUNK))
             .into_par_iter()

@@ -16,6 +16,30 @@
 
 use metaai_math::CVec;
 use metaai_nn::data::ComplexDataset;
+use metaai_telemetry::Counter;
+use std::sync::OnceLock;
+
+/// Fusion-stage instruments, registered once with the global registry.
+struct FusionMetrics {
+    inferences: Counter,
+    segments: Counter,
+}
+
+fn metrics() -> &'static FusionMetrics {
+    static METRICS: OnceLock<FusionMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = metaai_telemetry::global();
+        FusionMetrics {
+            inferences: r.counter("metaai.core.fusion.inferences"),
+            segments: r.counter("metaai.core.fusion.segments"),
+        }
+    })
+}
+
+/// Registers the fusion layer's instruments with the global registry.
+pub fn register_metrics() {
+    let _ = metrics();
+}
 
 /// Concatenates the first `n_sensors` views of a multi-sensor dataset into
 /// one time-division dataset. All views must be index-aligned (same event
@@ -70,6 +94,11 @@ pub fn infer_fused(
     conditions: crate::ota::OtaConditions,
     rng: &mut metaai_math::rng::SimRng,
 ) -> crate::engine::InferenceOutcome {
+    if metaai_telemetry::enabled() {
+        let m = metrics();
+        m.inferences.inc();
+        m.segments.add(segments.len() as u64);
+    }
     let mut combined = Vec::new();
     for seg in segments {
         combined.extend_from_slice(seg.as_slice());

@@ -34,6 +34,7 @@ pub mod ota;
 pub mod parallel;
 pub mod pipeline;
 pub mod privacy;
+pub mod telemetry;
 pub mod trace;
 
 pub use config::SystemConfig;

@@ -17,7 +17,33 @@ use metaai_mts::array::MtsArray;
 use metaai_mts::atom::PhaseCode;
 use metaai_mts::channel::MtsLink;
 use metaai_mts::solver::{SolverScratch, StateTable, WeightSolver};
+use metaai_telemetry::{Counter, Histogram};
 use rayon::prelude::*;
+use std::sync::OnceLock;
+
+/// Mapper-stage instruments, registered once with the global registry.
+struct MapperMetrics {
+    maps: Counter,
+    weights_mapped: Counter,
+    map_seconds: Histogram,
+}
+
+fn metrics() -> &'static MapperMetrics {
+    static METRICS: OnceLock<MapperMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = metaai_telemetry::global();
+        MapperMetrics {
+            maps: r.counter("metaai.core.mapper.maps"),
+            weights_mapped: r.counter("metaai.core.mapper.weights_mapped"),
+            map_seconds: r.latency_histogram("metaai.core.mapper.map_seconds"),
+        }
+    })
+}
+
+/// Registers the mapper's instruments with the global telemetry registry.
+pub fn register_metrics() {
+    let _ = metrics();
+}
 
 /// Weights solved per parallel work item in [`WeightMapper::map`]. Each
 /// chunk owns one [`SolverScratch`], amortizing buffer allocation over the
@@ -100,9 +126,15 @@ impl WeightMapper {
     /// the Eqn 8 compensation term in *normalized* units (`H_e / α_p`),
     /// or zero when the cancellation scheme handles multipath instead.
     pub fn map(&self, weights: &CMat, h_env_offset: C64) -> WeightSchedule {
+        let tele = metaai_telemetry::enabled().then(metrics);
+        let _span = tele.map(|m| m.map_seconds.span());
         let scale = self.weight_scale(weights);
         let r = weights.rows();
         let u = weights.cols();
+        if let Some(m) = tele {
+            m.maps.inc();
+            m.weights_mapped.add((r * u) as u64);
+        }
 
         // Solve each (r, i) independently — embarrassingly parallel. Work
         // is chunked so each worker reuses one solver scratch across its

@@ -36,7 +36,33 @@ use metaai_nn::complex_lnn::ComplexLnn;
 use metaai_phy::ofdm::OfdmConfig;
 use metaai_rf::geometry::{deg_to_rad, place_at, Point3};
 use metaai_rf::noise::Awgn;
+use metaai_telemetry::{Counter, Histogram};
 use rayon::prelude::*;
+use std::sync::OnceLock;
+
+/// Parallelism-scheme instruments, registered once with the global
+/// registry. Joint solves themselves are counted by the solver's own
+/// instruments; this layer tracks deployments of the schemes.
+struct ParallelMetrics {
+    deploys: Counter,
+    deploy_seconds: Histogram,
+}
+
+fn metrics() -> &'static ParallelMetrics {
+    static METRICS: OnceLock<ParallelMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = metaai_telemetry::global();
+        ParallelMetrics {
+            deploys: r.counter("metaai.core.parallel.deploys"),
+            deploy_seconds: r.latency_histogram("metaai.core.parallel.deploy_seconds"),
+        }
+    })
+}
+
+/// Registers the parallel layer's instruments with the global registry.
+pub fn register_metrics() {
+    let _ = metrics();
+}
 
 /// Places `n` receive antennas on an arc around the nominal receiver
 /// direction, `spacing_deg` apart at the nominal distance.
@@ -84,6 +110,11 @@ impl AntennaParallel {
         array: &MtsArray,
         rx_positions: &[Point3],
     ) -> Self {
+        let tele = metaai_telemetry::enabled().then(metrics);
+        let _span = tele.map(|m| m.deploy_seconds.span());
+        if let Some(m) = tele {
+            m.deploys.inc();
+        }
         let r = net.num_classes();
         let u = net.input_len();
         assert_eq!(rx_positions.len(), r, "one antenna per class");
@@ -207,6 +238,11 @@ pub struct SubcarrierParallel {
 impl SubcarrierParallel {
     /// Deploys `net` over `K = num_classes` subcarriers.
     pub fn deploy(net: &ComplexLnn, config: &SystemConfig, array: &MtsArray) -> Self {
+        let tele = metaai_telemetry::enabled().then(metrics);
+        let _span = tele.map(|m| m.deploy_seconds.span());
+        if let Some(m) = tele {
+            m.deploys.inc();
+        }
         let k = net.num_classes();
         let u = net.input_len();
         let ofdm = OfdmConfig::for_parallelism(k);

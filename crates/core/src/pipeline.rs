@@ -14,6 +14,34 @@ use metaai_nn::engine::TrainEngine;
 use metaai_nn::train::TrainConfig;
 use metaai_rf::environment::{EnvChannel, Environment};
 use metaai_rf::noise::Awgn;
+use metaai_telemetry::{Counter, Histogram};
+use std::sync::OnceLock;
+
+/// Pipeline-stage instruments, registered once with the global registry.
+struct PipelineMetrics {
+    deploys: Counter,
+    accuracy_runs: Counter,
+    deploy_seconds: Histogram,
+    accuracy_seconds: Histogram,
+}
+
+fn metrics() -> &'static PipelineMetrics {
+    static METRICS: OnceLock<PipelineMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = metaai_telemetry::global();
+        PipelineMetrics {
+            deploys: r.counter("metaai.core.pipeline.deploys"),
+            accuracy_runs: r.counter("metaai.core.pipeline.accuracy_runs"),
+            deploy_seconds: r.latency_histogram("metaai.core.pipeline.deploy_seconds"),
+            accuracy_seconds: r.latency_histogram("metaai.core.pipeline.accuracy_seconds"),
+        }
+    })
+}
+
+/// Registers the pipeline's instruments with the global telemetry registry.
+pub fn register_metrics() {
+    let _ = metrics();
+}
 
 /// A fully deployed MetaAI installation: the trained digital network, the
 /// metasurface programme realizing it, and the physical channels the
@@ -87,6 +115,11 @@ impl SystemBuilder {
     /// the physical channels, and anchors the receiver noise floor at the
     /// configured SNR.
     pub fn deploy(self, net: ComplexLnn) -> MetaAiSystem {
+        let tele = metaai_telemetry::enabled().then(metrics);
+        let _span = tele.map(|m| m.deploy_seconds.span());
+        if let Some(m) = tele {
+            m.deploys.inc();
+        }
         let config = self.config;
         let mut array =
             MtsArray::with_atom_count(config.prototype, self.num_atoms, config.mts_center);
@@ -223,6 +256,11 @@ impl MetaAiSystem {
     {
         if test.is_empty() {
             return 0.0;
+        }
+        let tele = metaai_telemetry::enabled().then(metrics);
+        let _span = tele.map(|m| m.accuracy_seconds.span());
+        if let Some(m) = tele {
+            m.accuracy_runs.inc();
         }
         let stream = SimRng::stream_id(&format!("ota-{label}"));
         let predictions =

@@ -1,0 +1,164 @@
+//! Pinned telemetry totals for the inference engine.
+//!
+//! The chip/sample/draw counters are derived from the engine's documented
+//! accounting (`chips = rows × draws-per-row`, one aggregated AWGN draw
+//! per output row, per-chip draws only in trace mode), so these tests pin
+//! the *model*: if an engine change alters how much physical work one
+//! sample represents, the expected constants here must be re-derived, not
+//! merely re-recorded.
+//!
+//! All tests share the process-global registry, so they serialize on one
+//! mutex and reset the instruments while holding it.
+
+use metaai::engine::OtaEngine;
+use metaai::ota::OtaConditions;
+use metaai_math::rng::SimRng;
+use metaai_math::{CMat, CVec};
+use metaai_telemetry::{MetricValue, Registry};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+const ROWS: usize = 4; // output classes = channel rows
+const U: usize = 6; // symbols per sample
+const N: usize = 10; // samples per batch
+const SLOTS: usize = 2; // metaai_phy::shaping::SLOTS_PER_SYMBOL
+
+/// Locks the global registry for one test: instruments registered,
+/// telemetry enabled, all values reset.
+fn lock_registry() -> (MutexGuard<'static, ()>, &'static Registry) {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    let guard = match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    let registry = metaai::telemetry::install();
+    registry.set_enabled(true);
+    registry.reset();
+    (guard, registry)
+}
+
+fn counter(registry: &Registry, name: &str) -> u64 {
+    for m in registry.snapshot() {
+        if m.name == name {
+            match m.value {
+                MetricValue::Counter(v) => return v,
+                other => panic!("{name} is not a counter: {other:?}"),
+            }
+        }
+    }
+    panic!("{name} not registered");
+}
+
+fn histogram_count(registry: &Registry, name: &str) -> u64 {
+    for m in registry.snapshot() {
+        if m.name == name {
+            match m.value {
+                MetricValue::Histogram(h) => return h.count,
+                other => panic!("{name} is not a histogram: {other:?}"),
+            }
+        }
+    }
+    panic!("{name} not registered");
+}
+
+fn engine_and_inputs() -> (CMat, Vec<CVec>) {
+    let mut rng = SimRng::seed_from_u64(17);
+    let h = CMat::from_fn(ROWS, U, |_, _| rng.complex_gaussian(1.0));
+    let inputs = (0..N)
+        .map(|_| CVec::from_fn(U, |_| rng.complex_gaussian(1.0)))
+        .collect();
+    (h, inputs)
+}
+
+#[test]
+fn noiseless_batch_counters_match_the_chip_accounting() {
+    let (guard, registry) = lock_registry();
+    let (h, inputs) = engine_and_inputs();
+    let engine = OtaEngine::new(&h);
+
+    let predictions = engine.batch_predict_with(&inputs, 5, 0, |_| OtaConditions::ideal(U));
+    assert_eq!(predictions.len(), N);
+
+    assert_eq!(counter(registry, "metaai.core.engine.batches"), 1);
+    assert_eq!(counter(registry, "metaai.core.engine.samples"), N as u64);
+    // Cancellation on: each of the ROWS accumulations covers U symbols
+    // at SLOTS chips each.
+    assert_eq!(
+        counter(registry, "metaai.core.engine.chips"),
+        (N * ROWS * U * SLOTS) as u64
+    );
+    // Ideal conditions are noiseless — no AWGN draws at all.
+    assert_eq!(counter(registry, "metaai.core.engine.awgn_draws"), 0);
+    assert_eq!(counter(registry, "metaai.core.engine.traces"), 0);
+    assert_eq!(
+        histogram_count(registry, "metaai.core.engine.sample_seconds"),
+        N as u64
+    );
+    drop(guard);
+}
+
+#[test]
+fn noisy_scoring_draws_one_aggregate_per_row() {
+    let (guard, registry) = lock_registry();
+    let (h, inputs) = engine_and_inputs();
+    let engine = OtaEngine::new(&h);
+
+    let mut noisy = OtaConditions::ideal(U);
+    noisy.awgn.variance = 0.05;
+    let mut rng = SimRng::seed_from_u64(23);
+    let _scores = engine.scores(&inputs[0], &noisy, &mut rng);
+
+    assert_eq!(counter(registry, "metaai.core.engine.samples"), 1);
+    // The scoring kernel aggregates each row's chip noise into a single
+    // row-level draw.
+    assert_eq!(
+        counter(registry, "metaai.core.engine.awgn_draws"),
+        ROWS as u64
+    );
+    drop(guard);
+}
+
+#[test]
+fn trace_mode_draws_noise_per_chip() {
+    let (guard, registry) = lock_registry();
+    let (h, inputs) = engine_and_inputs();
+    let engine = OtaEngine::new(&h);
+
+    let mut noisy = OtaConditions::ideal(U);
+    noisy.awgn.variance = 0.05;
+    let mut rng = SimRng::seed_from_u64(29);
+    let _outcome = engine.traced(&inputs[0], &noisy, &mut rng);
+
+    let chips = (ROWS * U * SLOTS) as u64;
+    assert_eq!(counter(registry, "metaai.core.engine.traces"), 1);
+    assert_eq!(counter(registry, "metaai.core.engine.samples"), 1);
+    assert_eq!(counter(registry, "metaai.core.engine.chips"), chips);
+    // Trace mode resolves noise chip by chip, not per row.
+    assert_eq!(counter(registry, "metaai.core.engine.awgn_draws"), chips);
+    drop(guard);
+}
+
+#[test]
+fn disabled_telemetry_records_nothing() {
+    let (guard, registry) = lock_registry();
+    registry.set_enabled(false);
+    let (h, inputs) = engine_and_inputs();
+    let engine = OtaEngine::new(&h);
+
+    let predictions = engine.batch_predict_with(&inputs, 5, 0, |_| OtaConditions::ideal(U));
+    assert_eq!(predictions.len(), N);
+
+    registry.set_enabled(true); // snapshots are unaffected by the flag
+    for name in [
+        "metaai.core.engine.batches",
+        "metaai.core.engine.samples",
+        "metaai.core.engine.chips",
+        "metaai.core.engine.awgn_draws",
+    ] {
+        assert_eq!(counter(registry, name), 0, "{name} must stay zero");
+    }
+    assert_eq!(
+        histogram_count(registry, "metaai.core.engine.sample_seconds"),
+        0
+    );
+    drop(guard);
+}

@@ -24,6 +24,41 @@
 
 use crate::atom::PhaseCode;
 use metaai_math::C64;
+use metaai_telemetry::{Counter, Histogram};
+use std::sync::OnceLock;
+
+/// Bucket bounds for the Eqn-4 residual histogram `|H_mts − H_des|`
+/// (normalized units). A healthy 256-atom solve lands well below 1.5, so
+/// mass drifting into the upper buckets is a direct signal the discrete
+/// realization is degrading.
+const RESIDUAL_BOUNDS: [f64; 8] = [0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0];
+
+/// Solver-stage instruments, registered once with the global registry.
+struct SolverMetrics {
+    solves: Counter,
+    sweeps: Counter,
+    table_builds: Counter,
+    residual: Histogram,
+}
+
+fn metrics() -> &'static SolverMetrics {
+    static METRICS: OnceLock<SolverMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = metaai_telemetry::global();
+        SolverMetrics {
+            solves: r.counter("metaai.mts.solver.solves"),
+            sweeps: r.counter("metaai.mts.solver.sweeps"),
+            table_builds: r.counter("metaai.mts.solver.table_builds"),
+            residual: r.histogram("metaai.mts.solver.residual", &RESIDUAL_BOUNDS),
+        }
+    })
+}
+
+/// Registers the solver's instruments with the global telemetry registry,
+/// so snapshots list them (zero-valued) even before the first solve.
+pub fn register_metrics() {
+    let _ = metrics();
+}
 
 /// Precomputed per-atom state contributions for one [`WeightSolver`]:
 /// `contrib[t][atom · S + s] = phasors[t][atom] · e^{jφ_s}` with
@@ -173,6 +208,9 @@ impl WeightSolver {
                 c
             })
             .collect();
+        if metaai_telemetry::enabled() {
+            metrics().table_builds.inc();
+        }
         StateTable { contrib, n_states }
     }
 
@@ -294,6 +332,12 @@ impl WeightSolver {
             .map(|(&s, &t)| (s - t).norm_sq())
             .sum::<f64>()
             .sqrt();
+        if metaai_telemetry::enabled() {
+            let m = metrics();
+            m.solves.inc();
+            m.sweeps.add(sweeps as u64);
+            m.residual.observe(residual);
+        }
         SolveResult {
             codes: codes.clone(),
             achieved: sums.clone(),

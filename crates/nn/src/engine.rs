@@ -38,7 +38,41 @@ use crate::data::ComplexDataset;
 use crate::train::{EpochStats, TrainConfig};
 use metaai_math::rng::SimRng;
 use metaai_math::{CMat, CVec, C64};
+use metaai_telemetry::{Counter, Gauge, Histogram};
 use rayon::prelude::*;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Training-stage instruments, registered once with the global registry.
+struct TrainMetrics {
+    epochs: Counter,
+    samples: Counter,
+    augmentations: Counter,
+    epoch_seconds: Histogram,
+    batch_seconds: Histogram,
+    samples_per_sec: Gauge,
+}
+
+fn metrics() -> &'static TrainMetrics {
+    static METRICS: OnceLock<TrainMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = metaai_telemetry::global();
+        TrainMetrics {
+            epochs: r.counter("metaai.nn.train.epochs"),
+            samples: r.counter("metaai.nn.train.samples"),
+            augmentations: r.counter("metaai.nn.train.augmentations"),
+            epoch_seconds: r.latency_histogram("metaai.nn.train.epoch_seconds"),
+            batch_seconds: r.latency_histogram("metaai.nn.train.batch_seconds"),
+            samples_per_sec: r.gauge("metaai.nn.train.samples_per_sec"),
+        }
+    })
+}
+
+/// Registers the trainer's instruments with the global telemetry registry,
+/// so snapshots list them (zero-valued) even before the first run.
+pub fn register_metrics() {
+    let _ = metrics();
+}
 
 /// Samples per reduction sub-chunk.
 ///
@@ -177,13 +211,20 @@ impl TrainEngine {
             .map(|_| TrainScratch::new(classes, input_len))
             .collect();
 
+        // Telemetry is sampled once per run: a disabled registry costs one
+        // atomic load here and nothing inside the epoch/batch loops.
+        let tele = metaai_telemetry::enabled().then(metrics);
+        let run_start = tele.map(|_| Instant::now());
+
         for epoch in 0..cfg.epochs {
+            let _epoch_span = tele.map(|m| m.epoch_seconds.span());
             let order =
                 SimRng::derive_indexed(cfg.seed, shuffle_stream, epoch as u64).permutation(n);
             let mut epoch_loss = 0.0;
             let mut correct = 0usize;
 
             for (b, chunk) in order.chunks(cfg.batch).enumerate() {
+                let _batch_span = tele.map(|m| m.batch_seconds.span());
                 let net_ref = &net;
                 let augs = cfg.augmentations.as_slice();
                 let seed = cfg.seed;
@@ -236,11 +277,23 @@ impl TrainEngine {
                 }
             }
 
+            if let Some(m) = tele {
+                m.epochs.inc();
+                m.samples.add(n as u64);
+                m.augmentations.add((n * cfg.augmentations.len()) as u64);
+            }
             stats.push(EpochStats {
                 epoch,
                 loss: epoch_loss / n as f64,
                 accuracy: correct as f64 / n as f64,
             });
+        }
+
+        if let (Some(m), Some(start)) = (tele, run_start) {
+            let elapsed = start.elapsed().as_secs_f64();
+            if elapsed > 0.0 {
+                m.samples_per_sec.set((cfg.epochs * n) as f64 / elapsed);
+            }
         }
 
         (net, stats)

@@ -1,0 +1,196 @@
+//! Snapshot rendering: pretty JSON (for `--metrics-out` files and BENCH
+//! JSON `telemetry` sections) and Prometheus text exposition format.
+
+use crate::registry::{MetricValue, Registry};
+use std::fmt::Write;
+
+/// JSON-safe float: JSON has no NaN/Inf literals, so non-finite values
+/// render as `null`. Rust's `Display` for `f64` never uses exponent
+/// notation, so the output is always a valid JSON number.
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Prometheus metric names allow `[a-zA-Z0-9_:]`; map the registry's
+/// `metaai.<crate>.<stage>` dots (and any dashes) to underscores.
+fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+impl Registry {
+    /// Renders the full snapshot as pretty-printed JSON.
+    ///
+    /// Instruments are sorted by name; histogram `buckets` carry
+    /// **non-cumulative** per-bucket counts with their upper bound `le`
+    /// (the trailing bucket's bound is the string `"+Inf"`).
+    pub fn render_json(&self) -> String {
+        let snap = self.snapshot();
+        let mut out = String::from("{\n  \"metrics\": [");
+        for (i, m) in snap.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    let _ = write!(
+                        out,
+                        "{{ \"name\": \"{}\", \"type\": \"counter\", \"value\": {v} }}",
+                        m.name
+                    );
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = write!(
+                        out,
+                        "{{ \"name\": \"{}\", \"type\": \"gauge\", \"value\": {} }}",
+                        m.name,
+                        fmt_f64(*v)
+                    );
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = write!(
+                        out,
+                        "{{ \"name\": \"{}\", \"type\": \"histogram\", \"count\": {}, \"sum\": {}, \"buckets\": [",
+                        m.name,
+                        h.count,
+                        fmt_f64(h.sum)
+                    );
+                    for (b, &count) in h.buckets.iter().enumerate() {
+                        if b > 0 {
+                            out.push_str(", ");
+                        }
+                        let le = match h.bounds.get(b) {
+                            Some(bound) => fmt_f64(*bound),
+                            None => "\"+Inf\"".to_string(),
+                        };
+                        let _ = write!(out, "{{ \"le\": {le}, \"count\": {count} }}");
+                    }
+                    out.push_str("] }");
+                }
+            }
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Renders the full snapshot in Prometheus text exposition format
+    /// (`# TYPE` lines; histograms with cumulative `_bucket{le=…}`,
+    /// `_sum`, `_count` series).
+    pub fn render_prometheus(&self) -> String {
+        let snap = self.snapshot();
+        let mut out = String::new();
+        for m in &snap {
+            let name = prom_name(&m.name);
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "# TYPE {name} counter\n{name} {v}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "# TYPE {name} gauge\n{name} {v}");
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = writeln!(out, "# TYPE {name} histogram");
+                    let mut cumulative = 0u64;
+                    for (b, &count) in h.buckets.iter().enumerate() {
+                        cumulative += count;
+                        let le = match h.bounds.get(b) {
+                            Some(bound) => format!("{bound}"),
+                            None => "+Inf".to_string(),
+                        };
+                        let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+                    }
+                    let _ = writeln!(out, "{name}_sum {}\n{name}_count {}", h.sum, h.count);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new();
+        r.set_enabled(true);
+        r.counter("metaai.test.samples").add(7);
+        r.gauge("metaai.test.samples_per_sec").set(123.5);
+        let h = r.histogram("metaai.test.latency_seconds", &[0.001, 0.1]);
+        h.observe(0.0005);
+        h.observe(0.05);
+        h.observe(2.0);
+        r
+    }
+
+    #[test]
+    fn json_lists_every_instrument_with_kinds() {
+        let json = sample_registry().render_json();
+        assert!(
+            json.contains("\"name\": \"metaai.test.samples\", \"type\": \"counter\", \"value\": 7")
+        );
+        assert!(json.contains("\"type\": \"gauge\", \"value\": 123.5"));
+        assert!(json.contains("\"type\": \"histogram\", \"count\": 3"));
+        assert!(json.contains("{ \"le\": \"+Inf\", \"count\": 1 }"));
+        // Valid-JSON smoke: balanced braces/brackets.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces in {json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_floats_never_use_exponent_notation() {
+        let r = Registry::new();
+        r.set_enabled(true);
+        r.gauge("metaai.test.tiny").set(1e-6);
+        let json = r.render_json();
+        assert!(json.contains("\"value\": 0.000001"), "got {json}");
+        assert!(!json.contains("1e-6"));
+    }
+
+    #[test]
+    fn non_finite_gauges_render_as_null() {
+        let r = Registry::new();
+        r.set_enabled(true);
+        r.gauge("metaai.test.bad").set(f64::NAN);
+        assert!(r.render_json().contains("\"value\": null"));
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative_and_names_sanitized() {
+        let prom = sample_registry().render_prometheus();
+        assert!(prom.contains("# TYPE metaai_test_samples counter"));
+        assert!(prom.contains("metaai_test_samples 7"));
+        assert!(prom.contains("metaai_test_latency_seconds_bucket{le=\"0.001\"} 1"));
+        assert!(prom.contains("metaai_test_latency_seconds_bucket{le=\"0.1\"} 2"));
+        assert!(prom.contains("metaai_test_latency_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(prom.contains("metaai_test_latency_seconds_count 3"));
+        // Metric *names* are sanitized (values and le labels keep dots).
+        assert!(
+            !prom.contains("metaai.test"),
+            "dots must be sanitized:\n{prom}"
+        );
+    }
+
+    #[test]
+    fn empty_registry_renders_valid_documents() {
+        let r = Registry::new();
+        assert_eq!(r.render_json(), "{\n  \"metrics\": [\n  ]\n}\n");
+        assert_eq!(r.render_prometheus(), "");
+    }
+}
