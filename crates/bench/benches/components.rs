@@ -60,10 +60,10 @@ fn bench_ota(c: &mut Criterion) {
     let h = realize_channels(&schedule, &mapper.link, &array);
     let x = CVec::from_fn(784, |_| rng.complex_gaussian(1.0));
     let cond = OtaConditions::ideal(784);
-    #[allow(deprecated)] // benchmarks the legacy scalar path for comparison
+    let engine = metaai::engine::OtaEngine::new(&h);
     c.bench_function("ota/full_inference_10_classes_784_symbols", |b| {
         let mut r = SimRng::seed_from_u64(4);
-        b.iter(|| black_box(OtaReceiver::predict(&h, &x, &cond, &mut r)))
+        b.iter(|| black_box(engine.predict(&x, &cond, &mut r)))
     });
 }
 

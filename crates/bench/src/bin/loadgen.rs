@@ -1,0 +1,103 @@
+//! Load generator for `metaai serve`: drives batch-saturating open-loop
+//! traffic and reports throughput, p50/p99 latency, and shed rate.
+//!
+//! ```text
+//! loadgen [--addr 127.0.0.1:7077] [--duration-secs 2] [--connections 2]
+//!         [--depth 256] [--deadline-us 0] [--shutdown]
+//! ```
+//!
+//! `--shutdown` sends a SHUTDOWN frame after the run and waits for the
+//! drain ack, so `metaai serve` exits cleanly — CI uses this to assert a
+//! full start → load → drain cycle. Exits nonzero on any protocol error.
+
+use metaai_bench::serveload::{self, LoadConfig};
+use std::time::Duration;
+
+fn main() {
+    let mut addr = "127.0.0.1:7077".to_string();
+    let mut cfg = LoadConfig::default();
+    let mut want_shutdown = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(&format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--duration-secs" => {
+                cfg.duration = Duration::from_secs_f64(parse(&value("--duration-secs")))
+            }
+            "--connections" => cfg.connections = parse(&value("--connections")),
+            "--depth" => cfg.depth = parse(&value("--depth")),
+            "--deadline-us" => cfg.deadline_us = parse(&value("--deadline-us")),
+            "--shutdown" => want_shutdown = true,
+            "--help" | "-h" => {
+                println!(
+                    "loadgen [--addr HOST:PORT] [--duration-secs S] [--connections N] \
+                     [--depth N] [--deadline-us US] [--shutdown]"
+                );
+                return;
+            }
+            other => fail(&format!("unknown flag {other:?}")),
+        }
+    }
+
+    let (epoch, outputs, symbols) =
+        match serveload::probe_info_retry(&addr, Duration::from_secs(30)) {
+            Ok(info) => info,
+            Err(e) => fail(&format!("cannot reach {addr}: {e}")),
+        };
+    println!("target    {addr} (epoch {epoch}, {outputs} outputs x {symbols} symbols)");
+    println!(
+        "load      {} conn x depth {} for {:.1}s{}",
+        cfg.connections,
+        cfg.depth,
+        cfg.duration.as_secs_f64(),
+        if cfg.deadline_us > 0 {
+            format!(", deadline {} us", cfg.deadline_us)
+        } else {
+            String::new()
+        }
+    );
+
+    let mut report = match serveload::run(&addr, symbols as usize, &cfg) {
+        Ok(r) => r,
+        Err(e) => fail(&format!("load run failed: {e}")),
+    };
+
+    println!(
+        "sent      {} ({} scored, {} shed, {} expired, {} protocol errors)",
+        report.sent, report.scored, report.shed, report.expired, report.protocol_errors
+    );
+    println!("throughput {:>10.1} samples/s", report.samples_per_sec());
+    println!(
+        "latency    p50 {:>8.1} us",
+        report.latency_percentile_us(50.0)
+    );
+    println!(
+        "           p99 {:>8.1} us",
+        report.latency_percentile_us(99.0)
+    );
+    println!("shed rate  {:>10.3}%", report.shed_rate() * 100.0);
+
+    if want_shutdown {
+        match serveload::shutdown(&addr) {
+            Ok(()) => println!("shutdown   acked after drain"),
+            Err(e) => fail(&format!("shutdown failed: {e}")),
+        }
+    }
+    if report.protocol_errors > 0 {
+        fail(&format!("{} protocol errors", report.protocol_errors));
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> T {
+    s.parse()
+        .unwrap_or_else(|_| fail(&format!("cannot parse {s:?}")))
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}

@@ -3,7 +3,10 @@
 //! Times the batched training engine against the pre-engine sequential
 //! loop, and the table-driven weight solver (via `WeightMapper::map`)
 //! against the recompute-every-probe reference kernel; measures tier-1
-//! accuracy (AFHQ quick, digital and over the air); and embeds a
+//! accuracy (AFHQ quick, digital and over the air); drives the serving
+//! stack (`metaai-serve` behind its TCP front-end, on a loopback port)
+//! at batch-saturating load and compares it against the per-request
+//! scoring loop a service without a batcher would run; and embeds a
 //! telemetry snapshot of every instrumented stage. Writes
 //! `BENCH_pr<N>.json` for CI to archive and for `bench_gate` to compare
 //! against the committed baseline. The host core count is recorded
@@ -12,14 +15,16 @@
 //! only applies at ≥8 cores.
 //!
 //! Usage: `perf_report [--pr N] [output-path]`
-//! (default `--pr 3`, output `BENCH_pr<N>.json`).
+//! (default `--pr 4`, output `BENCH_pr<N>.json`).
 
 use metaai::config::SystemConfig;
 use metaai::mapper::WeightMapper;
+use metaai::ota::OtaReceiver;
 use metaai::pipeline::MetaAiSystem;
+use metaai_bench::serveload::{self, LoadConfig};
 use metaai_datasets::{generate, DatasetId, Scale};
 use metaai_math::rng::SimRng;
-use metaai_math::{CMat, C64};
+use metaai_math::{CMat, CVec, C64};
 use metaai_mts::array::{MtsArray, Prototype};
 use metaai_mts::atom::PhaseCode;
 use metaai_mts::solver::{SolverScratch, WeightSolver};
@@ -28,6 +33,7 @@ use metaai_nn::complex_lnn::ComplexLnn;
 use metaai_nn::data::ComplexDataset;
 use metaai_nn::train::{toy_problem, TrainConfig};
 use metaai_nn::TrainEngine;
+use metaai_serve::{ServeConfig, Server};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -131,7 +137,7 @@ fn reference_solve(solver: &WeightSolver, target: C64) -> f64 {
 }
 
 fn main() {
-    let mut pr: u32 = 3;
+    let mut pr: u32 = 4;
     let mut out_arg: Option<String> = None;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -150,6 +156,7 @@ fn main() {
     // in the archived artifacts too.
     let registry = metaai::telemetry::install();
     registry.set_enabled(true);
+    metaai_serve::register_metrics();
 
     // --- Training throughput: 400 samples × 64 symbols, CDFA on. ---
     let data = toy_problem(10, 64, 40, 0.3, 1, 2);
@@ -225,15 +232,76 @@ fn main() {
     let digital_accuracy = system.digital_accuracy(&acc_test);
     let ota_accuracy = system.ota_accuracy(&acc_test, "perf-report");
 
+    // --- Serving throughput: the trained AFHQ deployment behind the TCP
+    // front-end at batch-saturating load, vs the request-at-a-time
+    // scoring loop a service without a batcher would run (string-keyed
+    // per-request RNG derive, fresh conditions, `OtaReceiver::accumulate`
+    // per output row — per-chip noise draws and all). The ratio is the
+    // PR-4 amortization target (≥10×). ---
+    let n_symbols = acc_test.input_len();
+    let n_rows = system.channels.rows();
+    let mut srng = SimRng::derive(42, "perf-serve-inputs");
+    let serve_inputs: Vec<CVec> = (0..64)
+        .map(|_| CVec::from_fn(n_symbols, |_| srng.complex_gaussian(1.0)))
+        .collect();
+    // Same estimator as the served figure below — samples over a wall
+    // clock window, not best-of — so host-wide slowdowns (CPU steal on
+    // shared runners) hit numerator and denominator alike and the
+    // amortization ratio stays comparable run to run.
+    let mut per_request_done = 0u64;
+    let baseline_started = Instant::now();
+    while baseline_started.elapsed() < std::time::Duration::from_millis(800) {
+        let i = per_request_done;
+        let x = &serve_inputs[(i % serve_inputs.len() as u64) as usize];
+        let mut r = SimRng::derive(42, &format!("serve-legacy-{i}"));
+        let cond = system.default_conditions(n_symbols, &mut r);
+        let scores: Vec<f64> = (0..n_rows)
+            .map(|row| OtaReceiver::accumulate(system.channels.row(row), x, &cond, &mut r).abs())
+            .collect();
+        black_box(metaai_math::stats::argmax(&scores));
+        per_request_done += 1;
+    }
+    let per_request_sps = per_request_done as f64 / baseline_started.elapsed().as_secs_f64();
+
+    let serve_cfg = ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(std::sync::Arc::new(system), &serve_cfg);
+    let listener = std::net::TcpListener::bind(("127.0.0.1", 0)).expect("bind loopback");
+    let serve_addr = listener.local_addr().expect("local addr");
+    let serve_thread = std::thread::spawn(move || metaai_serve::tcp::serve(listener, server));
+    let load = LoadConfig {
+        duration: std::time::Duration::from_millis(2000),
+        connections: 2,
+        depth: 256,
+        deadline_us: 0,
+    };
+    let mut load_report = serveload::run(serve_addr, n_symbols, &load).expect("serve load run");
+    serveload::shutdown(serve_addr).expect("drain shutdown");
+    serve_thread
+        .join()
+        .expect("serve thread")
+        .expect("serve exits cleanly");
+    assert_eq!(
+        load_report.protocol_errors, 0,
+        "serve load hit protocol errors"
+    );
+    let serve_sps = load_report.samples_per_sec();
+    let serve_p50 = load_report.latency_percentile_us(50.0);
+    let serve_p99 = load_report.latency_percentile_us(99.0);
+
     // Embed the telemetry snapshot (re-indented two levels to sit inside
     // the report object). `bench_gate` skips this subtree.
     let telemetry = registry.render_json();
     let telemetry = telemetry.trim_end().replace('\n', "\n  ");
 
     let json = format!(
-        "{{\n  \"pr\": {pr},\n  \"cores\": {cores},\n  \"train\": {{\n    \"workload\": \"toy_problem 10x64, 400 samples, 2 epochs, cdfa\",\n    \"engine_samples_per_sec\": {train_engine_sps:.1},\n    \"sequential_samples_per_sec\": {train_seq_sps:.1},\n    \"speedup\": {:.3}\n  }},\n  \"solver\": {{\n    \"workload\": \"WeightMapper::map 10x32 weights, 256 atoms\",\n    \"map_solves_per_sec\": {map_solves_per_sec:.1},\n    \"table_kernel_solves_per_sec\": {table_solves_per_sec:.1},\n    \"reference_kernel_solves_per_sec\": {ref_solves_per_sec:.1},\n    \"kernel_speedup\": {:.3}\n  }},\n  \"accuracy\": {{\n    \"workload\": \"afhq quick, 8 epochs, cdfa, seed 42\",\n    \"digital\": {digital_accuracy:.6},\n    \"ota\": {ota_accuracy:.6}\n  }},\n  \"telemetry\": {telemetry}\n}}\n",
+        "{{\n  \"pr\": {pr},\n  \"cores\": {cores},\n  \"train\": {{\n    \"workload\": \"toy_problem 10x64, 400 samples, 2 epochs, cdfa\",\n    \"engine_samples_per_sec\": {train_engine_sps:.1},\n    \"sequential_samples_per_sec\": {train_seq_sps:.1},\n    \"speedup\": {:.3}\n  }},\n  \"solver\": {{\n    \"workload\": \"WeightMapper::map 10x32 weights, 256 atoms\",\n    \"map_solves_per_sec\": {map_solves_per_sec:.1},\n    \"table_kernel_solves_per_sec\": {table_solves_per_sec:.1},\n    \"reference_kernel_solves_per_sec\": {ref_solves_per_sec:.1},\n    \"kernel_speedup\": {:.3}\n  }},\n  \"accuracy\": {{\n    \"workload\": \"afhq quick, 8 epochs, cdfa, seed 42\",\n    \"digital\": {digital_accuracy:.6},\n    \"ota\": {ota_accuracy:.6}\n  }},\n  \"serve\": {{\n    \"workload\": \"afhq quick deployment over TCP loopback, 2 conn x depth 256, 2s\",\n    \"serve_samples_per_sec\": {serve_sps:.1},\n    \"per_request_samples_per_sec\": {per_request_sps:.1},\n    \"amortization\": {:.3},\n    \"p50_latency_us\": {serve_p50:.1},\n    \"p99_latency_us\": {serve_p99:.1},\n    \"shed_rate\": {:.6}\n  }},\n  \"telemetry\": {telemetry}\n}}\n",
         train_engine_sps / train_seq_sps,
         table_solves_per_sec / ref_solves_per_sec,
+        serve_sps / per_request_sps,
+        load_report.shed_rate(),
     );
     std::fs::write(&out_path, &json).expect("write report");
     print!("{json}");

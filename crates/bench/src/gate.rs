@@ -320,6 +320,20 @@ pub fn compare(baseline: &Json, fresh: &Json, max_regress: f64) -> GateReport {
             ));
         }
     }
+
+    // Throughput keys only the fresh report has are new metrics landing
+    // in this PR: advisory, so a PR adding e.g. `serve_*` figures does
+    // not need its baseline hand-edited. They become gated once the
+    // baseline is regenerated with them included.
+    for (path, &f) in &new {
+        if path.ends_with("_per_sec") && !path.starts_with("telemetry.") && !base.contains_key(path)
+        {
+            report.warnings.push(format!(
+                "{path}: new throughput metric not in baseline (fresh {f:.1}); \
+                 advisory until the baseline is regenerated"
+            ));
+        }
+    }
     report
 }
 
@@ -425,6 +439,31 @@ mod tests {
         let r = compare(&base, &fresh, 0.15);
         assert!(!r.passed());
         assert!(r.failures[0].contains("accuracy.ota"));
+    }
+
+    #[test]
+    fn fresh_only_throughput_metric_warns_but_passes() {
+        let base = parse(BASE).expect("parse");
+        let fresh = parse(&BASE.replace(
+            "\"speedup\": 2.0",
+            "\"speedup\": 2.0, \"serve_samples_per_sec\": 5000.0",
+        ))
+        .expect("parse");
+        let r = compare(&base, &fresh, 0.15);
+        assert!(r.passed(), "failures: {:?}", r.failures);
+        assert_eq!(r.warnings.len(), 1);
+        assert!(r.warnings[0].contains("serve_samples_per_sec"));
+        assert!(r.warnings[0].contains("advisory"));
+    }
+
+    #[test]
+    fn fresh_only_telemetry_rate_does_not_warn() {
+        let base = parse(BASE).expect("parse");
+        let fresh = parse(&BASE.replace("\"value\": 7", "\"value\": 7, \"rate_per_sec\": 123.0"))
+            .expect("parse");
+        let r = compare(&base, &fresh, 0.15);
+        assert!(r.passed());
+        assert!(r.warnings.is_empty(), "warnings: {:?}", r.warnings);
     }
 
     #[test]

@@ -17,5 +17,6 @@ pub mod exp_privacy;
 pub mod exp_robustness;
 pub mod exp_sensors;
 pub mod gate;
+pub mod serveload;
 
 pub use common::{csv_write, ExpContext};

@@ -305,6 +305,68 @@ pub fn infer(args: &Args) -> i32 {
     metrics_finish(args).unwrap_or(0)
 }
 
+/// `metaai serve` — long-running OTA inference service over TCP.
+pub fn serve(args: &Args) -> i32 {
+    metrics_begin(args);
+    metaai_serve::register_metrics();
+    let net = match load(args) {
+        Ok(n) => n,
+        Err(e) => return fail(&e),
+    };
+    let seed: u64 = args.num_or("seed", 42);
+    let config = SystemConfig {
+        seed,
+        ..SystemConfig::paper_default()
+    };
+    let policy = match args.get_or("policy", "shed") {
+        "shed" => metaai_serve::OverflowPolicy::Shed,
+        "block" => metaai_serve::OverflowPolicy::Block,
+        other => return fail(&format!("unknown --policy {other:?} (expected shed|block)")),
+    };
+    let defaults = metaai_serve::ServeConfig::default();
+    let serve_cfg = metaai_serve::ServeConfig {
+        max_batch: args.num_or("max-batch", defaults.max_batch),
+        max_delay: std::time::Duration::from_micros(args.num_or("max-delay-us", 2000u64)),
+        queue_capacity: args.num_or("queue-cap", defaults.queue_capacity),
+        workers: args.num_or("workers", defaults.workers),
+        policy,
+    };
+    let port: u16 = args.num_or("port", 7077);
+    let listener = match std::net::TcpListener::bind(("127.0.0.1", port)) {
+        Ok(l) => l,
+        Err(e) => return fail(&format!("cannot bind 127.0.0.1:{port}: {e}")),
+    };
+    let addr = listener.local_addr().expect("bound listener");
+
+    let t0 = std::time::Instant::now();
+    let system = std::sync::Arc::new(MetaAiSystem::builder().config(config).deploy(net));
+    println!(
+        "deployed {} classes × {} symbols on {} atoms in {:.1?} (realization error {:.3} %)",
+        system.engine().num_outputs(),
+        system.engine().num_symbols(),
+        system.array.num_atoms(),
+        t0.elapsed(),
+        100.0 * system.realization_error()
+    );
+    println!(
+        "serving on {addr} — {} workers, batch ≤ {}, flush ≤ {:?}, queue {} ({} overflow); \
+         send a SHUTDOWN frame (loadgen --shutdown) to drain and stop",
+        serve_cfg.workers,
+        serve_cfg.max_batch,
+        serve_cfg.max_delay,
+        serve_cfg.queue_capacity,
+        args.get_or("policy", "shed"),
+    );
+    let server = metaai_serve::Server::start(system, &serve_cfg);
+    match metaai_serve::tcp::serve(listener, server) {
+        Ok(()) => {
+            println!("drained and stopped");
+            metrics_finish(args).unwrap_or(0)
+        }
+        Err(e) => fail(&format!("serve loop failed: {e}")),
+    }
+}
+
 /// `metaai scan`
 pub fn scan(args: &Args) -> i32 {
     let angle: f64 = args.num_or("angle", 25.0);

@@ -5,6 +5,7 @@
 //! metaai eval   --model model.bin --dataset mnist [--confusion]
 //! metaai deploy --model model.bin
 //! metaai infer  --model model.bin --dataset mnist --sample 0 [--trace t.csv]
+//! metaai serve  --model model.bin --port 7077 [--workers 2 --max-batch 64]
 //! metaai scan   [--angle 25]
 //! metaai export --dataset mnist --scale quick --out sheet.pgm
 //! metaai wdd    [--atoms 16,64,256]
@@ -24,6 +25,7 @@ fn main() {
         Some("eval") => commands::eval(&args),
         Some("deploy") => commands::deploy(&args),
         Some("infer") => commands::infer(&args),
+        Some("serve") => commands::serve(&args),
         Some("scan") => commands::scan(&args),
         Some("export") => commands::export(&args),
         Some("wdd") => commands::wdd(&args),
@@ -53,6 +55,10 @@ COMMANDS:
   deploy   Solve the metasurface schedule for a saved model and report
            realization quality and control-budget numbers
   infer    Run one traced over-the-air inference
+  serve    Serve over-the-air inference on a TCP port (micro-batched;
+           --port 7077 --workers N --max-batch 64 --max-delay-us 2000
+           --queue-cap 1024 --policy shed|block; drain with loadgen
+           --shutdown)
   scan     Beam-scan demo: estimate the receiver angle
   export   Dump a dataset contact sheet as a PGM image
   wdd      Weight-distribution-density sweep (Appendix A.2)

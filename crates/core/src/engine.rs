@@ -15,7 +15,7 @@
 //!   `R` shifted vectors per sample).
 //! * **Shared per-symbol weight chips.** The effective weight
 //!   `h = H[r,i] · mts_factor[i]` is computed once per symbol and both
-//!   chip polarities derive from it through [`chip_signal`]; the traced
+//!   chip polarities derive from it through `chip_signal`; the traced
 //!   and untraced paths call the *same* function, so they cannot drift.
 //! * **Aggregated receiver noise.** The legacy path drew one complex
 //!   Gaussian per chip. Noise enters the accumulation additively, and a
@@ -276,7 +276,7 @@ impl<'a> OtaEngine<'a> {
 
     /// One traced inference: every chip and accumulator state recorded.
     ///
-    /// The signal arithmetic is [`chip_signal`] — shared with the scoring
+    /// The signal arithmetic is `chip_signal` — shared with the scoring
     /// kernel, so traced and untraced scores are bitwise identical in the
     /// noiseless case. Receiver noise, when enabled, is resolved per chip
     /// here (the trace reports chip-level values) while the scoring kernel

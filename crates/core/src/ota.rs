@@ -128,23 +128,6 @@ impl OtaReceiver {
         }
         acc
     }
-
-    /// Runs all `R` sequential transmissions for one input and returns the
-    /// class scores `y_r = |…|`.
-    #[deprecated(
-        note = "construct an `OtaEngine` (or go through `MetaAiSystem::run`) so \
-                batches amortize the per-call setup"
-    )]
-    pub fn scores(h: &CMat, x: &CVec, cond: &OtaConditions, rng: &mut SimRng) -> Vec<f64> {
-        crate::engine::OtaEngine::new(h).scores(x, cond, rng)
-    }
-
-    /// Classifies one input.
-    #[deprecated(note = "use `OtaEngine::predict` (or `MetaAiSystem::run`) so batches \
-                amortize the per-call setup")]
-    pub fn predict(h: &CMat, x: &CVec, cond: &OtaConditions, rng: &mut SimRng) -> usize {
-        crate::engine::OtaEngine::new(h).predict(x, cond, rng)
-    }
 }
 
 #[cfg(test)]
@@ -202,7 +185,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // exercises the `OtaReceiver::scores` shim on purpose
     fn ideal_conditions_reproduce_the_digital_dot_product() {
         let (mapper, array) = mapper_and_array();
         let w = random_weights(3, 8, 4);
@@ -212,7 +194,7 @@ mod tests {
         let x = CVec::from_fn(8, |_| rng.complex_gaussian(1.0));
         let cond = OtaConditions::ideal(8);
         let mut rng2 = SimRng::seed_from_u64(6);
-        let scores = OtaReceiver::scores(&h, &x, &cond, &mut rng2);
+        let scores = crate::engine::OtaEngine::new(&h).scores(&x, &cond, &mut rng2);
         // Compare to the digital network output, up to the global scale
         // (α·σ) and the coherent gain of the chip combining.
         let gain = mapper.link.alpha * sched.scale * shaping::coherent_gain();

@@ -68,8 +68,7 @@ pub struct MetaAiSystem {
 
 /// Staged construction of a [`MetaAiSystem`].
 ///
-/// Collects deployment options (which used to be positional arguments of
-/// `from_network_with_atoms`) and finishes with [`deploy`](Self::deploy)
+/// Collects deployment options and finishes with [`deploy`](Self::deploy)
 /// for an already-trained network or
 /// [`train_and_deploy`](Self::train_and_deploy) to train first.
 ///
@@ -156,37 +155,6 @@ impl MetaAiSystem {
         SystemBuilder::default()
     }
 
-    /// Deploys an already-trained network.
-    #[deprecated(note = "use `MetaAiSystem::builder().config(...).deploy(net)` instead")]
-    pub fn from_network(net: ComplexLnn, config: &SystemConfig) -> Self {
-        Self::builder().config(config.clone()).deploy(net)
-    }
-
-    /// Deploys with an explicit meta-atom count (the Fig 7 sweep).
-    #[deprecated(
-        note = "use `MetaAiSystem::builder().config(...).num_atoms(m).deploy(net)` instead"
-    )]
-    pub fn from_network_with_atoms(
-        net: ComplexLnn,
-        config: &SystemConfig,
-        num_atoms: usize,
-    ) -> Self {
-        Self::builder()
-            .config(config.clone())
-            .num_atoms(num_atoms)
-            .deploy(net)
-    }
-
-    /// Trains the network on `train` and deploys it.
-    #[deprecated(
-        note = "use `MetaAiSystem::builder().config(...).train_and_deploy(train, tcfg)` instead"
-    )]
-    pub fn build(train: &ComplexDataset, config: &SystemConfig, tcfg: &TrainConfig) -> Self {
-        Self::builder()
-            .config(config.clone())
-            .train_and_deploy(train, tcfg)
-    }
-
     /// Accuracy of the digital network ("simulation" column of Table 1).
     pub fn digital_accuracy(&self, test: &ComplexDataset) -> f64 {
         metaai_nn::train::evaluate(&self.net, test)
@@ -237,13 +205,21 @@ impl MetaAiSystem {
         self.engine().run_batch(requests, self.config.seed, stream)
     }
 
-    /// Classifies one input over the air under explicit conditions.
-    #[deprecated(
-        note = "use `MetaAiSystem::run`/`run_batch` or `engine().predict` — batches \
-                amortize the per-call setup"
-    )]
-    pub fn infer(&self, x: &CVec, cond: &OtaConditions, rng: &mut SimRng) -> usize {
-        self.engine().predict(x, cond, rng)
+    /// Scores one input exactly as position `index` of an offline batch
+    /// run on stream `stream` — same derived RNG, same default-conditions
+    /// draw order — writing the class scores into `out` (reused scratch)
+    /// and returning the argmax.
+    ///
+    /// This is the serving hot path: a live request carrying a sample
+    /// index scores bitwise-identically to
+    /// `engine().batch_with(inputs, config.seed, stream, |rng| default_conditions(n, rng))`
+    /// at that index, independent of how requests were batched or which
+    /// worker picked them up.
+    pub fn score_indexed(&self, x: &CVec, stream: u64, index: u64, out: &mut Vec<f64>) -> usize {
+        let mut rng = SimRng::derive_indexed(self.config.seed, stream, index);
+        let cond = self.default_conditions(x.len(), &mut rng);
+        self.engine().scores_into(x, &cond, &mut rng, out);
+        metaai_math::stats::argmax(out)
     }
 
     /// Over-the-air accuracy under per-sample conditions built by
@@ -359,6 +335,24 @@ mod tests {
             (ideal - digital).abs() < 0.08,
             "ideal OTA {ideal} vs digital {digital}"
         );
+    }
+
+    #[test]
+    fn score_indexed_matches_the_batch_path_bitwise() {
+        let (sys, test) = quick_system();
+        let n = test.input_len();
+        let stream = metaai_math::rng::SimRng::stream_id("serve-test");
+        let batched = sys
+            .engine()
+            .batch_with(&test.inputs, sys.config.seed, stream, |rng| {
+                sys.default_conditions(n, rng)
+            });
+        let mut scratch = Vec::new();
+        for (i, x) in test.inputs.iter().enumerate() {
+            let predicted = sys.score_indexed(x, stream, i as u64, &mut scratch);
+            assert_eq!(predicted, batched[i].predicted, "sample {i}");
+            assert_eq!(scratch, batched[i].scores, "sample {i} scores");
+        }
     }
 
     #[test]

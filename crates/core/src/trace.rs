@@ -7,9 +7,7 @@
 //! received chips, and the running accumulation. [`write_csv`] dumps it
 //! in a spreadsheet-friendly layout.
 
-use crate::ota::OtaConditions;
-use metaai_math::rng::SimRng;
-use metaai_math::{CMat, CVec, C64};
+use metaai_math::C64;
 use metaai_phy::shaping;
 use std::io::{self, Write};
 
@@ -43,22 +41,6 @@ pub struct InferenceTrace {
     pub predicted: usize,
 }
 
-/// Runs one traced inference — semantically identical to
-/// [`OtaEngine::scores`](crate::engine::OtaEngine::scores) with
-/// cancellation enabled, but recording every intermediate value.
-#[deprecated(
-    note = "use `OtaEngine::traced`, which shares its chip arithmetic with \
-            the untraced scoring kernel so the two can never drift"
-)]
-pub fn traced_inference(
-    channels: &CMat,
-    x: &CVec,
-    cond: &OtaConditions,
-    rng: &mut SimRng,
-) -> InferenceTrace {
-    crate::engine::OtaEngine::new(channels).traced(x, cond, rng)
-}
-
 /// Writes the trace as CSV.
 pub fn write_csv<W: Write>(trace: &InferenceTrace, mut w: W) -> io::Result<()> {
     writeln!(
@@ -89,11 +71,12 @@ pub fn write_csv<W: Write>(trace: &InferenceTrace, mut w: W) -> io::Result<()> {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the tests exercise the `traced_inference` shim itself
 mod tests {
     use super::*;
-    use crate::ota::OtaReceiver;
+    use crate::engine::OtaEngine;
+    use crate::ota::OtaConditions;
     use metaai_math::rng::SimRng;
+    use metaai_math::{CMat, CVec};
 
     fn setup() -> (CMat, CVec, OtaConditions) {
         let mut rng = SimRng::seed_from_u64(1);
@@ -103,15 +86,16 @@ mod tests {
     }
 
     #[test]
-    fn trace_matches_the_untraced_receiver() {
+    fn trace_matches_the_untraced_engine() {
         let (h, x, cond) = setup();
+        let engine = OtaEngine::new(&h);
         let mut r1 = SimRng::seed_from_u64(2);
         let mut r2 = SimRng::seed_from_u64(2);
-        let trace = traced_inference(&h, &x, &cond, &mut r1);
-        let scores = OtaReceiver::scores(&h, &x, &cond, &mut r2);
+        let trace = engine.traced(&x, &cond, &mut r1);
+        let scores = engine.scores(&x, &cond, &mut r2);
         assert_eq!(trace.scores.len(), scores.len());
         for (a, b) in trace.scores.iter().zip(&scores) {
-            assert!((a - b).abs() < 1e-12, "trace {a} vs receiver {b}");
+            assert!((a - b).abs() < 1e-12, "trace {a} vs engine {b}");
         }
     }
 
@@ -119,7 +103,7 @@ mod tests {
     fn accumulator_is_the_chip_sum() {
         let (h, x, cond) = setup();
         let mut rng = SimRng::seed_from_u64(3);
-        let trace = traced_inference(&h, &x, &cond, &mut rng);
+        let trace = OtaEngine::new(&h).traced(&x, &cond, &mut rng);
         // Recompute each output's accumulation from the recorded chips.
         for r in 0..3 {
             let rows: Vec<&TraceRow> = trace.rows.iter().filter(|t| t.output == r).collect();
@@ -133,7 +117,7 @@ mod tests {
     fn csv_has_one_line_per_row_plus_header() {
         let (h, x, cond) = setup();
         let mut rng = SimRng::seed_from_u64(4);
-        let trace = traced_inference(&h, &x, &cond, &mut rng);
+        let trace = OtaEngine::new(&h).traced(&x, &cond, &mut rng);
         let mut buf = Vec::new();
         write_csv(&trace, &mut buf).expect("write");
         let text = String::from_utf8(buf).expect("utf8");
@@ -145,7 +129,7 @@ mod tests {
     fn rows_cover_every_output_and_symbol() {
         let (h, x, cond) = setup();
         let mut rng = SimRng::seed_from_u64(5);
-        let trace = traced_inference(&h, &x, &cond, &mut rng);
+        let trace = OtaEngine::new(&h).traced(&x, &cond, &mut rng);
         assert_eq!(trace.rows.len(), 3 * 6);
         assert!(trace.predicted < 3);
     }

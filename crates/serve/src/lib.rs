@@ -1,0 +1,175 @@
+//! `metaai-serve` — a long-running over-the-air inference service on top
+//! of [`metaai::engine::OtaEngine`].
+//!
+//! The batch engine is ~37× cheaper per sample at batch 256 than
+//! per-sample scoring, but everything in the workspace up to this crate
+//! is offline: you hand it a full batch. An edge deployment sees the
+//! opposite shape — a stream of independent single-sample requests from
+//! many devices — so the economic question is how to *form* batches from
+//! live traffic without destroying latency, and how to survive overload.
+//! This crate answers with four cooperating pieces, all built on
+//! `std::thread` + `std::sync` (the workspace has no async runtime):
+//!
+//! * **Dynamic micro-batching** ([`batcher`]): a bounded submission queue
+//!   feeds scoring workers that flush a batch as soon as it reaches
+//!   `max_batch` *or* the oldest queued request has waited `max_delay` —
+//!   full batches under load, bounded latency when idle.
+//! * **Deterministic scoring** ([`server`]): each request carries a
+//!   `sample_index`; workers score it through
+//!   [`MetaAiSystem::score_indexed`](metaai::pipeline::MetaAiSystem::score_indexed),
+//!   so a served sample is bitwise identical to the same index of an
+//!   offline batch run — independent of batching boundaries and worker
+//!   count.
+//! * **Hot-swap deployments** ([`deploy`]): the active
+//!   [`MetaAiSystem`](metaai::pipeline::MetaAiSystem) sits behind an
+//!   epoch-versioned `Arc` swap; `deploy` replaces weights between
+//!   batches with zero downtime, and in-flight requests finish on the
+//!   epoch they started on.
+//! * **Backpressure** ([`OverflowPolicy`]): a full queue either blocks
+//!   the submitter or sheds with [`ServeError::Overloaded`]; per-request
+//!   deadlines drop expired work before it wastes a worker; shutdown
+//!   drains every admitted request before the workers exit.
+//!
+//! A length-prefixed TCP front-end ([`tcp`], wire format in [`wire`])
+//! exposes the service over `std::net`; the CLI wires it up as
+//! `metaai serve`, and `crates/bench`'s `loadgen` bin drives it with
+//! open-loop load. Telemetry flows through `metaai-telemetry` under
+//! `metaai.serve.*` (see [`register_metrics`]).
+
+pub mod batcher;
+pub mod deploy;
+mod metrics;
+pub mod server;
+pub mod tcp;
+pub mod wire;
+
+pub use batcher::{BatchQueue, ScoreRequest, ScoreResponse, Ticket};
+pub use deploy::{DeploymentRegistry, ServeDeployment};
+pub use metrics::register_metrics;
+pub use server::{Client, Server};
+
+use std::time::Duration;
+
+/// What to do with a new request when the submission queue is full.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OverflowPolicy {
+    /// Block the submitter until a worker frees queue space (applies
+    /// backpressure to the caller; a TCP front-end thread blocking here
+    /// stalls that connection, which is the point).
+    Block,
+    /// Reject immediately with [`ServeError::Overloaded`] (sheds load so
+    /// admitted requests keep their latency).
+    Shed,
+}
+
+/// Service configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Flush a batch as soon as this many requests are queued.
+    pub max_batch: usize,
+    /// Flush a partial batch once its oldest request has waited this long.
+    pub max_delay: Duration,
+    /// Bounded submission-queue capacity (the backpressure threshold).
+    pub queue_capacity: usize,
+    /// Number of scoring worker threads.
+    pub workers: usize,
+    /// Full-queue behaviour.
+    pub policy: OverflowPolicy,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 64,
+            max_delay: Duration::from_micros(2000),
+            queue_capacity: 1024,
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            policy: OverflowPolicy::Shed,
+        }
+    }
+}
+
+/// Why a request did not produce scores.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The submission queue was full under the shed policy.
+    Overloaded,
+    /// The request's deadline passed before a worker reached it.
+    Expired,
+    /// The service is draining and no longer admits requests.
+    ShuttingDown,
+    /// The request was malformed (e.g. input length ≠ deployed symbols).
+    BadRequest(String),
+    /// The worker pool died before replying (a bug, not an overload).
+    Disconnected,
+}
+
+impl ServeError {
+    /// Stable wire code for this error (see [`wire`]).
+    pub fn code(&self) -> u8 {
+        match self {
+            ServeError::Overloaded => 1,
+            ServeError::Expired => 2,
+            ServeError::ShuttingDown => 3,
+            ServeError::BadRequest(_) => 4,
+            ServeError::Disconnected => 5,
+        }
+    }
+
+    /// Inverse of [`code`](Self::code); unknown codes map to
+    /// [`Disconnected`](Self::Disconnected).
+    pub fn from_code(code: u8) -> ServeError {
+        match code {
+            1 => ServeError::Overloaded,
+            2 => ServeError::Expired,
+            3 => ServeError::ShuttingDown,
+            4 => ServeError::BadRequest("rejected by server".to_string()),
+            _ => ServeError::Disconnected,
+        }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded => write!(f, "submission queue full (shed)"),
+            ServeError::Expired => write!(f, "deadline expired before scoring"),
+            ServeError::ShuttingDown => write!(f, "service is shutting down"),
+            ServeError::BadRequest(why) => write!(f, "bad request: {why}"),
+            ServeError::Disconnected => write!(f, "worker pool dropped the request"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_codes_round_trip() {
+        for e in [
+            ServeError::Overloaded,
+            ServeError::Expired,
+            ServeError::ShuttingDown,
+            ServeError::Disconnected,
+        ] {
+            assert_eq!(ServeError::from_code(e.code()), e);
+        }
+        // BadRequest keeps the code, not the message.
+        assert_eq!(
+            ServeError::from_code(ServeError::BadRequest("x".into()).code()).code(),
+            4
+        );
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let cfg = ServeConfig::default();
+        assert!(cfg.max_batch >= 1);
+        assert!(cfg.queue_capacity >= cfg.max_batch);
+        assert!(cfg.workers >= 1);
+        assert_eq!(cfg.policy, OverflowPolicy::Shed);
+    }
+}

@@ -1,0 +1,104 @@
+//! Serving-stage instruments, following the workspace scheme
+//! (`metaai.serve.<what>`, DESIGN.md §10).
+//!
+//! One deliberate deviation from the `_seconds` convention: end-to-end
+//! request latency is recorded in **microseconds**
+//! (`metaai.serve.e2e_latency_us`) because the interesting SLO range for
+//! a micro-batched service is 100 µs – 100 ms and the default decade
+//! buckets in seconds would crush it into two buckets.
+
+use metaai_telemetry::{Counter, Gauge, Histogram};
+use std::sync::OnceLock;
+
+/// Bucket upper bounds for `metaai.serve.e2e_latency_us` (microseconds).
+pub const LATENCY_US_BOUNDS: [f64; 8] = [
+    100.0,
+    250.0,
+    1_000.0,
+    2_500.0,
+    10_000.0,
+    50_000.0,
+    100_000.0,
+    1_000_000.0,
+];
+
+/// Bucket upper bounds for `metaai.serve.batch_size` (requests per flush).
+pub const BATCH_SIZE_BOUNDS: [f64; 8] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 256.0];
+
+pub(crate) struct ServeMetrics {
+    /// Requests admitted into the queue.
+    pub requests: Counter,
+    /// Batches flushed to workers.
+    pub batches: Counter,
+    /// Queue depth after the most recent submit/flush.
+    pub queue_depth: Gauge,
+    /// Distribution of flushed batch sizes.
+    pub batch_size: Histogram,
+    /// Submit→reply latency of scored requests, in microseconds.
+    pub e2e_latency_us: Histogram,
+    /// Requests rejected at admission by the shed policy.
+    pub shed_total: Counter,
+    /// Admitted requests dropped because their deadline passed.
+    pub expired_total: Counter,
+    /// Hot-swap deployments installed.
+    pub deploy_swaps: Counter,
+}
+
+fn metrics() -> &'static ServeMetrics {
+    static METRICS: OnceLock<ServeMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = metaai_telemetry::global();
+        ServeMetrics {
+            requests: r.counter("metaai.serve.requests"),
+            batches: r.counter("metaai.serve.batches"),
+            queue_depth: r.gauge("metaai.serve.queue_depth"),
+            batch_size: r.histogram("metaai.serve.batch_size", &BATCH_SIZE_BOUNDS),
+            e2e_latency_us: r.histogram("metaai.serve.e2e_latency_us", &LATENCY_US_BOUNDS),
+            shed_total: r.counter("metaai.serve.shed_total"),
+            expired_total: r.counter("metaai.serve.expired_total"),
+            deploy_swaps: r.counter("metaai.serve.deploy_swaps"),
+        }
+    })
+}
+
+/// The per-call telemetry gate (one relaxed atomic load when disabled).
+#[inline]
+pub(crate) fn tele() -> Option<&'static ServeMetrics> {
+    metaai_telemetry::enabled().then(metrics)
+}
+
+/// Registers the serving instruments with the global telemetry registry,
+/// so `--metrics-out` snapshots list them (zero-valued) even before the
+/// first request. The CLI's `serve` command calls this next to
+/// `metaai::telemetry::install()`.
+pub fn register_metrics() {
+    let _ = metrics();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn register_exposes_every_serve_instrument() {
+        super::register_metrics();
+        let names: Vec<String> = metaai_telemetry::global()
+            .snapshot()
+            .into_iter()
+            .map(|m| m.name)
+            .collect();
+        for expected in [
+            "metaai.serve.requests",
+            "metaai.serve.batches",
+            "metaai.serve.queue_depth",
+            "metaai.serve.batch_size",
+            "metaai.serve.e2e_latency_us",
+            "metaai.serve.shed_total",
+            "metaai.serve.expired_total",
+            "metaai.serve.deploy_swaps",
+        ] {
+            assert!(
+                names.iter().any(|n| n == expected),
+                "missing {expected} in {names:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! The worker pool tying queue, deployment, and engine together, plus the
+//! in-process [`Client`] handle.
+//!
+//! Each worker loops on `BatchQueue::next_batch`, pins the current
+//! deployment for the whole batch, drops expired requests, and scores the
+//! rest through [`MetaAiSystem::score_indexed`] with a per-worker scratch
+//! buffer (no allocation on the hot path beyond the reply's score copy).
+//! Determinism does not depend on which worker scores what: the RNG for a
+//! request is fully determined by `(config.seed, deployment stream,
+//! sample_index)`.
+
+use crate::batcher::{BatchQueue, ScoreRequest, ScoreResponse, Ticket};
+use crate::deploy::DeploymentRegistry;
+use crate::{ServeConfig, ServeError};
+use metaai::pipeline::MetaAiSystem;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// A running inference service: submission queue + scoring workers +
+/// hot-swap deployment registry.
+pub struct Server {
+    queue: Arc<BatchQueue>,
+    registry: Arc<DeploymentRegistry>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts `config.workers` scoring threads over `system` (epoch 1).
+    pub fn start(system: Arc<MetaAiSystem>, config: &ServeConfig) -> Server {
+        assert!(config.workers >= 1, "the pool needs at least one worker");
+        let queue = Arc::new(BatchQueue::new(config));
+        let registry = Arc::new(DeploymentRegistry::new(system));
+        let workers = (0..config.workers)
+            .map(|w| {
+                let queue = queue.clone();
+                let registry = registry.clone();
+                std::thread::Builder::new()
+                    .name(format!("metaai-serve-{w}"))
+                    .spawn(move || worker_loop(&queue, &registry))
+                    .expect("spawn scoring worker")
+            })
+            .collect();
+        Server {
+            queue,
+            registry,
+            workers,
+        }
+    }
+
+    /// An in-process submission handle (cheap to clone, usable from any
+    /// thread — the TCP front-end holds one per connection).
+    pub fn client(&self) -> Client {
+        Client {
+            queue: self.queue.clone(),
+        }
+    }
+
+    /// The deployment registry, for hot swaps and epoch queries.
+    pub fn registry(&self) -> &Arc<DeploymentRegistry> {
+        &self.registry
+    }
+
+    /// Installs `system` as the new deployment; returns its epoch.
+    pub fn deploy(&self, system: Arc<MetaAiSystem>) -> u64 {
+        self.registry.swap(system)
+    }
+
+    /// Current submission-queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.depth()
+    }
+
+    /// Drain-then-stop: refuses new submissions, scores every already
+    /// admitted request, then joins the workers.
+    pub fn shutdown(mut self) {
+        self.queue.shutdown();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // Mirrors `shutdown` for servers dropped without an explicit call
+        // (tests, panics): drain admitted work, then stop.
+        self.queue.shutdown();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// In-process submission handle to a running [`Server`].
+#[derive(Clone)]
+pub struct Client {
+    queue: Arc<BatchQueue>,
+}
+
+impl Client {
+    /// Submits a request; the returned [`Ticket`] resolves when scored.
+    pub fn submit(&self, request: ScoreRequest) -> Result<Ticket, ServeError> {
+        self.queue.submit(request)
+    }
+
+    /// Submit + wait, for callers without pipelining.
+    pub fn score(&self, request: ScoreRequest) -> Result<ScoreResponse, ServeError> {
+        self.submit(request)?.wait()
+    }
+}
+
+fn worker_loop(queue: &BatchQueue, registry: &DeploymentRegistry) {
+    let mut scratch: Vec<f64> = Vec::new();
+    while let Some(batch) = queue.next_batch() {
+        // Pin one deployment for the whole batch: a swap landing mid-batch
+        // takes effect at the next flush, and in-flight work finishes on
+        // the epoch it started on.
+        let deployment = registry.current();
+        let n_symbols = deployment.system.engine().num_symbols();
+        let now = Instant::now();
+        for pending in batch {
+            if pending.request.deadline.is_some_and(|d| d < now) {
+                if let Some(m) = crate::metrics::tele() {
+                    m.expired_total.inc();
+                }
+                pending.resolve(Err(ServeError::Expired));
+                continue;
+            }
+            let input_len = pending.request.input.len();
+            if input_len != n_symbols {
+                pending.resolve(Err(ServeError::BadRequest(format!(
+                    "input length {input_len} != deployed symbols {n_symbols}"
+                ))));
+                continue;
+            }
+            let predicted = deployment.system.score_indexed(
+                &pending.request.input,
+                deployment.stream,
+                pending.request.sample_index,
+                &mut scratch,
+            );
+            if let Some(m) = crate::metrics::tele() {
+                m.e2e_latency_us
+                    .observe(pending.enqueued_at.elapsed().as_secs_f64() * 1e6);
+            }
+            let response = ScoreResponse {
+                id: pending.request.id,
+                epoch: deployment.epoch,
+                predicted,
+                scores: scratch.clone(),
+            };
+            pending.resolve(Ok(response));
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! `std::net` front-end: one accept loop, two threads per connection.
+//!
+//! The per-connection **reader** decodes frames ([`wire`]),
+//! submits `INFER` requests to the queue, and forwards the resulting
+//! tickets to the **writer**, which resolves them in FIFO order and
+//! streams the responses back — so a connection can pipeline requests
+//! without waiting for replies. Responses carry the request id, so
+//! clients may also match out-of-order on their side.
+//!
+//! Shutdown choreography (`SHUTDOWN` frame, sent by `loadgen
+//! --shutdown`): the receiving reader queues a shutdown marker for its
+//! writer, raises the shared stop flag, and pokes the listener with a
+//! dummy connect to unblock `accept`. [`serve`] then drains the scoring
+//! queue (resolving every ticket held by connection writers), the
+//! shutdown writer emits `SHUTDOWN_ACK` after its earlier replies, and
+//! the handlers exit. Handlers on *other* connections exit when their
+//! peer closes; a client that holds its socket open past shutdown delays
+//! [`serve`]'s return, so clients should disconnect once done.
+
+use crate::deploy::DeploymentRegistry;
+use crate::server::{Client, Server};
+use crate::wire::{self, Request, Response};
+use crate::{ServeError, Ticket};
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// What the reader hands the writer, in request order.
+enum Reply {
+    /// Immediately answerable (INFO, admission errors).
+    Ready(Response),
+    /// A scored reply pending in the worker pool.
+    Pending(u64, Ticket),
+    /// Ack and close after everything queued before it.
+    Shutdown,
+}
+
+/// Accepts connections and serves until a `SHUTDOWN` frame arrives, then
+/// drains the scoring queue and returns. Consumes the server: after
+/// `serve` returns, every admitted request has been answered.
+pub fn serve(listener: TcpListener, server: Server) -> io::Result<()> {
+    let stop = Arc::new(AtomicBool::new(false));
+    let addr = listener.local_addr()?;
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        let (stream, _peer) = listener.accept()?;
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let client = server.client();
+        let registry = server.registry().clone();
+        let stop = stop.clone();
+        let handler = std::thread::Builder::new()
+            .name("metaai-serve-conn".to_string())
+            .spawn(move || handle_connection(stream, client, registry, stop, addr))
+            .expect("spawn connection handler");
+        handlers.push(handler);
+    }
+    // Drain-then-stop: scoring every admitted request resolves the
+    // tickets the connection writers still hold, letting them flush
+    // their final replies (and the SHUTDOWN_ACK) before exiting.
+    server.shutdown();
+    for handler in handlers {
+        let _ = handler.join();
+    }
+    Ok(())
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    client: Client,
+    registry: Arc<DeploymentRegistry>,
+    stop: Arc<AtomicBool>,
+    listen_addr: SocketAddr,
+) {
+    let _ = stream.set_nodelay(true);
+    let Ok(write_stream) = stream.try_clone() else {
+        return;
+    };
+    let (tx, rx) = channel::<Reply>();
+    let writer = std::thread::Builder::new()
+        .name("metaai-serve-writer".to_string())
+        .spawn(move || writer_loop(write_stream, rx))
+        .expect("spawn connection writer");
+    reader_loop(stream, &client, &registry, &stop, listen_addr, &tx);
+    drop(tx);
+    let _ = writer.join();
+}
+
+fn reader_loop(
+    stream: TcpStream,
+    client: &Client,
+    registry: &DeploymentRegistry,
+    stop: &AtomicBool,
+    listen_addr: SocketAddr,
+    tx: &Sender<Reply>,
+) {
+    // Request frames run to tens of KiB (16 bytes per symbol); a buffer
+    // that holds several whole frames keeps syscalls well below one per
+    // request under pipelined load.
+    let mut reader = BufReader::with_capacity(256 * 1024, stream);
+    loop {
+        let payload = match wire::read_frame(&mut reader) {
+            Ok(Some(payload)) => payload,
+            // Clean close or dead socket: the writer drains what is
+            // already queued and the handler exits.
+            Ok(None) | Err(_) => return,
+        };
+        match Request::decode(&payload) {
+            Ok(Request::Info) => {
+                let deployment = registry.current();
+                let engine = deployment.system.engine();
+                let _ = tx.send(Reply::Ready(Response::Info {
+                    epoch: deployment.epoch,
+                    outputs: engine.num_outputs() as u32,
+                    symbols: engine.num_symbols() as u32,
+                }));
+            }
+            Ok(Request::Shutdown) => {
+                let _ = tx.send(Reply::Shutdown);
+                stop.store(true, Ordering::SeqCst);
+                // Unblock the accept loop so `serve` can drain and join.
+                let _ = TcpStream::connect(listen_addr);
+                return;
+            }
+            Ok(request @ Request::Infer { .. }) => {
+                let Request::Infer { id, .. } = request else {
+                    unreachable!()
+                };
+                let score_request = request.into_score_request().expect("infer request");
+                let reply = match client.submit(score_request) {
+                    Ok(ticket) => Reply::Pending(id, ticket),
+                    Err(e) => Reply::Ready(Response::Error { id, code: e.code() }),
+                };
+                let _ = tx.send(reply);
+            }
+            Err(e) => {
+                // Corrupt frame: the stream offset can no longer be
+                // trusted, so report and close the connection.
+                let _ = tx.send(Reply::Ready(Response::Error {
+                    id: 0,
+                    code: e.code(),
+                }));
+                return;
+            }
+        }
+    }
+}
+
+/// Streams replies back, flushing lazily: the invariant is "flush before
+/// any blocking wait", so the peer always holds everything resolvable the
+/// moment the writer goes idle, while a freshly scored batch of pipelined
+/// replies drains in one syscall instead of one per response.
+fn writer_loop(stream: TcpStream, rx: Receiver<Reply>) {
+    let mut w = BufWriter::new(stream);
+    let mut unflushed = false;
+    let flush = |w: &mut BufWriter<TcpStream>, unflushed: &mut bool| -> bool {
+        if *unflushed && w.flush().is_err() {
+            return false;
+        }
+        *unflushed = false;
+        true
+    };
+    loop {
+        let reply = match rx.try_recv() {
+            Ok(reply) => reply,
+            Err(TryRecvError::Empty) => {
+                if !flush(&mut w, &mut unflushed) {
+                    return;
+                }
+                match rx.recv() {
+                    Ok(reply) => reply,
+                    Err(_) => return,
+                }
+            }
+            Err(TryRecvError::Disconnected) => {
+                let _ = w.flush();
+                return;
+            }
+        };
+        let response = match reply {
+            Reply::Ready(response) => response,
+            Reply::Pending(id, ticket) => {
+                let outcome = match ticket.try_wait() {
+                    Some(outcome) => outcome,
+                    None => {
+                        if !flush(&mut w, &mut unflushed) {
+                            return;
+                        }
+                        ticket.wait()
+                    }
+                };
+                match outcome {
+                    Ok(scored) => Response::Score {
+                        id: scored.id,
+                        epoch: scored.epoch,
+                        predicted: scored.predicted as u32,
+                        scores: scored.scores,
+                    },
+                    Err(e) => Response::Error { id, code: e.code() },
+                }
+            }
+            Reply::Shutdown => {
+                let _ = wire::write_frame(&mut w, &Response::ShutdownAck.encode());
+                let _ = w.flush();
+                return;
+            }
+        };
+        if wire::write_frame(&mut w, &response.encode()).is_err() {
+            return;
+        }
+        unflushed = true;
+    }
+}
+
+/// A synchronous request/response client over the wire protocol.
+///
+/// One in-flight request at a time; for pipelined load generation, use
+/// [`into_stream`](Self::into_stream) and drive reads/writes from
+/// separate threads with the [`wire`] functions directly.
+pub struct TcpClient {
+    reader: BufReader<TcpStream>,
+}
+
+impl TcpClient {
+    /// Connects to a running service.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<TcpClient> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(TcpClient {
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Sends one request frame.
+    pub fn send(&mut self, request: &Request) -> io::Result<()> {
+        let stream = self.reader.get_mut();
+        wire::write_frame(stream, &request.encode())?;
+        stream.flush()
+    }
+
+    /// Receives one response frame; `None` when the server closed.
+    pub fn recv(&mut self) -> io::Result<Option<Response>> {
+        match wire::read_frame(&mut self.reader)? {
+            None => Ok(None),
+            Some(payload) => Response::decode(&payload)
+                .map(Some)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+        }
+    }
+
+    /// Send + receive, treating an early close as an error.
+    pub fn request(&mut self, request: &Request) -> io::Result<Response> {
+        self.send(request)?;
+        self.recv()?.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed before replying",
+            )
+        })
+    }
+
+    /// Scores one sample and returns the decoded result.
+    pub fn score(
+        &mut self,
+        id: u64,
+        sample_index: u64,
+        input: Vec<metaai_math::C64>,
+    ) -> io::Result<Result<crate::ScoreResponse, ServeError>> {
+        let reply = self.request(&Request::Infer {
+            id,
+            sample_index,
+            deadline_us: 0,
+            input,
+        })?;
+        match reply {
+            Response::Score {
+                id,
+                epoch,
+                predicted,
+                scores,
+            } => Ok(Ok(crate::ScoreResponse {
+                id,
+                epoch,
+                predicted: predicted as usize,
+                scores,
+            })),
+            Response::Error { code, .. } => Ok(Err(ServeError::from_code(code))),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected reply {other:?}"),
+            )),
+        }
+    }
+
+    /// The raw stream, for callers that pipeline with their own threads.
+    pub fn into_stream(self) -> TcpStream {
+        self.reader.into_inner()
+    }
+}

@@ -1,0 +1,476 @@
+//! The length-prefixed binary wire format of the TCP front-end.
+//!
+//! Every frame is a little-endian `u32` payload length followed by the
+//! payload. Payloads start with a one-byte kind tag; all integers and
+//! floats are little-endian, matching the model-file format in
+//! `metaai-nn`.
+//!
+//! Requests:
+//!
+//! | kind | name     | body |
+//! |------|----------|------|
+//! | 0    | INFER    | `id: u64`, `sample_index: u64`, `deadline_us: u64` (0 = none), `n: u32`, `n × (re: f64, im: f64)` |
+//! | 1    | INFO     | — |
+//! | 2    | SHUTDOWN | — |
+//!
+//! Responses:
+//!
+//! | kind | name         | body |
+//! |------|--------------|------|
+//! | 0    | SCORE        | `id: u64`, `epoch: u64`, `predicted: u32`, `n: u32`, `n × f64` |
+//! | 1    | ERROR        | `id: u64`, `code: u8` ([`ServeError::code`]) |
+//! | 2    | INFO         | `epoch: u64`, `outputs: u32`, `symbols: u32` |
+//! | 3    | SHUTDOWN_ACK | — |
+//!
+//! A deadline travels as a relative budget in microseconds (an `Instant`
+//! cannot cross the wire); the server anchors it at decode time, so
+//! network transit counts against the budget only after arrival.
+
+use crate::ServeError;
+use metaai_math::{CVec, C64};
+use std::io::{self, Read, Write};
+use std::time::{Duration, Instant};
+
+/// Frames larger than this are rejected as corrupt rather than allocated.
+pub const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
+
+/// A decoded client→server message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Score one sample.
+    Infer {
+        /// Correlation id, echoed in the response.
+        id: u64,
+        /// Deterministic per-sample RNG index.
+        sample_index: u64,
+        /// Scoring budget; 0 means no deadline.
+        deadline_us: u64,
+        /// Transmitted symbols.
+        input: Vec<C64>,
+    },
+    /// Ask for the deployment shape (epoch, outputs, symbols).
+    Info,
+    /// Drain the service and close.
+    Shutdown,
+}
+
+/// A decoded server→client message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Scores for one request.
+    Score {
+        /// Echo of the request id.
+        id: u64,
+        /// Deployment epoch that scored it.
+        epoch: u64,
+        /// Argmax of `scores`.
+        predicted: u32,
+        /// Per-class scores.
+        scores: Vec<f64>,
+    },
+    /// The request failed; `code` maps through [`ServeError::from_code`].
+    Error {
+        /// Echo of the request id.
+        id: u64,
+        /// Stable error code.
+        code: u8,
+    },
+    /// Deployment shape.
+    Info {
+        /// Active deployment epoch.
+        epoch: u64,
+        /// Number of output classes.
+        outputs: u32,
+        /// Symbols per transmission.
+        symbols: u32,
+    },
+    /// Drain finished; the connection closes after this frame.
+    ShutdownAck,
+}
+
+impl Request {
+    /// Serializes into a frame payload (no length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Request::Infer {
+                id,
+                sample_index,
+                deadline_us,
+                input,
+            } => {
+                buf.push(0);
+                buf.extend_from_slice(&id.to_le_bytes());
+                buf.extend_from_slice(&sample_index.to_le_bytes());
+                buf.extend_from_slice(&deadline_us.to_le_bytes());
+                buf.extend_from_slice(&(input.len() as u32).to_le_bytes());
+                for z in input {
+                    buf.extend_from_slice(&z.re.to_le_bytes());
+                    buf.extend_from_slice(&z.im.to_le_bytes());
+                }
+            }
+            Request::Info => buf.push(1),
+            Request::Shutdown => buf.push(2),
+        }
+        buf
+    }
+
+    /// Parses a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Request, ServeError> {
+        let mut r = Cursor::new(payload);
+        let request = match r.u8()? {
+            0 => {
+                let id = r.u64()?;
+                let sample_index = r.u64()?;
+                let deadline_us = r.u64()?;
+                let n = r.u32()? as usize;
+                if payload.len() < 29 + 16 * n {
+                    return Err(ServeError::BadRequest("truncated INFER frame".into()));
+                }
+                // One bounds check for the whole symbol block, then a
+                // fixed-stride walk — this parse is on the serving hot
+                // path for every request.
+                let block = r.take(16 * n)?;
+                let mut input = Vec::with_capacity(n);
+                input.extend(block.chunks_exact(16).map(|c| C64 {
+                    re: f64::from_le_bytes(c[..8].try_into().unwrap()),
+                    im: f64::from_le_bytes(c[8..].try_into().unwrap()),
+                }));
+                Request::Infer {
+                    id,
+                    sample_index,
+                    deadline_us,
+                    input,
+                }
+            }
+            1 => Request::Info,
+            2 => Request::Shutdown,
+            kind => {
+                return Err(ServeError::BadRequest(format!(
+                    "unknown request kind {kind}"
+                )))
+            }
+        };
+        r.finish()?;
+        Ok(request)
+    }
+
+    /// Rewrites the id and sample-index fields of an encoded INFER
+    /// payload in place. Load generators pre-encode one payload per
+    /// distinct input and restamp it per send, instead of re-serializing
+    /// the (much larger) symbol vector every time.
+    pub fn restamp_infer(payload: &mut [u8], id: u64, sample_index: u64) {
+        assert_eq!(payload.first(), Some(&0), "not an INFER payload");
+        payload[1..9].copy_from_slice(&id.to_le_bytes());
+        payload[9..17].copy_from_slice(&sample_index.to_le_bytes());
+    }
+
+    /// The queue-side view of an `Infer` request: owned input vector and
+    /// the relative deadline anchored at `now`.
+    pub fn into_score_request(self) -> Option<crate::ScoreRequest> {
+        match self {
+            Request::Infer {
+                id,
+                sample_index,
+                deadline_us,
+                input,
+            } => Some(crate::ScoreRequest {
+                id,
+                sample_index,
+                input: CVec::from_vec(input),
+                deadline: (deadline_us > 0)
+                    .then(|| Instant::now() + Duration::from_micros(deadline_us)),
+            }),
+            _ => None,
+        }
+    }
+}
+
+impl Response {
+    /// Serializes into a frame payload (no length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Response::Score {
+                id,
+                epoch,
+                predicted,
+                scores,
+            } => {
+                buf.push(0);
+                buf.extend_from_slice(&id.to_le_bytes());
+                buf.extend_from_slice(&epoch.to_le_bytes());
+                buf.extend_from_slice(&predicted.to_le_bytes());
+                buf.extend_from_slice(&(scores.len() as u32).to_le_bytes());
+                for s in scores {
+                    buf.extend_from_slice(&s.to_le_bytes());
+                }
+            }
+            Response::Error { id, code } => {
+                buf.push(1);
+                buf.extend_from_slice(&id.to_le_bytes());
+                buf.push(*code);
+            }
+            Response::Info {
+                epoch,
+                outputs,
+                symbols,
+            } => {
+                buf.push(2);
+                buf.extend_from_slice(&epoch.to_le_bytes());
+                buf.extend_from_slice(&outputs.to_le_bytes());
+                buf.extend_from_slice(&symbols.to_le_bytes());
+            }
+            Response::ShutdownAck => buf.push(3),
+        }
+        buf
+    }
+
+    /// Parses a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Response, ServeError> {
+        let mut r = Cursor::new(payload);
+        let response = match r.u8()? {
+            0 => {
+                let id = r.u64()?;
+                let epoch = r.u64()?;
+                let predicted = r.u32()?;
+                let n = r.u32()? as usize;
+                if payload.len() < 25 + 8 * n {
+                    return Err(ServeError::BadRequest("truncated SCORE frame".into()));
+                }
+                let mut scores = Vec::with_capacity(n);
+                for _ in 0..n {
+                    scores.push(r.f64()?);
+                }
+                Response::Score {
+                    id,
+                    epoch,
+                    predicted,
+                    scores,
+                }
+            }
+            1 => Response::Error {
+                id: r.u64()?,
+                code: r.u8()?,
+            },
+            2 => Response::Info {
+                epoch: r.u64()?,
+                outputs: r.u32()?,
+                symbols: r.u32()?,
+            },
+            3 => Response::ShutdownAck,
+            kind => {
+                return Err(ServeError::BadRequest(format!(
+                    "unknown response kind {kind}"
+                )))
+            }
+        };
+        r.finish()?;
+        Ok(response)
+    }
+}
+
+/// Writes one length-prefixed frame.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME_BYTES);
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Reads one length-prefixed frame. `Ok(None)` means the peer closed the
+/// connection cleanly at a frame boundary.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    match r.read_exact(&mut len_bytes) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"),
+        ));
+    }
+    // `take` + `read_to_end` fills without the `vec![0; len]` pre-zeroing
+    // pass (frames run to tens of KiB on the request path).
+    let mut payload = Vec::with_capacity(len);
+    r.by_ref().take(len as u64).read_to_end(&mut payload)?;
+    if payload.len() < len {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed mid-frame",
+        ));
+    }
+    Ok(Some(payload))
+}
+
+/// Little-endian payload reader with strict end-of-payload checking.
+struct Cursor<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    fn new(rest: &'a [u8]) -> Self {
+        Cursor { rest }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ServeError> {
+        if self.rest.len() < n {
+            return Err(ServeError::BadRequest("truncated frame".into()));
+        }
+        let (head, tail) = self.rest.split_at(n);
+        self.rest = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8, ServeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ServeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ServeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, ServeError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn finish(self) -> Result<(), ServeError> {
+        if self.rest.is_empty() {
+            Ok(())
+        } else {
+            Err(ServeError::BadRequest(format!(
+                "{} trailing bytes after frame",
+                self.rest.len()
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let cases = vec![
+            Request::Infer {
+                id: 7,
+                sample_index: 42,
+                deadline_us: 1500,
+                input: vec![C64 { re: 0.5, im: -1.25 }, C64 { re: -2.0, im: 0.0 }],
+            },
+            Request::Info,
+            Request::Shutdown,
+        ];
+        for req in cases {
+            let decoded = Request::decode(&req.encode()).expect("decode");
+            assert_eq!(decoded, req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let cases = vec![
+            Response::Score {
+                id: 9,
+                epoch: 3,
+                predicted: 1,
+                scores: vec![0.25, 0.5, -0.75],
+            },
+            Response::Error { id: 9, code: 2 },
+            Response::Info {
+                epoch: 1,
+                outputs: 3,
+                symbols: 256,
+            },
+            Response::ShutdownAck,
+        ];
+        for resp in cases {
+            let decoded = Response::decode(&resp.encode()).expect("decode");
+            assert_eq!(decoded, resp);
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_and_unknown_kinds_are_rejected() {
+        let mut payload = Request::Info.encode();
+        payload.push(0xAB);
+        assert!(Request::decode(&payload).is_err());
+        assert!(Request::decode(&[9]).is_err());
+        assert!(Response::decode(&[9]).is_err());
+        assert!(Request::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let payload = Request::Infer {
+            id: 1,
+            sample_index: 0,
+            deadline_us: 0,
+            input: vec![C64 { re: 1.0, im: 2.0 }],
+        }
+        .encode();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        write_frame(&mut buf, &Request::Shutdown.encode()).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&payload[..]));
+        assert_eq!(
+            read_frame(&mut r).unwrap().as_deref(),
+            Some(&Request::Shutdown.encode()[..])
+        );
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_without_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let mut r = &buf[..];
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn restamping_an_infer_payload_equals_reencoding_it() {
+        let input = vec![C64 { re: 0.5, im: -1.5 }, C64 { re: 2.0, im: 0.25 }];
+        let mut payload = Request::Infer {
+            id: 0,
+            sample_index: 0,
+            deadline_us: 77,
+            input: input.clone(),
+        }
+        .encode();
+        Request::restamp_infer(&mut payload, 123, 456);
+        let reencoded = Request::Infer {
+            id: 123,
+            sample_index: 456,
+            deadline_us: 77,
+            input,
+        }
+        .encode();
+        assert_eq!(payload, reencoded);
+    }
+
+    #[test]
+    fn infer_converts_to_a_score_request_with_relative_deadline() {
+        let req = Request::Infer {
+            id: 3,
+            sample_index: 8,
+            deadline_us: 0,
+            input: vec![C64 { re: 1.0, im: 0.0 }],
+        };
+        let sr = req.into_score_request().expect("infer");
+        assert_eq!(sr.id, 3);
+        assert_eq!(sr.sample_index, 8);
+        assert_eq!(sr.input.len(), 1);
+        assert!(sr.deadline.is_none());
+        assert!(Request::Info.into_score_request().is_none());
+    }
+}

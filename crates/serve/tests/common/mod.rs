@@ -1,0 +1,39 @@
+//! Shared fixtures for the serve integration tests: a deliberately tiny
+//! deployment (3 classes × 16 symbols × 32 atoms) so every test file can
+//! build or share a system in milliseconds.
+#![allow(dead_code)]
+
+use metaai::config::SystemConfig;
+use metaai::pipeline::MetaAiSystem;
+use metaai_math::rng::SimRng;
+use metaai_math::CVec;
+use metaai_nn::complex_lnn::ComplexLnn;
+use std::sync::{Arc, OnceLock};
+
+/// Symbols per transmission in the test deployment.
+pub const SYMBOLS: usize = 16;
+
+/// Builds a small deployment from a seeded random network.
+pub fn tiny_system(seed: u64) -> Arc<MetaAiSystem> {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let net = ComplexLnn::init(3, SYMBOLS, &mut rng);
+    Arc::new(
+        MetaAiSystem::builder()
+            .config(SystemConfig::paper_default())
+            .num_atoms(32)
+            .deploy(net),
+    )
+}
+
+/// One deployment shared across a whole test binary (deploy once, reuse
+/// everywhere — the `Arc` makes hot-swap and multi-server tests cheap).
+pub fn shared_system() -> Arc<MetaAiSystem> {
+    static SYSTEM: OnceLock<Arc<MetaAiSystem>> = OnceLock::new();
+    SYSTEM.get_or_init(|| tiny_system(7)).clone()
+}
+
+/// A deterministic complex input derived from `seed`.
+pub fn sample_input(n: usize, seed: u64) -> CVec {
+    let mut rng = SimRng::derive(seed, "serve-test-input");
+    CVec::from_vec((0..n).map(|_| rng.complex_gaussian(1.0)).collect())
+}

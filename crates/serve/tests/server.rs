@@ -1,0 +1,142 @@
+//! End-to-end behaviour of the in-process service: admission, shedding,
+//! deadlines, drain-shutdown, and zero-downtime hot swaps.
+
+mod common;
+
+use metaai_serve::{OverflowPolicy, ScoreRequest, ServeConfig, ServeError, Server, Ticket};
+use std::time::{Duration, Instant};
+
+fn config() -> ServeConfig {
+    ServeConfig {
+        max_batch: 8,
+        max_delay: Duration::from_millis(2),
+        queue_capacity: 256,
+        workers: 2,
+        policy: OverflowPolicy::Shed,
+    }
+}
+
+fn request(i: u64) -> ScoreRequest {
+    ScoreRequest {
+        id: i,
+        sample_index: i,
+        input: common::sample_input(common::SYMBOLS, i),
+        deadline: None,
+    }
+}
+
+#[test]
+fn serves_scores_matching_the_offline_engine() {
+    let system = common::shared_system();
+    let server = Server::start(system.clone(), &config());
+    let deployment = server.registry().current();
+    let client = server.client();
+
+    let mut scratch = Vec::new();
+    for i in 0..10u64 {
+        let response = client.score(request(i)).expect("scored");
+        let offline = system.score_indexed(&request(i).input, deployment.stream, i, &mut scratch);
+        assert_eq!(response.id, i);
+        assert_eq!(response.epoch, 1);
+        assert_eq!(response.predicted, offline, "sample {i}");
+        assert_eq!(response.scores, scratch, "sample {i} scores");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn drain_shutdown_completes_every_admitted_request() {
+    let server = Server::start(common::shared_system(), &config());
+    let client = server.client();
+    let tickets: Vec<Ticket> = (0..100u64)
+        .map(|i| client.submit(request(i)).expect("admitted"))
+        .collect();
+    server.shutdown();
+    // Shutdown drains: every request admitted before it resolves with a
+    // real score, and new submissions are refused.
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        let response = ticket.wait().expect("drained");
+        assert_eq!(response.id, i as u64);
+    }
+    assert!(matches!(
+        client.submit(request(999)),
+        Err(ServeError::ShuttingDown) | Err(ServeError::Disconnected)
+    ));
+}
+
+#[test]
+fn saturation_sheds_with_overloaded() {
+    // One slow lane: a single worker, a tiny queue, and a long flush
+    // delay so submissions pile up deterministically.
+    let cfg = ServeConfig {
+        max_batch: 64,
+        max_delay: Duration::from_secs(30),
+        queue_capacity: 4,
+        workers: 1,
+        policy: OverflowPolicy::Shed,
+    };
+    let server = Server::start(common::shared_system(), &cfg);
+    let client = server.client();
+    let _held: Vec<Ticket> = (0..4u64)
+        .map(|i| client.submit(request(i)).expect("fits in queue"))
+        .collect();
+    assert_eq!(
+        client.submit(request(4)).unwrap_err(),
+        ServeError::Overloaded
+    );
+    server.shutdown();
+}
+
+#[test]
+fn expired_requests_are_dropped_before_scoring() {
+    // The flush deadline (50 ms) is far beyond the request deadline
+    // (1 ms), so the worker reaches the request only after it expired.
+    let cfg = ServeConfig {
+        max_batch: 64,
+        max_delay: Duration::from_millis(50),
+        queue_capacity: 16,
+        workers: 1,
+        policy: OverflowPolicy::Shed,
+    };
+    let server = Server::start(common::shared_system(), &cfg);
+    let client = server.client();
+    let mut expired = request(0);
+    expired.deadline = Some(Instant::now() + Duration::from_millis(1));
+    let ticket = client.submit(expired).expect("admitted");
+    assert_eq!(ticket.wait().unwrap_err(), ServeError::Expired);
+    server.shutdown();
+}
+
+#[test]
+fn wrong_input_length_is_a_bad_request() {
+    let server = Server::start(common::shared_system(), &config());
+    let client = server.client();
+    let mut bad = request(0);
+    bad.input = common::sample_input(common::SYMBOLS + 1, 0);
+    let err = client.score(bad).unwrap_err();
+    assert!(matches!(err, ServeError::BadRequest(_)), "got {err:?}");
+    server.shutdown();
+}
+
+#[test]
+fn hot_swap_changes_the_epoch_without_downtime() {
+    let server = Server::start(common::shared_system(), &config());
+    let client = server.client();
+
+    let before = client.score(request(0)).expect("epoch 1");
+    assert_eq!(before.epoch, 1);
+
+    let replacement = common::tiny_system(99);
+    assert_eq!(server.deploy(replacement.clone()), 2);
+
+    let after = client.score(request(0)).expect("epoch 2");
+    assert_eq!(after.epoch, 2);
+    // Same sample, new deployment: scored against the new system on the
+    // new epoch's stream.
+    let deployment = server.registry().current();
+    let mut scratch = Vec::new();
+    let offline = replacement.score_indexed(&request(0).input, deployment.stream, 0, &mut scratch);
+    assert_eq!(after.predicted, offline);
+    assert_eq!(after.scores, scratch);
+    server.shutdown();
+}

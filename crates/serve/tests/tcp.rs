@@ -1,0 +1,153 @@
+//! Loopback round trips through the TCP front-end: wire scoring matches
+//! the offline engine, INFO reports the deployment shape, pipelined
+//! requests come back in order, and SHUTDOWN drains cleanly.
+
+mod common;
+
+use metaai_serve::tcp::{self, TcpClient};
+use metaai_serve::wire::{Request, Response};
+use metaai_serve::{OverflowPolicy, ServeConfig, Server};
+use std::net::TcpListener;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+fn start_tcp_server() -> (std::net::SocketAddr, JoinHandle<std::io::Result<()>>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let cfg = ServeConfig {
+        max_batch: 8,
+        max_delay: Duration::from_millis(1),
+        queue_capacity: 256,
+        workers: 2,
+        policy: OverflowPolicy::Shed,
+    };
+    let server = Server::start(common::shared_system(), &cfg);
+    let handle = std::thread::spawn(move || tcp::serve(listener, server));
+    (addr, handle)
+}
+
+fn connect(addr: std::net::SocketAddr) -> TcpClient {
+    TcpClient::connect(addr).expect("connect")
+}
+
+#[test]
+fn tcp_round_trip_matches_offline_scores() {
+    let (addr, handle) = start_tcp_server();
+    let system = common::shared_system();
+    let stream = metaai_math::rng::SimRng::stream_id("serve-epoch-1");
+
+    let mut client = connect(addr);
+    let mut scratch = Vec::new();
+    for i in 0..5u64 {
+        let input = common::sample_input(common::SYMBOLS, i);
+        let response = client
+            .score(i, i, input.as_slice().to_vec())
+            .expect("io")
+            .expect("scored");
+        let offline = system.score_indexed(&input, stream, i, &mut scratch);
+        assert_eq!(response.id, i);
+        assert_eq!(response.epoch, 1);
+        assert_eq!(response.predicted, offline);
+        assert_eq!(response.scores, scratch);
+    }
+
+    shutdown(client);
+    handle.join().unwrap().expect("serve exits cleanly");
+}
+
+#[test]
+fn info_reports_the_deployment_shape() {
+    let (addr, handle) = start_tcp_server();
+    let mut client = connect(addr);
+    let reply = client.request(&Request::Info).expect("io");
+    assert_eq!(
+        reply,
+        Response::Info {
+            epoch: 1,
+            outputs: 3,
+            symbols: common::SYMBOLS as u32,
+        }
+    );
+    shutdown(client);
+    handle.join().unwrap().expect("serve exits cleanly");
+}
+
+#[test]
+fn pipelined_requests_reply_in_order() {
+    let (addr, handle) = start_tcp_server();
+    let mut client = connect(addr);
+    // Fire all requests before reading any reply: the per-connection
+    // writer resolves tickets FIFO, so ids come back in submission order.
+    for i in 0..20u64 {
+        client
+            .send(&Request::Infer {
+                id: i,
+                sample_index: i,
+                deadline_us: 0,
+                input: common::sample_input(common::SYMBOLS, i).as_slice().to_vec(),
+            })
+            .expect("send");
+    }
+    for i in 0..20u64 {
+        match client.recv().expect("recv").expect("open") {
+            Response::Score { id, .. } => assert_eq!(id, i),
+            other => panic!("expected a score, got {other:?}"),
+        }
+    }
+    shutdown(client);
+    handle.join().unwrap().expect("serve exits cleanly");
+}
+
+#[test]
+fn wrong_length_input_returns_a_bad_request_error() {
+    let (addr, handle) = start_tcp_server();
+    let mut client = connect(addr);
+    let err = client
+        .score(7, 0, common::sample_input(3, 0).as_slice().to_vec())
+        .expect("io")
+        .expect_err("short input must be rejected");
+    assert_eq!(err.code(), 4, "BadRequest wire code");
+    shutdown(client);
+    handle.join().unwrap().expect("serve exits cleanly");
+}
+
+#[test]
+fn shutdown_acks_after_draining_pending_requests() {
+    let (addr, handle) = start_tcp_server();
+    let mut client = connect(addr);
+    // Queue work, then shutdown on the same connection: the ack must
+    // come after every earlier reply (FIFO writer + drain-then-stop).
+    for i in 0..10u64 {
+        client
+            .send(&Request::Infer {
+                id: i,
+                sample_index: i,
+                deadline_us: 0,
+                input: common::sample_input(common::SYMBOLS, i).as_slice().to_vec(),
+            })
+            .expect("send");
+    }
+    client.send(&Request::Shutdown).expect("send shutdown");
+    let mut scored = 0;
+    loop {
+        match client.recv().expect("recv").expect("open") {
+            Response::Score { .. } => scored += 1,
+            Response::ShutdownAck => break,
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+    assert_eq!(scored, 10, "every admitted request drained before the ack");
+    assert!(client.recv().expect("recv").is_none(), "connection closed");
+    handle.join().unwrap().expect("serve exits cleanly");
+}
+
+/// Sends SHUTDOWN and waits for the ack, closing the socket afterwards.
+fn shutdown(mut client: TcpClient) {
+    client.send(&Request::Shutdown).expect("send shutdown");
+    loop {
+        match client.recv().expect("recv") {
+            Some(Response::ShutdownAck) | None => break,
+            Some(_) => continue,
+        }
+    }
+}

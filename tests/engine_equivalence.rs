@@ -1,11 +1,11 @@
 //! Property tests pinning the batched inference engine to the scalar
-//! receiver path: same channels, same conditions, same RNG stream — the
-//! scores must match *bitwise*, across sync shifts, cancellation on/off,
-//! and nonzero receiver noise. Plus: batch results must be independent of
-//! the rayon worker count.
+//! single-sample path: same channels, same conditions, same RNG stream —
+//! the scores must match *bitwise*, across sync shifts, cancellation
+//! on/off, and nonzero receiver noise. Plus: batch results must be
+//! independent of the rayon worker count.
 
 use metaai::engine::OtaEngine;
-use metaai::ota::{OtaConditions, OtaReceiver};
+use metaai::ota::OtaConditions;
 use metaai_math::rng::SimRng;
 use metaai_math::{CMat, CVec};
 use metaai_rf::environment::EnvChannel;
@@ -40,7 +40,7 @@ fn random_setup(
 }
 
 proptest! {
-    /// Batched scores bit-match the scalar `OtaReceiver::scores` path under
+    /// Batched scores bit-match the scalar `OtaEngine::scores` path under
     /// the same per-sample RNG stream — for every condition regime.
     #[test]
     fn batched_scores_bit_match_scalar(
@@ -60,8 +60,7 @@ proptest! {
         prop_assert_eq!(outcomes.len(), inputs.len());
         for (i, outcome) in outcomes.iter().enumerate() {
             let mut rng = SimRng::derive_indexed(seed, stream, i as u64);
-            #[allow(deprecated)] // the scalar shim is the reference implementation here
-            let scalar = OtaReceiver::scores(&h, &inputs[i], &cond, &mut rng);
+            let scalar = engine.scores(&inputs[i], &cond, &mut rng);
             prop_assert_eq!(outcome.scores.len(), scalar.len());
             for (a, b) in outcome.scores.iter().zip(&scalar) {
                 prop_assert_eq!(a.to_bits(), b.to_bits());
@@ -91,8 +90,7 @@ proptest! {
         for (i, outcome) in outcomes.iter().enumerate() {
             let mut rng = SimRng::derive_indexed(seed, stream, i as u64);
             let cond = make_cond(&mut rng);
-            #[allow(deprecated)] // the scalar shim is the reference implementation here
-            let scalar = OtaReceiver::scores(&h, &inputs[i], &cond, &mut rng);
+            let scalar = engine.scores(&inputs[i], &cond, &mut rng);
             for (a, b) in outcome.scores.iter().zip(&scalar) {
                 prop_assert_eq!(a.to_bits(), b.to_bits());
             }
