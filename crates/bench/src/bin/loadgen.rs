@@ -4,12 +4,22 @@
 //! ```text
 //! loadgen [--addr 127.0.0.1:7077] [--duration-secs 2] [--connections 2]
 //!         [--depth 256] [--deadline-us 0] [--shutdown]
+//!         [--chaos] [--seed 7] [--chaos-connections 4] [--chaos-faults 120]
 //! ```
 //!
 //! `--shutdown` sends a SHUTDOWN frame after the run and waits for the
 //! drain ack, so `metaai serve` exits cleanly — CI uses this to assert a
-//! full start → load → drain cycle. Exits nonzero on any protocol error.
+//! full start → load → drain cycle.
+//!
+//! `--chaos` runs seeded fault-injecting connections (bit flips,
+//! truncated frames, corrupt length prefixes, mid-frame disconnects,
+//! slow-loris writes — see `metaai_bench::chaos`) *alongside* the clean
+//! load. Error replies and disconnects on the chaos connections are the
+//! expected outcome and never fail the run; the exit code reflects only
+//! the clean connections, which must see zero protocol errors even while
+//! the listener is being abused.
 
+use metaai_bench::chaos::{self, ChaosConfig};
 use metaai_bench::serveload::{self, LoadConfig};
 use std::time::Duration;
 
@@ -17,6 +27,8 @@ fn main() {
     let mut addr = "127.0.0.1:7077".to_string();
     let mut cfg = LoadConfig::default();
     let mut want_shutdown = false;
+    let mut want_chaos = false;
+    let mut chaos_cfg = ChaosConfig::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -32,10 +44,15 @@ fn main() {
             "--depth" => cfg.depth = parse(&value("--depth")),
             "--deadline-us" => cfg.deadline_us = parse(&value("--deadline-us")),
             "--shutdown" => want_shutdown = true,
+            "--chaos" => want_chaos = true,
+            "--seed" => chaos_cfg.seed = parse(&value("--seed")),
+            "--chaos-connections" => chaos_cfg.connections = parse(&value("--chaos-connections")),
+            "--chaos-faults" => chaos_cfg.target_faults = parse(&value("--chaos-faults")),
             "--help" | "-h" => {
                 println!(
                     "loadgen [--addr HOST:PORT] [--duration-secs S] [--connections N] \
-                     [--depth N] [--deadline-us US] [--shutdown]"
+                     [--depth N] [--deadline-us US] [--shutdown] \
+                     [--chaos] [--seed N] [--chaos-connections N] [--chaos-faults N]"
                 );
                 return;
             }
@@ -61,10 +78,49 @@ fn main() {
         }
     );
 
+    let chaos_handle = want_chaos.then(|| {
+        // Let chaos outlast the clean load a touch so clean traffic
+        // never runs unaccompanied, but cap it: if the fault target is
+        // not reached, the run still ends.
+        chaos_cfg.duration = cfg.duration + Duration::from_secs(10);
+        println!(
+            "chaos     {} conn, seed {}, target {} faults",
+            chaos_cfg.connections, chaos_cfg.seed, chaos_cfg.target_faults
+        );
+        let addr = addr.clone();
+        let chaos_cfg = chaos_cfg.clone();
+        std::thread::spawn(move || chaos::run(&addr, symbols as usize, &chaos_cfg))
+    });
+
     let mut report = match serveload::run(&addr, symbols as usize, &cfg) {
         Ok(r) => r,
         Err(e) => fail(&format!("load run failed: {e}")),
     };
+
+    if let Some(handle) = chaos_handle {
+        match handle.join().expect("chaos thread") {
+            Ok(r) => {
+                println!(
+                    "chaos     {} frames ({} clean, {} faults: {} bit flips, {} truncated, \
+                     {} corrupt lengths, {} disconnects, {} slow loris), {} reconnects",
+                    r.frames_sent,
+                    r.clean_frames,
+                    r.faults_injected(),
+                    r.bit_flips,
+                    r.truncated_frames,
+                    r.corrupt_lengths,
+                    r.mid_frame_disconnects,
+                    r.slow_loris_frames,
+                    r.reconnects
+                );
+                println!(
+                    "chaos     {} scored, {} error replies (errors here are expected)",
+                    r.scored_replies, r.error_replies
+                );
+            }
+            Err(e) => fail(&format!("chaos run failed to reach the server: {e}")),
+        }
+    }
 
     println!(
         "sent      {} ({} scored, {} shed, {} expired, {} protocol errors)",

@@ -6,6 +6,7 @@
 //! DESIGN.md §5 for the experiment ↔ module index and EXPERIMENTS.md for
 //! recorded paper-vs-measured results.
 
+pub mod chaos;
 pub mod common;
 pub mod exp_ablation;
 pub mod exp_energy;

@@ -1,0 +1,157 @@
+//! The chaos soak: four fault-injecting connections abuse a live
+//! `tcp::serve` listener (bit flips, truncated frames, corrupt length
+//! prefixes, mid-frame disconnects, slow loris) while a clean connection
+//! keeps scoring through `score_retry` — with two worker panics injected
+//! mid-run for good measure. The service must answer every clean request
+//! bitwise-correctly, restart its panicked workers, and drain cleanly.
+
+use metaai::pipeline::MetaAiSystem;
+use metaai_bench::chaos::{self, ChaosConfig};
+use metaai_math::rng::SimRng;
+use metaai_math::CVec;
+use metaai_nn::complex_lnn::ComplexLnn;
+use metaai_serve::tcp::{self, ClientConfig, RetryPolicy, TcpClient};
+use metaai_serve::wire::{Request, Response};
+use metaai_serve::{OverflowPolicy, ServeConfig, Server};
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const SYMBOLS: usize = 16;
+
+fn tiny_system() -> Arc<MetaAiSystem> {
+    let mut rng = SimRng::seed_from_u64(7);
+    let net = ComplexLnn::init(3, SYMBOLS, &mut rng);
+    Arc::new(
+        MetaAiSystem::builder()
+            .config(metaai::config::SystemConfig::paper_default())
+            .num_atoms(32)
+            .deploy(net),
+    )
+}
+
+fn sample_input(seed: u64) -> CVec {
+    let mut rng = SimRng::derive(seed, "chaos-soak-input");
+    CVec::from_vec((0..SYMBOLS).map(|_| rng.complex_gaussian(1.0)).collect())
+}
+
+#[test]
+fn the_service_survives_a_wire_level_chaos_soak() {
+    metaai_telemetry::set_enabled(true);
+    let restarts = metaai_telemetry::global().counter("metaai.serve.worker_restarts");
+    let restarts_before = restarts.value();
+
+    let system = tiny_system();
+    let server = Server::start(
+        system.clone(),
+        &ServeConfig {
+            max_batch: 8,
+            max_delay: Duration::from_millis(2),
+            queue_capacity: 512,
+            workers: 2,
+            policy: OverflowPolicy::Shed,
+        },
+    );
+    let faults = server.fault_injector();
+    let deployment = server.registry().current();
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let serve = std::thread::spawn(move || tcp::serve(listener, server));
+
+    // Four chaos connections, at least 100 injected faults. Chaos
+    // sample indices count up from zero, so the clean connection (and
+    // the armed panics) live far above them — a chaos frame can never
+    // consume a panic armed for a clean request.
+    let chaos_cfg = ChaosConfig {
+        seed: 7,
+        connections: 4,
+        target_faults: 100,
+        duration: Duration::from_secs(60),
+    };
+    let chaos = std::thread::spawn(move || chaos::run(addr, SYMBOLS, &chaos_cfg));
+
+    // The clean connection: every request must come back answered and
+    // bitwise-identical to offline scoring, no matter what the chaos
+    // connections (or the two injected panics) do to the process.
+    let mut client = TcpClient::connect_with(addr, ClientConfig::with_all(Duration::from_secs(5)))
+        .expect("clean connect");
+    let policy = RetryPolicy {
+        attempts: 5,
+        base_delay: Duration::from_millis(5),
+        max_delay: Duration::from_millis(100),
+        seed: 1,
+    };
+    let victims = [1_000_010u64, 1_000_025];
+    let mut scratch = Vec::new();
+    let mut answered = 0u64;
+    for i in 0..40u64 {
+        let sample = 1_000_000 + i;
+        if victims.contains(&sample) {
+            faults.panic_on_sample(sample);
+        }
+        let input = sample_input(sample);
+        let scored = client
+            .score_retry(sample, sample, input.as_slice(), &policy)
+            .expect("clean connection sees no protocol errors")
+            .expect("every admitted request is answered");
+        let offline = system.score_indexed(&input, deployment.stream, sample, &mut scratch);
+        assert_eq!(scored.predicted, offline, "sample {sample}");
+        assert_eq!(scored.scores, scratch, "sample {sample}");
+        answered += 1;
+    }
+    assert_eq!(answered, 40, "the clean connection scored everything");
+    assert_eq!(faults.armed(), 0, "both injected panics fired");
+
+    // The restart counter lags the error reply by the tail of the
+    // unwind; poll it rather than racing it.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while restarts.value() < restarts_before + 2 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(
+        restarts.value() >= restarts_before + 2,
+        "metaai.serve.worker_restarts counted both panics (got {})",
+        restarts.value() - restarts_before
+    );
+
+    let report = chaos
+        .join()
+        .expect("chaos thread")
+        .expect("chaos reached the server");
+    assert!(
+        report.faults_injected() >= 100,
+        "soak injected {} faults (bit flips {}, truncated {}, corrupt lengths {}, \
+         disconnects {}, slow loris {})",
+        report.faults_injected(),
+        report.bit_flips,
+        report.truncated_frames,
+        report.corrupt_lengths,
+        report.mid_frame_disconnects,
+        report.slow_loris_frames
+    );
+    assert!(
+        report.truncated_frames + report.corrupt_lengths + report.mid_frame_disconnects > 0,
+        "the framing-breaking kinds all ran"
+    );
+    assert!(
+        report.reconnects > 0,
+        "poisoned connections were redialed — the accept loop kept up under churn"
+    );
+
+    // Drain: the listener survived the abuse and still shuts down
+    // cleanly on request.
+    let mut shutter = TcpClient::connect(addr).expect("connect for shutdown");
+    shutter.send(&Request::Shutdown).expect("send shutdown");
+    loop {
+        match shutter.recv().expect("drain ack") {
+            Some(Response::ShutdownAck) | None => break,
+            Some(_) => continue,
+        }
+    }
+    drop(client);
+    serve
+        .join()
+        .expect("serve thread")
+        .expect("tcp::serve exits cleanly after the soak");
+}

@@ -102,6 +102,10 @@ pub enum ServeError {
     BadRequest(String),
     /// The worker pool died before replying (a bug, not an overload).
     Disconnected,
+    /// A worker panicked while the request's batch was in flight; the
+    /// worker was restarted and the request may be retried (scoring is
+    /// deterministic per `sample_index`, so a retry is idempotent).
+    WorkerPanicked,
 }
 
 impl ServeError {
@@ -113,6 +117,7 @@ impl ServeError {
             ServeError::ShuttingDown => 3,
             ServeError::BadRequest(_) => 4,
             ServeError::Disconnected => 5,
+            ServeError::WorkerPanicked => 6,
         }
     }
 
@@ -124,8 +129,23 @@ impl ServeError {
             2 => ServeError::Expired,
             3 => ServeError::ShuttingDown,
             4 => ServeError::BadRequest("rejected by server".to_string()),
+            6 => ServeError::WorkerPanicked,
             _ => ServeError::Disconnected,
         }
+    }
+
+    /// Whether resubmitting the identical request may succeed.
+    ///
+    /// Scoring is deterministic per `sample_index`, so retrying is always
+    /// *safe*; this reports whether it is *useful*: transient conditions
+    /// ([`Overloaded`](Self::Overloaded), [`Expired`](Self::Expired),
+    /// [`WorkerPanicked`](Self::WorkerPanicked)) are retryable, while a
+    /// malformed request, a draining service, or a dead pool are not.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ServeError::Overloaded | ServeError::Expired | ServeError::WorkerPanicked
+        )
     }
 }
 
@@ -137,6 +157,9 @@ impl std::fmt::Display for ServeError {
             ServeError::ShuttingDown => write!(f, "service is shutting down"),
             ServeError::BadRequest(why) => write!(f, "bad request: {why}"),
             ServeError::Disconnected => write!(f, "worker pool dropped the request"),
+            ServeError::WorkerPanicked => {
+                write!(f, "a worker panicked mid-batch (restarted; retryable)")
+            }
         }
     }
 }
@@ -154,6 +177,7 @@ mod tests {
             ServeError::Expired,
             ServeError::ShuttingDown,
             ServeError::Disconnected,
+            ServeError::WorkerPanicked,
         ] {
             assert_eq!(ServeError::from_code(e.code()), e);
         }
@@ -162,6 +186,24 @@ mod tests {
             ServeError::from_code(ServeError::BadRequest("x".into()).code()).code(),
             4
         );
+    }
+
+    #[test]
+    fn retryability_splits_transient_from_fatal() {
+        for e in [
+            ServeError::Overloaded,
+            ServeError::Expired,
+            ServeError::WorkerPanicked,
+        ] {
+            assert!(e.is_retryable(), "{e} should be retryable");
+        }
+        for e in [
+            ServeError::ShuttingDown,
+            ServeError::BadRequest("x".into()),
+            ServeError::Disconnected,
+        ] {
+            assert!(!e.is_retryable(), "{e} should be fatal");
+        }
     }
 
     #[test]

@@ -36,12 +36,20 @@ pub(crate) struct ServeMetrics {
     pub batch_size: Histogram,
     /// Submit→reply latency of scored requests, in microseconds.
     pub e2e_latency_us: Histogram,
+    /// Submit→drop latency of requests whose deadline passed before a
+    /// worker reached them, in microseconds. Kept as a separate outcome
+    /// so `e2e_latency_us` is not survivor-biased.
+    pub e2e_latency_expired_us: Histogram,
     /// Requests rejected at admission by the shed policy.
     pub shed_total: Counter,
     /// Admitted requests dropped because their deadline passed.
     pub expired_total: Counter,
     /// Hot-swap deployments installed.
     pub deploy_swaps: Counter,
+    /// Scoring workers restarted after a panic.
+    pub worker_restarts: Counter,
+    /// Transient `accept` failures retried by the supervised accept loop.
+    pub accept_retries: Counter,
 }
 
 fn metrics() -> &'static ServeMetrics {
@@ -54,9 +62,13 @@ fn metrics() -> &'static ServeMetrics {
             queue_depth: r.gauge("metaai.serve.queue_depth"),
             batch_size: r.histogram("metaai.serve.batch_size", &BATCH_SIZE_BOUNDS),
             e2e_latency_us: r.histogram("metaai.serve.e2e_latency_us", &LATENCY_US_BOUNDS),
+            e2e_latency_expired_us: r
+                .histogram("metaai.serve.e2e_latency_expired_us", &LATENCY_US_BOUNDS),
             shed_total: r.counter("metaai.serve.shed_total"),
             expired_total: r.counter("metaai.serve.expired_total"),
             deploy_swaps: r.counter("metaai.serve.deploy_swaps"),
+            worker_restarts: r.counter("metaai.serve.worker_restarts"),
+            accept_retries: r.counter("metaai.serve.accept_retries"),
         }
     })
 }
@@ -91,9 +103,12 @@ mod tests {
             "metaai.serve.queue_depth",
             "metaai.serve.batch_size",
             "metaai.serve.e2e_latency_us",
+            "metaai.serve.e2e_latency_expired_us",
             "metaai.serve.shed_total",
             "metaai.serve.expired_total",
             "metaai.serve.deploy_swaps",
+            "metaai.serve.worker_restarts",
+            "metaai.serve.accept_retries",
         ] {
             assert!(
                 names.iter().any(|n| n == expected),

@@ -8,12 +8,29 @@
 //! Determinism does not depend on which worker scores what: the RNG for a
 //! request is fully determined by `(config.seed, deployment stream,
 //! sample_index)`.
+//!
+//! # Panic isolation
+//!
+//! A panic while scoring (a poisoned sample, a bug in the engine, or an
+//! injected fault from [`FaultInjector`]) must not strand the pipelined
+//! clients whose requests share the batch, and must not shrink the pool.
+//! Each worker therefore runs its scoring loop under
+//! `std::panic::catch_unwind`: when a panic unwinds, every unresolved
+//! ticket of the in-flight batch is resolved with
+//! [`ServeError::WorkerPanicked`] (a retryable error — scoring is
+//! deterministic per `sample_index`), the restart is counted
+//! (`metaai.serve.worker_restarts` and [`Server::worker_restarts`]), and
+//! the same thread re-enters the loop with fresh scratch state. One
+//! poisoned request costs one batch one error reply each; the service
+//! keeps serving.
 
-use crate::batcher::{BatchQueue, ScoreRequest, ScoreResponse, Ticket};
+use crate::batcher::{BatchQueue, Pending, ScoreRequest, ScoreResponse, Ticket};
 use crate::deploy::DeploymentRegistry;
 use crate::{ServeConfig, ServeError};
 use metaai::pipeline::MetaAiSystem;
-use std::sync::Arc;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -23,6 +40,8 @@ pub struct Server {
     queue: Arc<BatchQueue>,
     registry: Arc<DeploymentRegistry>,
     workers: Vec<JoinHandle<()>>,
+    restarts: Arc<AtomicU64>,
+    faults: FaultInjector,
 }
 
 impl Server {
@@ -31,13 +50,17 @@ impl Server {
         assert!(config.workers >= 1, "the pool needs at least one worker");
         let queue = Arc::new(BatchQueue::new(config));
         let registry = Arc::new(DeploymentRegistry::new(system));
+        let restarts = Arc::new(AtomicU64::new(0));
+        let faults = FaultInjector::default();
         let workers = (0..config.workers)
             .map(|w| {
                 let queue = queue.clone();
                 let registry = registry.clone();
+                let restarts = restarts.clone();
+                let faults = faults.clone();
                 std::thread::Builder::new()
                     .name(format!("metaai-serve-{w}"))
-                    .spawn(move || worker_loop(&queue, &registry))
+                    .spawn(move || supervised_worker(&queue, &registry, &restarts, &faults))
                     .expect("spawn scoring worker")
             })
             .collect();
@@ -45,6 +68,8 @@ impl Server {
             queue,
             registry,
             workers,
+            restarts,
+            faults,
         }
     }
 
@@ -69,6 +94,19 @@ impl Server {
     /// Current submission-queue depth.
     pub fn queue_depth(&self) -> usize {
         self.queue.depth()
+    }
+
+    /// How many times a scoring worker has been restarted after a panic
+    /// (mirrors the `metaai.serve.worker_restarts` counter, but counted
+    /// unconditionally so tests need not enable telemetry).
+    pub fn worker_restarts(&self) -> u64 {
+        self.restarts.load(Ordering::Relaxed)
+    }
+
+    /// The chaos/test hook for injecting worker panics; cheap to clone
+    /// and usable after the server has been moved into a serve loop.
+    pub fn fault_injector(&self) -> FaultInjector {
+        self.faults.clone()
     }
 
     /// Drain-then-stop: refuses new submissions, scores every already
@@ -110,7 +148,105 @@ impl Client {
     }
 }
 
-fn worker_loop(queue: &BatchQueue, registry: &DeploymentRegistry) {
+/// Arms deliberate worker panics, for chaos tests of the panic-isolation
+/// path. Each armed `sample_index` fires exactly once: the first worker
+/// that dequeues a request with that index panics *before* scoring it,
+/// exercising the full restart + ticket-resolution machinery.
+///
+/// The hot path pays one relaxed atomic load per request while disarmed.
+#[derive(Clone, Default)]
+pub struct FaultInjector {
+    inner: Arc<FaultState>,
+}
+
+#[derive(Default)]
+struct FaultState {
+    /// Number of armed samples; checked first so the disarmed hot path
+    /// never touches the mutex.
+    armed: AtomicUsize,
+    samples: Mutex<Vec<u64>>,
+}
+
+impl FaultInjector {
+    /// Arms one panic on the next request carrying `sample_index`.
+    pub fn panic_on_sample(&self, sample_index: u64) {
+        let mut samples = self.inner.samples.lock().expect("fault injector poisoned");
+        samples.push(sample_index);
+        self.inner.armed.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// How many armed panics have not fired yet.
+    pub fn armed(&self) -> usize {
+        self.inner.armed.load(Ordering::SeqCst)
+    }
+
+    /// Panics if `sample_index` is armed (disarming it first, so the
+    /// retried request scores normally).
+    fn maybe_fire(&self, sample_index: u64) {
+        if self.inner.armed.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        let mut samples = self.inner.samples.lock().expect("fault injector poisoned");
+        if let Some(pos) = samples.iter().position(|&s| s == sample_index) {
+            samples.swap_remove(pos);
+            self.inner.armed.fetch_sub(1, Ordering::SeqCst);
+            drop(samples);
+            panic!("injected worker panic on sample {sample_index}");
+        }
+    }
+}
+
+/// Restarts `worker_loop` after each panic until the queue shuts down.
+fn supervised_worker(
+    queue: &BatchQueue,
+    registry: &DeploymentRegistry,
+    restarts: &AtomicU64,
+    faults: &FaultInjector,
+) {
+    loop {
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            worker_loop(queue, registry, faults);
+        }));
+        match outcome {
+            // Clean exit: the queue is shut down and drained.
+            Ok(()) => return,
+            Err(_) => {
+                restarts.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = crate::metrics::tele() {
+                    m.worker_restarts.inc();
+                }
+            }
+        }
+    }
+}
+
+/// Holds a batch while it scores; any request still unresolved when the
+/// guard drops (i.e. a panic unwound through the scoring loop) is
+/// resolved with [`ServeError::WorkerPanicked`] instead of leaving its
+/// ticket to dangle until the channel drops.
+struct BatchGuard {
+    slots: Vec<Option<Pending>>,
+}
+
+impl BatchGuard {
+    fn new(batch: Vec<Pending>) -> Self {
+        BatchGuard {
+            slots: batch.into_iter().map(Some).collect(),
+        }
+    }
+}
+
+impl Drop for BatchGuard {
+    fn drop(&mut self) {
+        for slot in &mut self.slots {
+            if let Some(pending) = slot.take() {
+                pending.resolve(Err(ServeError::WorkerPanicked));
+            }
+        }
+    }
+}
+
+fn worker_loop(queue: &BatchQueue, registry: &DeploymentRegistry, faults: &FaultInjector) {
     let mut scratch: Vec<f64> = Vec::new();
     while let Some(batch) = queue.next_batch() {
         // Pin one deployment for the whole batch: a swap landing mid-batch
@@ -118,39 +254,49 @@ fn worker_loop(queue: &BatchQueue, registry: &DeploymentRegistry) {
         // the epoch it started on.
         let deployment = registry.current();
         let n_symbols = deployment.system.engine().num_symbols();
-        let now = Instant::now();
-        for pending in batch {
-            if pending.request.deadline.is_some_and(|d| d < now) {
-                if let Some(m) = crate::metrics::tele() {
-                    m.expired_total.inc();
+        let mut guard = BatchGuard::new(batch);
+        for i in 0..guard.slots.len() {
+            let outcome = {
+                let pending = guard.slots[i].as_ref().expect("unresolved slot");
+                // Expiry is re-checked per request, not once per batch: a
+                // deadline that passes while earlier batch items score
+                // still drops this request (and counts it as expired).
+                if pending.request.deadline.is_some_and(|d| d < Instant::now()) {
+                    if let Some(m) = crate::metrics::tele() {
+                        m.expired_total.inc();
+                        m.e2e_latency_expired_us
+                            .observe(pending.enqueued_at.elapsed().as_secs_f64() * 1e6);
+                    }
+                    Err(ServeError::Expired)
+                } else if pending.request.input.len() != n_symbols {
+                    Err(ServeError::BadRequest(format!(
+                        "input length {} != deployed symbols {n_symbols}",
+                        pending.request.input.len()
+                    )))
+                } else {
+                    faults.maybe_fire(pending.request.sample_index);
+                    let predicted = deployment.system.score_indexed(
+                        &pending.request.input,
+                        deployment.stream,
+                        pending.request.sample_index,
+                        &mut scratch,
+                    );
+                    if let Some(m) = crate::metrics::tele() {
+                        m.e2e_latency_us
+                            .observe(pending.enqueued_at.elapsed().as_secs_f64() * 1e6);
+                    }
+                    Ok(ScoreResponse {
+                        id: pending.request.id,
+                        epoch: deployment.epoch,
+                        predicted,
+                        scores: scratch.clone(),
+                    })
                 }
-                pending.resolve(Err(ServeError::Expired));
-                continue;
-            }
-            let input_len = pending.request.input.len();
-            if input_len != n_symbols {
-                pending.resolve(Err(ServeError::BadRequest(format!(
-                    "input length {input_len} != deployed symbols {n_symbols}"
-                ))));
-                continue;
-            }
-            let predicted = deployment.system.score_indexed(
-                &pending.request.input,
-                deployment.stream,
-                pending.request.sample_index,
-                &mut scratch,
-            );
-            if let Some(m) = crate::metrics::tele() {
-                m.e2e_latency_us
-                    .observe(pending.enqueued_at.elapsed().as_secs_f64() * 1e6);
-            }
-            let response = ScoreResponse {
-                id: pending.request.id,
-                epoch: deployment.epoch,
-                predicted,
-                scores: scratch.clone(),
             };
-            pending.resolve(Ok(response));
+            guard.slots[i]
+                .take()
+                .expect("unresolved slot")
+                .resolve(outcome);
         }
     }
 }

@@ -1,4 +1,5 @@
-//! `std::net` front-end: one accept loop, two threads per connection.
+//! `std::net` front-end: one supervised accept loop, two threads per
+//! connection.
 //!
 //! The per-connection **reader** decodes frames ([`wire`]),
 //! submits `INFER` requests to the queue, and forwards the resulting
@@ -7,26 +8,58 @@
 //! without waiting for replies. Responses carry the request id, so
 //! clients may also match out-of-order on their side.
 //!
+//! # Accept supervision
+//!
+//! The listener runs non-blocking and [`serve`] polls it on a short
+//! deadline ([`ACCEPT_POLL`]), so the loop observes the stop flag even
+//! if nothing ever connects again. Transient `accept` failures — fd
+//! exhaustion (`EMFILE`/`ENFILE`), connections aborted during the
+//! handshake (`ECONNABORTED`), interrupted syscalls (`EINTR`) — are
+//! retried with capped exponential backoff instead of killing the
+//! service; only errors that mean the listener itself is gone propagate
+//! out. Finished connection-handler threads are reaped on every accept,
+//! so the handler list stays proportional to *live* connections under
+//! connection churn.
+//!
 //! Shutdown choreography (`SHUTDOWN` frame, sent by `loadgen
 //! --shutdown`): the receiving reader queues a shutdown marker for its
 //! writer, raises the shared stop flag, and pokes the listener with a
-//! dummy connect to unblock `accept`. [`serve`] then drains the scoring
-//! queue (resolving every ticket held by connection writers), the
-//! shutdown writer emits `SHUTDOWN_ACK` after its earlier replies, and
-//! the handlers exit. Handlers on *other* connections exit when their
-//! peer closes; a client that holds its socket open past shutdown delays
+//! dummy connect (retried with backoff) to unblock the accept poll
+//! promptly; if every poke fails, the poll deadline still observes the
+//! flag within [`ACCEPT_POLL`]. A real client that connects in the
+//! post-stop window is answered with a `ShuttingDown` error frame rather
+//! than silently dropped. [`serve`] then drains the scoring queue
+//! (resolving every ticket held by connection writers), the shutdown
+//! writer emits `SHUTDOWN_ACK` after its earlier replies, and the
+//! handlers exit. Handlers on *other* connections exit when their peer
+//! closes; a client that holds its socket open past shutdown delays
 //! [`serve`]'s return, so clients should disconnect once done.
 
 use crate::deploy::DeploymentRegistry;
 use crate::server::{Client, Server};
-use crate::wire::{self, Request, Response};
-use crate::{ServeError, Ticket};
+use crate::wire::{self, Request, Response, NO_REQUEST_ID};
+use crate::{ScoreResponse, ServeError, Ticket};
+use metaai_math::rng::SimRng;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long the accept loop waits between polls when idle: the upper
+/// bound on connection-setup latency added by the non-blocking listener
+/// and on how late the loop notices the stop flag without a poke.
+pub const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// First backoff after a transient accept failure.
+const ACCEPT_BACKOFF_START: Duration = Duration::from_millis(1);
+
+/// Backoff ceiling under a sustained transient condition (e.g. fd
+/// exhaustion): the loop keeps retrying at this cadence until accept
+/// succeeds again.
+const ACCEPT_BACKOFF_CAP: Duration = Duration::from_millis(200);
 
 /// What the reader hands the writer, in request order.
 enum Reply {
@@ -38,35 +71,123 @@ enum Reply {
     Shutdown,
 }
 
+/// Whether an `accept` failure is worth retrying: the connection died
+/// during the handshake, the syscall was interrupted, or the process is
+/// out of fds (which recovers as handlers close sockets). Anything else
+/// means the listener itself is broken and propagates out of [`serve`].
+fn is_transient_accept_error(e: &io::Error) -> bool {
+    if matches!(
+        e.kind(),
+        io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::Interrupted
+            | io::ErrorKind::TimedOut
+    ) {
+        return true;
+    }
+    // EMFILE (24) / ENFILE (23) surface as uncategorized errors; match
+    // the raw errno (same values on Linux and macOS).
+    matches!(e.raw_os_error(), Some(23) | Some(24))
+}
+
+/// The next backoff after `current`, doubling up to [`ACCEPT_BACKOFF_CAP`].
+fn next_backoff(current: Duration) -> Duration {
+    (current * 2).min(ACCEPT_BACKOFF_CAP)
+}
+
+/// Joins finished connection handlers, keeping only live ones.
+fn reap_finished(handlers: &mut Vec<JoinHandle<()>>) {
+    let mut live = Vec::with_capacity(handlers.len());
+    for handler in handlers.drain(..) {
+        if handler.is_finished() {
+            let _ = handler.join();
+        } else {
+            live.push(handler);
+        }
+    }
+    *handlers = live;
+}
+
+/// Best-effort reply to a connection accepted after shutdown began:
+/// a `ShuttingDown` error frame (with the [`NO_REQUEST_ID`] sentinel),
+/// so a real client learns why the connection closed. The shutdown poke
+/// itself also lands here and simply ignores the frame.
+fn refuse_post_stop(stream: TcpStream) {
+    let mut w = BufWriter::new(stream);
+    let refusal = Response::Error {
+        id: NO_REQUEST_ID,
+        code: ServeError::ShuttingDown.code(),
+    };
+    let _ = wire::write_frame(&mut w, &refusal.encode());
+    let _ = w.flush();
+}
+
 /// Accepts connections and serves until a `SHUTDOWN` frame arrives, then
 /// drains the scoring queue and returns. Consumes the server: after
 /// `serve` returns, every admitted request has been answered.
+///
+/// Transient accept failures are retried (see the module docs); an
+/// unrecoverable listener error still drains admitted work before
+/// propagating.
 pub fn serve(listener: TcpListener, server: Server) -> io::Result<()> {
     let stop = Arc::new(AtomicBool::new(false));
     let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
     let mut handlers: Vec<JoinHandle<()>> = Vec::new();
-    loop {
-        let (stream, _peer) = listener.accept()?;
+    let mut backoff = ACCEPT_BACKOFF_START;
+    let fatal = loop {
         if stop.load(Ordering::SeqCst) {
-            break;
+            break None;
         }
-        let client = server.client();
-        let registry = server.registry().clone();
-        let stop = stop.clone();
-        let handler = std::thread::Builder::new()
-            .name("metaai-serve-conn".to_string())
-            .spawn(move || handle_connection(stream, client, registry, stop, addr))
-            .expect("spawn connection handler");
-        handlers.push(handler);
-    }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                backoff = ACCEPT_BACKOFF_START;
+                // The accepted socket inherits non-blocking mode on some
+                // platforms; the per-connection threads expect blocking IO.
+                let _ = stream.set_nonblocking(false);
+                if stop.load(Ordering::SeqCst) {
+                    refuse_post_stop(stream);
+                    break None;
+                }
+                let client = server.client();
+                let registry = server.registry().clone();
+                let stop = stop.clone();
+                let handler = std::thread::Builder::new()
+                    .name("metaai-serve-conn".to_string())
+                    .spawn(move || handle_connection(stream, client, registry, stop, addr))
+                    .expect("spawn connection handler");
+                handlers.push(handler);
+                reap_finished(&mut handlers);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                // Idle: nothing to accept. The sleep doubles as the
+                // "short accept deadline" that bounds how long a failed
+                // shutdown poke can leave the loop blind to the stop flag.
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(e) if is_transient_accept_error(&e) => {
+                if let Some(m) = crate::metrics::tele() {
+                    m.accept_retries.inc();
+                }
+                std::thread::sleep(backoff);
+                backoff = next_backoff(backoff);
+            }
+            Err(e) => break Some(e),
+        }
+    };
     // Drain-then-stop: scoring every admitted request resolves the
     // tickets the connection writers still hold, letting them flush
-    // their final replies (and the SHUTDOWN_ACK) before exiting.
+    // their final replies (and the SHUTDOWN_ACK) before exiting. Runs
+    // on the fatal path too, so even a dying listener answers what it
+    // admitted.
     server.shutdown();
     for handler in handlers {
         let _ = handler.join();
     }
-    Ok(())
+    match fatal {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
 }
 
 fn handle_connection(
@@ -88,6 +209,21 @@ fn handle_connection(
     reader_loop(stream, &client, &registry, &stop, listen_addr, &tx);
     drop(tx);
     let _ = writer.join();
+}
+
+/// Wakes the accept loop after the stop flag is raised. Retried with
+/// backoff because a failed poke would otherwise leave [`serve`] waiting
+/// for its poll deadline; total failure is survivable (the poll deadline
+/// catches it), so this gives up after a few attempts.
+fn poke_listener(listen_addr: SocketAddr) {
+    let mut delay = Duration::from_millis(5);
+    for _ in 0..4 {
+        if TcpStream::connect_timeout(&listen_addr, Duration::from_millis(250)).is_ok() {
+            return;
+        }
+        std::thread::sleep(delay);
+        delay *= 2;
+    }
 }
 
 fn reader_loop(
@@ -123,7 +259,7 @@ fn reader_loop(
                 let _ = tx.send(Reply::Shutdown);
                 stop.store(true, Ordering::SeqCst);
                 // Unblock the accept loop so `serve` can drain and join.
-                let _ = TcpStream::connect(listen_addr);
+                poke_listener(listen_addr);
                 return;
             }
             Ok(request @ Request::Infer { .. }) => {
@@ -139,9 +275,11 @@ fn reader_loop(
             }
             Err(e) => {
                 // Corrupt frame: the stream offset can no longer be
-                // trusted, so report and close the connection.
+                // trusted, so report (under the "no id" sentinel — the
+                // frame's own id bytes are exactly what is suspect) and
+                // close the connection.
                 let _ = tx.send(Reply::Ready(Response::Error {
-                    id: 0,
+                    id: NO_REQUEST_ID,
                     code: e.code(),
                 }));
                 return;
@@ -216,23 +354,137 @@ fn writer_loop(stream: TcpStream, rx: Receiver<Reply>) {
     }
 }
 
+/// Socket timeouts for [`TcpClient`]. `None` means block indefinitely
+/// (the pre-hardening behaviour); real deployments should set at least a
+/// read timeout so a stalled or dead server surfaces as an error instead
+/// of a hang.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ClientConfig {
+    /// Bound on establishing the TCP connection.
+    pub connect_timeout: Option<Duration>,
+    /// Bound on each blocking read (a reply that takes longer surfaces
+    /// as `WouldBlock`/`TimedOut`).
+    pub read_timeout: Option<Duration>,
+    /// Bound on each blocking write.
+    pub write_timeout: Option<Duration>,
+}
+
+impl ClientConfig {
+    /// One timeout for connect, read, and write alike.
+    pub fn with_all(timeout: Duration) -> ClientConfig {
+        ClientConfig {
+            connect_timeout: Some(timeout),
+            read_timeout: Some(timeout),
+            write_timeout: Some(timeout),
+        }
+    }
+}
+
+/// Jittered-exponential-backoff retry schedule for idempotent requests
+/// (scoring is deterministic per `sample_index`, so resubmitting an
+/// `INFER` can never double-apply anything).
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (1 disables retries).
+    pub attempts: u32,
+    /// Backoff before the first retry; doubles each retry.
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+    /// Seed of the jitter stream (deterministic per client).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(500),
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered sleep before retry number `retry` (0-based): the
+    /// capped exponential delay scaled uniformly into its upper half, so
+    /// synchronized clients decorrelate instead of retrying in lockstep.
+    fn delay(&self, retry: u32, rng: &mut SimRng) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32.checked_shl(retry).unwrap_or(u32::MAX))
+            .min(self.max_delay);
+        exp.mul_f64(rng.uniform_range(0.5, 1.0))
+    }
+}
+
 /// A synchronous request/response client over the wire protocol.
 ///
 /// One in-flight request at a time; for pipelined load generation, use
 /// [`into_stream`](Self::into_stream) and drive reads/writes from
 /// separate threads with the [`wire`] functions directly.
+///
+/// [`connect_with`](Self::connect_with) installs connect/read/write
+/// timeouts, and [`score_retry`](Self::score_retry) wraps scoring in a
+/// reconnect-and-resend loop for transient failures.
 pub struct TcpClient {
     reader: BufReader<TcpStream>,
+    addrs: Vec<SocketAddr>,
+    config: ClientConfig,
 }
 
 impl TcpClient {
-    /// Connects to a running service.
+    /// Connects to a running service with no timeouts (blocking reads).
     pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<TcpClient> {
-        let stream = TcpStream::connect(addr)?;
-        let _ = stream.set_nodelay(true);
+        TcpClient::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connects with the given timeout configuration.
+    pub fn connect_with<A: ToSocketAddrs>(addr: A, config: ClientConfig) -> io::Result<TcpClient> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        if addrs.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "address resolved to nothing",
+            ));
+        }
+        let stream = Self::open(&addrs, &config)?;
         Ok(TcpClient {
             reader: BufReader::new(stream),
+            addrs,
+            config,
         })
+    }
+
+    fn open(addrs: &[SocketAddr], config: &ClientConfig) -> io::Result<TcpStream> {
+        let mut last_err = None;
+        for addr in addrs {
+            let attempt = match config.connect_timeout {
+                Some(timeout) => TcpStream::connect_timeout(addr, timeout),
+                None => TcpStream::connect(addr),
+            };
+            match attempt {
+                Ok(stream) => {
+                    let _ = stream.set_nodelay(true);
+                    stream.set_read_timeout(config.read_timeout)?;
+                    stream.set_write_timeout(config.write_timeout)?;
+                    return Ok(stream);
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.expect("addrs checked non-empty"))
+    }
+
+    /// Drops the current connection and dials again. Any buffered,
+    /// unread reply bytes are discarded — after an IO error or timeout
+    /// the stream offset is unreliable, so this is the only safe way to
+    /// reuse the client.
+    pub fn reconnect(&mut self) -> io::Result<()> {
+        let stream = Self::open(&self.addrs, &self.config)?;
+        self.reader = BufReader::new(stream);
+        Ok(())
     }
 
     /// Sends one request frame.
@@ -269,7 +521,7 @@ impl TcpClient {
         id: u64,
         sample_index: u64,
         input: Vec<metaai_math::C64>,
-    ) -> io::Result<Result<crate::ScoreResponse, ServeError>> {
+    ) -> io::Result<Result<ScoreResponse, ServeError>> {
         let reply = self.request(&Request::Infer {
             id,
             sample_index,
@@ -282,7 +534,7 @@ impl TcpClient {
                 epoch,
                 predicted,
                 scores,
-            } => Ok(Ok(crate::ScoreResponse {
+            } => Ok(Ok(ScoreResponse {
                 id,
                 epoch,
                 predicted: predicted as usize,
@@ -296,8 +548,164 @@ impl TcpClient {
         }
     }
 
+    /// [`score`](Self::score) wrapped in `policy`'s retry schedule.
+    ///
+    /// Retries after an IO failure (reconnecting first — the old stream
+    /// may hold a half-read reply) and after a
+    /// [retryable](ServeError::is_retryable) server error (same
+    /// connection — the stream is still framed correctly). Safe for
+    /// scoring because it is deterministic per `sample_index`: a reply
+    /// lost to a timeout and a retried reply carry identical scores.
+    /// Returns the last error once attempts are exhausted; non-retryable
+    /// server errors return immediately.
+    pub fn score_retry(
+        &mut self,
+        id: u64,
+        sample_index: u64,
+        input: &[metaai_math::C64],
+        policy: &RetryPolicy,
+    ) -> io::Result<Result<ScoreResponse, ServeError>> {
+        let mut rng = SimRng::derive(policy.seed, "tcp-client-retry");
+        let attempts = policy.attempts.max(1);
+        let mut last: io::Result<Result<ScoreResponse, ServeError>> =
+            Err(io::Error::other("no attempt made"));
+        for retry in 0..attempts {
+            if retry > 0 {
+                std::thread::sleep(policy.delay(retry - 1, &mut rng));
+            }
+            match self.score(id, sample_index, input.to_vec()) {
+                Ok(Ok(scored)) => return Ok(Ok(scored)),
+                Ok(Err(e)) if !e.is_retryable() => return Ok(Err(e)),
+                Ok(Err(e)) => last = Ok(Err(e)),
+                Err(e) => {
+                    last = Err(e);
+                    // The connection is desynchronized (or gone); a fresh
+                    // dial is required before the next attempt. Failure
+                    // here still counts down the same attempt budget.
+                    if retry + 1 < attempts {
+                        let _ = self.reconnect();
+                    }
+                }
+            }
+        }
+        last
+    }
+
     /// The raw stream, for callers that pipeline with their own threads.
     pub fn into_stream(self) -> TcpStream {
         self.reader.into_inner()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transient_accept_errors_are_classified() {
+        for transient in [
+            io::Error::from_raw_os_error(24), // EMFILE
+            io::Error::from_raw_os_error(23), // ENFILE
+            io::Error::new(io::ErrorKind::ConnectionAborted, "aborted in handshake"),
+            io::Error::new(io::ErrorKind::Interrupted, "EINTR"),
+        ] {
+            assert!(
+                is_transient_accept_error(&transient),
+                "{transient:?} should be retried"
+            );
+        }
+        for fatal in [
+            io::Error::new(io::ErrorKind::InvalidInput, "bad listener"),
+            io::Error::from_raw_os_error(9), // EBADF: the listener fd is gone
+        ] {
+            assert!(
+                !is_transient_accept_error(&fatal),
+                "{fatal:?} should propagate"
+            );
+        }
+    }
+
+    #[test]
+    fn accept_backoff_doubles_and_caps() {
+        let mut backoff = ACCEPT_BACKOFF_START;
+        let mut seen = Vec::new();
+        for _ in 0..12 {
+            seen.push(backoff);
+            backoff = next_backoff(backoff);
+        }
+        assert_eq!(seen[0], Duration::from_millis(1));
+        assert_eq!(seen[1], Duration::from_millis(2));
+        assert_eq!(seen[2], Duration::from_millis(4));
+        assert!(seen.iter().all(|&d| d <= ACCEPT_BACKOFF_CAP));
+        assert_eq!(*seen.last().unwrap(), ACCEPT_BACKOFF_CAP);
+    }
+
+    #[test]
+    fn reaping_joins_finished_handlers_and_keeps_live_ones() {
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+        for _ in 0..4 {
+            handlers.push(std::thread::spawn(|| {}));
+        }
+        handlers.push(std::thread::spawn(move || {
+            let _ = rx.recv();
+        }));
+        // The four no-op threads finish promptly; poll until reaped.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            reap_finished(&mut handlers);
+            if handlers.len() == 1 || std::time::Instant::now() > deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(handlers.len(), 1, "only the live handler remains");
+        drop(tx);
+        for handler in handlers {
+            handler.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn post_stop_connections_get_a_shutting_down_frame() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut client = TcpClient::connect(addr).unwrap();
+            client.recv()
+        });
+        let (stream, _) = listener.accept().unwrap();
+        refuse_post_stop(stream);
+        match client.join().unwrap().unwrap() {
+            Some(Response::Error { id, code }) => {
+                assert_eq!(id, NO_REQUEST_ID);
+                assert_eq!(code, ServeError::ShuttingDown.code());
+            }
+            other => panic!("expected a ShuttingDown error frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retry_delays_are_jittered_capped_exponentials() {
+        let policy = RetryPolicy {
+            attempts: 5,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(60),
+            seed: 7,
+        };
+        let mut rng = SimRng::derive(policy.seed, "tcp-client-retry");
+        for retry in 0..8 {
+            let exp = Duration::from_millis(10)
+                .saturating_mul(1 << retry)
+                .min(policy.max_delay);
+            let d = policy.delay(retry, &mut rng);
+            assert!(
+                d >= exp.mul_f64(0.5),
+                "retry {retry}: {d:?} < half of {exp:?}"
+            );
+            assert!(d <= exp, "retry {retry}: {d:?} above cap {exp:?}");
+        }
+        // Very large retry counts must not overflow the shift.
+        let _ = policy.delay(40, &mut rng);
     }
 }

@@ -25,6 +25,17 @@
 //! A deadline travels as a relative budget in microseconds (an `Instant`
 //! cannot cross the wire); the server anchors it at decode time, so
 //! network transit counts against the budget only after arrival.
+//!
+//! # The "no id" sentinel
+//!
+//! `u64::MAX` ([`NO_REQUEST_ID`]) is reserved: it is never a valid
+//! client-supplied request id. An ERROR response carrying it refers to
+//! the connection rather than to any particular request — the server
+//! uses it when a frame is too corrupt for its id bytes to be trusted,
+//! and when refusing a connection accepted after shutdown began.
+//! [`Request::encode`] panics on an INFER with the sentinel id, and the
+//! server rejects one at decode time with `BadRequest`, so the sentinel
+//! can never collide with a real in-flight request.
 
 use crate::ServeError;
 use metaai_math::{CVec, C64};
@@ -33,6 +44,11 @@ use std::time::{Duration, Instant};
 
 /// Frames larger than this are rejected as corrupt rather than allocated.
 pub const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
+
+/// Reserved request id meaning "no particular request" (see the module
+/// docs): used in ERROR responses about corrupt frames and post-shutdown
+/// connections, and rejected as a client-supplied INFER id.
+pub const NO_REQUEST_ID: u64 = u64::MAX;
 
 /// A decoded client→server message.
 #[derive(Clone, Debug, PartialEq)]
@@ -90,6 +106,12 @@ pub enum Response {
 
 impl Request {
     /// Serializes into a frame payload (no length prefix).
+    ///
+    /// # Panics
+    ///
+    /// If an `Infer` carries the reserved [`NO_REQUEST_ID`] — the
+    /// sentinel is caught where the bug is (the encoding client), not
+    /// after a network round trip.
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::new();
         match self {
@@ -99,6 +121,10 @@ impl Request {
                 deadline_us,
                 input,
             } => {
+                assert_ne!(
+                    *id, NO_REQUEST_ID,
+                    "request id u64::MAX is reserved (NO_REQUEST_ID)"
+                );
                 buf.push(0);
                 buf.extend_from_slice(&id.to_le_bytes());
                 buf.extend_from_slice(&sample_index.to_le_bytes());
@@ -121,6 +147,11 @@ impl Request {
         let request = match r.u8()? {
             0 => {
                 let id = r.u64()?;
+                if id == NO_REQUEST_ID {
+                    return Err(ServeError::BadRequest(
+                        "request id u64::MAX is reserved".into(),
+                    ));
+                }
                 let sample_index = r.u64()?;
                 let deadline_us = r.u64()?;
                 let n = r.u32()? as usize;
@@ -161,6 +192,10 @@ impl Request {
     /// the (much larger) symbol vector every time.
     pub fn restamp_infer(payload: &mut [u8], id: u64, sample_index: u64) {
         assert_eq!(payload.first(), Some(&0), "not an INFER payload");
+        assert_ne!(
+            id, NO_REQUEST_ID,
+            "request id u64::MAX is reserved (NO_REQUEST_ID)"
+        );
         payload[1..9].copy_from_slice(&id.to_le_bytes());
         payload[9..17].copy_from_slice(&sample_index.to_le_bytes());
     }
@@ -456,6 +491,48 @@ mod tests {
         }
         .encode();
         assert_eq!(payload, reencoded);
+    }
+
+    #[test]
+    fn the_no_id_sentinel_is_rejected_end_to_end() {
+        // Encode-time: a client cannot even serialize the reserved id.
+        let sentinel = Request::Infer {
+            id: NO_REQUEST_ID,
+            sample_index: 0,
+            deadline_us: 0,
+            input: vec![C64 { re: 1.0, im: 0.0 }],
+        };
+        assert!(std::panic::catch_unwind(|| sentinel.encode()).is_err());
+        assert!(std::panic::catch_unwind(|| {
+            let mut payload = Request::Infer {
+                id: 1,
+                sample_index: 0,
+                deadline_us: 0,
+                input: vec![C64 { re: 1.0, im: 0.0 }],
+            }
+            .encode();
+            Request::restamp_infer(&mut payload, NO_REQUEST_ID, 0);
+        })
+        .is_err());
+        // Decode-time: a hand-rolled frame carrying it is a BadRequest.
+        let mut payload = Request::Infer {
+            id: 1,
+            sample_index: 0,
+            deadline_us: 0,
+            input: vec![C64 { re: 1.0, im: 0.0 }],
+        }
+        .encode();
+        payload[1..9].copy_from_slice(&NO_REQUEST_ID.to_le_bytes());
+        match Request::decode(&payload) {
+            Err(ServeError::BadRequest(why)) => assert!(why.contains("reserved"), "{why}"),
+            other => panic!("expected BadRequest, got {other:?}"),
+        }
+        // Responses may carry it: that is the sentinel's whole purpose.
+        let refusal = Response::Error {
+            id: NO_REQUEST_ID,
+            code: 3,
+        };
+        assert_eq!(Response::decode(&refusal.encode()).unwrap(), refusal);
     }
 
     #[test]

@@ -1,0 +1,304 @@
+//! Fault-path behaviour of the service: worker panics resolve tickets
+//! and restart the pool, client timeouts turn a stalled server into an
+//! error, and the retry wrapper recovers from dropped connections and
+//! transient server errors.
+
+mod common;
+
+use metaai_serve::tcp::{self, ClientConfig, RetryPolicy, TcpClient};
+use metaai_serve::wire::{self, Request, Response};
+use metaai_serve::{OverflowPolicy, ScoreRequest, ServeConfig, ServeError, Server, Ticket};
+use std::io::{BufReader, Write};
+use std::net::TcpListener;
+use std::time::{Duration, Instant};
+
+fn config(workers: usize) -> ServeConfig {
+    ServeConfig {
+        max_batch: 8,
+        max_delay: Duration::from_millis(2),
+        queue_capacity: 256,
+        workers,
+        policy: OverflowPolicy::Shed,
+    }
+}
+
+fn request(i: u64) -> ScoreRequest {
+    ScoreRequest {
+        id: i,
+        sample_index: i,
+        input: common::sample_input(common::SYMBOLS, i),
+        deadline: None,
+    }
+}
+
+/// The ticket resolves while the panic is still unwinding, so the
+/// restart counter can lag the error reply by a moment; poll it.
+fn wait_for_restarts(server: &Server, n: u64) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.worker_restarts() < n && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(server.worker_restarts(), n);
+}
+
+#[test]
+fn a_worker_panic_resolves_the_ticket_and_the_pool_keeps_scoring() {
+    let server = Server::start(common::shared_system(), &config(1));
+    let client = server.client();
+    let faults = server.fault_injector();
+
+    faults.panic_on_sample(7);
+    assert_eq!(
+        client.score(request(7)).unwrap_err(),
+        ServeError::WorkerPanicked,
+        "the poisoned request's own ticket resolves as an error"
+    );
+    wait_for_restarts(&server, 1);
+    assert_eq!(faults.armed(), 0, "the injected fault fired exactly once");
+
+    // The restarted worker scores the identical request correctly.
+    let deployment = server.registry().current();
+    let mut scratch = Vec::new();
+    let offline = common::shared_system().score_indexed(
+        &request(7).input,
+        deployment.stream,
+        7,
+        &mut scratch,
+    );
+    let retried = client.score(request(7)).expect("scored after restart");
+    assert_eq!(retried.predicted, offline);
+    assert_eq!(retried.scores, scratch);
+    server.shutdown();
+}
+
+#[test]
+fn a_mid_batch_panic_fails_only_the_tail_of_the_batch() {
+    // One worker and a long flush delay so all eight requests coalesce
+    // into a single batch with the poisoned sample in the middle.
+    let cfg = ServeConfig {
+        max_batch: 8,
+        max_delay: Duration::from_millis(300),
+        queue_capacity: 256,
+        workers: 1,
+        policy: OverflowPolicy::Shed,
+    };
+    let server = Server::start(common::shared_system(), &cfg);
+    let client = server.client();
+    server.fault_injector().panic_on_sample(3);
+
+    let tickets: Vec<Ticket> = (0..8u64)
+        .map(|i| client.submit(request(i)).expect("admitted"))
+        .collect();
+    let outcomes: Vec<_> = tickets.into_iter().map(Ticket::wait).collect();
+
+    // Requests scored before the panic are fine regardless of how the
+    // batch split; the poisoned one and everything still unresolved in
+    // its batch come back WorkerPanicked — never a hang, never a drop.
+    for (i, outcome) in outcomes.iter().enumerate() {
+        match outcome {
+            Ok(scored) => assert_eq!(scored.id, i as u64),
+            Err(e) => assert_eq!(*e, ServeError::WorkerPanicked, "request {i}"),
+        }
+    }
+    assert!(outcomes[3].is_err(), "the poisoned request itself fails");
+    for outcome in &outcomes[..3] {
+        assert!(outcome.is_ok(), "requests ahead of the panic were scored");
+    }
+    wait_for_restarts(&server, 1);
+
+    // The pool is alive: fresh work scores.
+    assert!(client.score(request(100)).is_ok());
+    server.shutdown();
+}
+
+#[test]
+fn the_pool_survives_repeated_panics() {
+    let server = Server::start(common::shared_system(), &config(2));
+    let client = server.client();
+    let faults = server.fault_injector();
+    for round in 0..3u64 {
+        let victim = 1000 + round;
+        faults.panic_on_sample(victim);
+        assert_eq!(
+            client.score(request(victim)).unwrap_err(),
+            ServeError::WorkerPanicked,
+            "round {round}"
+        );
+        assert!(client.score(request(round)).is_ok(), "round {round}");
+    }
+    wait_for_restarts(&server, 3);
+    server.shutdown();
+}
+
+#[test]
+fn a_read_timeout_turns_a_stalled_server_into_an_error() {
+    // A listener that accepts (via the kernel backlog) but never
+    // replies: the pre-hardening client would block in recv forever.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+
+    let mut client = TcpClient::connect_with(
+        addr,
+        ClientConfig {
+            connect_timeout: Some(Duration::from_secs(5)),
+            read_timeout: Some(Duration::from_millis(200)),
+            write_timeout: Some(Duration::from_secs(5)),
+        },
+    )
+    .expect("connect");
+    let started = Instant::now();
+    let err = client.request(&Request::Info).expect_err("must not hang");
+    let waited = started.elapsed();
+    assert!(
+        matches!(
+            err.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        ),
+        "got {err:?}"
+    );
+    assert!(waited >= Duration::from_millis(100), "waited {waited:?}");
+    assert!(waited < Duration::from_secs(30), "waited {waited:?}");
+    drop(listener);
+}
+
+/// A hand-rolled protocol server for retry tests: drops the first
+/// `drop_first` connections right after accept, then serves scripted
+/// error codes followed by real scores.
+fn scripted_server(drop_first: usize, error_codes: Vec<u8>) -> std::net::SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        let mut errors = error_codes.into_iter();
+        for (i, conn) in listener.incoming().enumerate() {
+            let Ok(stream) = conn else { break };
+            if i < drop_first {
+                drop(stream);
+                continue;
+            }
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut writer = stream;
+            while let Ok(Some(payload)) = wire::read_frame(&mut reader) {
+                let Ok(Request::Infer { id, .. }) = Request::decode(&payload) else {
+                    return;
+                };
+                let reply = match errors.next() {
+                    Some(code) => Response::Error { id, code },
+                    None => Response::Score {
+                        id,
+                        epoch: 1,
+                        predicted: 0,
+                        scores: vec![1.0],
+                    },
+                };
+                if wire::write_frame(&mut writer, &reply.encode()).is_err() {
+                    return;
+                }
+                let _ = writer.flush();
+            }
+        }
+    });
+    addr
+}
+
+fn fast_retries(attempts: u32) -> RetryPolicy {
+    RetryPolicy {
+        attempts,
+        base_delay: Duration::from_millis(1),
+        max_delay: Duration::from_millis(5),
+        seed: 42,
+    }
+}
+
+#[test]
+fn score_retry_reconnects_after_a_dropped_connection() {
+    let addr = scripted_server(1, Vec::new());
+    let mut client = TcpClient::connect_with(addr, ClientConfig::with_all(Duration::from_secs(5)))
+        .expect("initial connect");
+    // The first connection dies before replying (EOF mid-request); the
+    // retry dials a fresh one and the resent request scores.
+    let input = common::sample_input(1, 0).as_slice().to_vec();
+    let scored = client
+        .score_retry(9, 9, &input, &fast_retries(3))
+        .expect("io recovered")
+        .expect("scored");
+    assert_eq!(scored.id, 9);
+    assert_eq!(scored.scores, vec![1.0]);
+}
+
+#[test]
+fn score_retry_retries_transient_server_errors_but_not_fatal_ones() {
+    // Overloaded (1) then WorkerPanicked (6) are retryable; the third
+    // attempt scores.
+    let addr = scripted_server(0, vec![1, 6]);
+    let mut client = TcpClient::connect(addr).expect("connect");
+    let input = common::sample_input(1, 0).as_slice().to_vec();
+    let scored = client
+        .score_retry(1, 1, &input, &fast_retries(3))
+        .expect("io")
+        .expect("scored on the third attempt");
+    assert_eq!(scored.id, 1);
+
+    // BadRequest (4) is fatal: one attempt, straight back to the caller.
+    let addr = scripted_server(0, vec![4, 0, 0, 0]);
+    let mut client = TcpClient::connect(addr).expect("connect");
+    let err = client
+        .score_retry(2, 2, &input, &fast_retries(3))
+        .expect("io")
+        .expect_err("fatal error is not retried");
+    assert!(matches!(err, ServeError::BadRequest(_)));
+}
+
+#[test]
+fn score_retry_reports_the_last_error_when_attempts_run_out() {
+    let addr = scripted_server(0, vec![1, 1, 1, 1, 1, 1]);
+    let mut client = TcpClient::connect(addr).expect("connect");
+    let input = common::sample_input(1, 0).as_slice().to_vec();
+    let err = client
+        .score_retry(3, 3, &input, &fast_retries(3))
+        .expect("io")
+        .expect_err("every attempt was shed");
+    assert_eq!(err, ServeError::Overloaded);
+}
+
+#[test]
+fn a_client_held_open_across_shutdown_is_answered_not_dropped() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = Server::start(common::shared_system(), &config(2));
+    let handle = std::thread::spawn(move || tcp::serve(listener, server));
+
+    // B connects first and stays idle across A's shutdown.
+    let mut idle = TcpClient::connect(addr).expect("connect B");
+    let _ = idle.request(&Request::Info).expect("B is live");
+
+    let mut shutter = TcpClient::connect(addr).expect("connect A");
+    shutter.send(&Request::Shutdown).expect("send shutdown");
+    loop {
+        match shutter.recv().expect("recv") {
+            Some(Response::ShutdownAck) | None => break,
+            Some(_) => continue,
+        }
+    }
+
+    // B's connection is still open. Requests sent during the shutdown
+    // window must each get a reply — a score while the drain still
+    // admits, then a ShuttingDown error frame once it closes. Silence
+    // (or a hang) is the bug this guards against.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let outcome = loop {
+        let reply = idle
+            .score(
+                5,
+                5,
+                common::sample_input(common::SYMBOLS, 5).as_slice().to_vec(),
+            )
+            .expect("io — every request in the window is answered");
+        match reply {
+            Ok(_) if Instant::now() < deadline => continue,
+            other => break other,
+        }
+    };
+    assert_eq!(outcome.unwrap_err(), ServeError::ShuttingDown);
+    drop(idle);
+    handle.join().unwrap().expect("serve exits cleanly");
+}

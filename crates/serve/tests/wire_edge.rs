@@ -1,0 +1,139 @@
+//! Decode edge cases for the wire protocol: every malformed frame must
+//! come back as a structured error — never a panic, never an allocation
+//! sized by attacker-controlled bytes.
+
+use metaai_math::C64;
+use metaai_serve::wire::{self, Request, Response, MAX_FRAME_BYTES};
+use metaai_serve::ServeError;
+
+fn infer_payload(n: usize) -> Vec<u8> {
+    Request::Infer {
+        id: 1,
+        sample_index: 2,
+        deadline_us: 3,
+        input: (0..n)
+            .map(|i| C64 {
+                re: i as f64,
+                im: -(i as f64),
+            })
+            .collect(),
+    }
+    .encode()
+}
+
+#[test]
+fn zero_length_payloads_are_bad_requests() {
+    assert!(matches!(
+        Request::decode(&[]),
+        Err(ServeError::BadRequest(_))
+    ));
+    assert!(matches!(
+        Response::decode(&[]),
+        Err(ServeError::BadRequest(_))
+    ));
+    // A zero-length *frame* is legal framing (the payload decode rejects
+    // it); read_frame must hand it up rather than misinterpret it.
+    let mut buf = Vec::new();
+    wire::write_frame(&mut buf, &[]).unwrap();
+    let mut r = &buf[..];
+    assert_eq!(wire::read_frame(&mut r).unwrap().as_deref(), Some(&[][..]));
+}
+
+#[test]
+fn an_infer_with_zero_symbols_decodes_without_panicking() {
+    // n = 0 is structurally valid; the server rejects it later against
+    // the deployment's symbol count, not in the parser.
+    let payload = infer_payload(0);
+    match Request::decode(&payload).expect("decode") {
+        Request::Infer { input, .. } => assert!(input.is_empty()),
+        other => panic!("expected INFER, got {other:?}"),
+    }
+}
+
+#[test]
+fn a_frame_exactly_at_the_cap_is_accepted_and_one_past_is_rejected() {
+    let payload = vec![0xA5u8; MAX_FRAME_BYTES];
+    let mut buf = Vec::new();
+    wire::write_frame(&mut buf, &payload).unwrap();
+    let mut r = &buf[..];
+    assert_eq!(
+        wire::read_frame(&mut r).unwrap().map(|p| p.len()),
+        Some(MAX_FRAME_BYTES)
+    );
+
+    let mut buf = ((MAX_FRAME_BYTES + 1) as u32).to_le_bytes().to_vec();
+    buf.push(0);
+    let mut r = &buf[..];
+    let err = wire::read_frame(&mut r).expect_err("over the cap");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+}
+
+#[test]
+fn a_truncated_symbol_block_is_a_bad_request() {
+    let full = infer_payload(4);
+    // Every strict prefix that cuts into the symbol block must fail
+    // cleanly; the header claims 4 symbols the payload no longer holds.
+    for cut in 29..full.len() {
+        let truncated = &full[..cut];
+        assert!(
+            matches!(Request::decode(truncated), Err(ServeError::BadRequest(_))),
+            "prefix of {cut} bytes decoded"
+        );
+    }
+}
+
+#[test]
+fn a_score_whose_declared_n_exceeds_the_payload_is_rejected_without_allocating() {
+    let mut payload = Response::Score {
+        id: 1,
+        epoch: 1,
+        predicted: 0,
+        scores: vec![0.5, 0.25],
+    }
+    .encode();
+    // Rewrite the score count (offset 21: kind + id + epoch + predicted)
+    // to claim u32::MAX entries. A decoder that sized a Vec from the
+    // declared count before checking the remaining payload would try a
+    // 32 GiB allocation here.
+    payload[21..25].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(
+        Response::decode(&payload),
+        Err(ServeError::BadRequest(_))
+    ));
+}
+
+#[test]
+fn an_infer_whose_declared_n_exceeds_the_payload_is_rejected_without_allocating() {
+    let mut payload = infer_payload(2);
+    // Symbol count lives at offset 25 (kind + id + sample_index +
+    // deadline).
+    payload[25..29].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(
+        Request::decode(&payload),
+        Err(ServeError::BadRequest(_))
+    ));
+}
+
+#[test]
+fn length_prefixes_shorter_than_the_payload_leave_clean_errors() {
+    // A corrupt length prefix that claims fewer bytes than were sent:
+    // the first frame decodes as garbage (or errors), and the stream is
+    // desynchronized — but nothing panics.
+    let payload = infer_payload(2);
+    let mut buf = Vec::new();
+    wire::write_frame(&mut buf, &payload).unwrap();
+    buf[0..4].copy_from_slice(&7u32.to_le_bytes());
+    let mut r = &buf[..];
+    let first = wire::read_frame(&mut r).unwrap().expect("short frame");
+    assert_eq!(first.len(), 7);
+    assert!(Request::decode(&first).is_err());
+}
+
+#[test]
+fn a_length_prefix_longer_than_the_stream_is_a_mid_frame_eof() {
+    let mut buf = 64u32.to_le_bytes().to_vec();
+    buf.extend_from_slice(&[1, 2, 3]);
+    let mut r = &buf[..];
+    let err = wire::read_frame(&mut r).expect_err("mid-frame EOF");
+    assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+}
