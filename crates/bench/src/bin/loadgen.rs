@@ -3,9 +3,14 @@
 //!
 //! ```text
 //! loadgen [--addr 127.0.0.1:7077] [--duration-secs 2] [--connections 2]
-//!         [--depth 256] [--deadline-us 0] [--shutdown]
+//!         [--depth 256] [--deadline-us 0] [--models alpha,beta] [--shutdown]
 //!         [--chaos] [--seed 7] [--chaos-connections 4] [--chaos-faults 120]
 //! ```
+//!
+//! `--models` switches to mixed multi-tenant traffic: the v2 handshake
+//! resolves each name to its wire id, connections are dealt round-robin
+//! across the named models, and the run reports per-model throughput,
+//! p50/p99 latency, and shed rate alongside the merged aggregate.
 //!
 //! `--shutdown` sends a SHUTDOWN frame after the run and waits for the
 //! drain ack, so `metaai serve` exits cleanly — CI uses this to assert a
@@ -20,12 +25,13 @@
 //! the listener is being abused.
 
 use metaai_bench::chaos::{self, ChaosConfig};
-use metaai_bench::serveload::{self, LoadConfig};
+use metaai_bench::serveload::{self, LoadConfig, ModelTarget};
 use std::time::Duration;
 
 fn main() {
     let mut addr = "127.0.0.1:7077".to_string();
     let mut cfg = LoadConfig::default();
+    let mut model_names: Vec<String> = Vec::new();
     let mut want_shutdown = false;
     let mut want_chaos = false;
     let mut chaos_cfg = ChaosConfig::default();
@@ -43,6 +49,14 @@ fn main() {
             "--connections" => cfg.connections = parse(&value("--connections")),
             "--depth" => cfg.depth = parse(&value("--depth")),
             "--deadline-us" => cfg.deadline_us = parse(&value("--deadline-us")),
+            "--models" => {
+                model_names = value("--models")
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(String::from)
+                    .collect()
+            }
             "--shutdown" => want_shutdown = true,
             "--chaos" => want_chaos = true,
             "--seed" => chaos_cfg.seed = parse(&value("--seed")),
@@ -51,13 +65,18 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "loadgen [--addr HOST:PORT] [--duration-secs S] [--connections N] \
-                     [--depth N] [--deadline-us US] [--shutdown] \
+                     [--depth N] [--deadline-us US] [--models NAME,NAME] [--shutdown] \
                      [--chaos] [--seed N] [--chaos-connections N] [--chaos-faults N]"
                 );
                 return;
             }
             other => fail(&format!("unknown flag {other:?}")),
         }
+    }
+
+    if !model_names.is_empty() {
+        run_mixed(&addr, &model_names, &cfg, want_shutdown);
+        return;
     }
 
     let (epoch, outputs, symbols) =
@@ -145,6 +164,87 @@ fn main() {
     }
     if report.protocol_errors > 0 {
         fail(&format!("{} protocol errors", report.protocol_errors));
+    }
+}
+
+/// The `--models` path: resolve names through the v2 handshake, deal
+/// connections across the tenants, and report each model on its own
+/// lines plus a merged aggregate.
+fn run_mixed(addr: &str, names: &[String], cfg: &LoadConfig, want_shutdown: bool) {
+    let table = match serveload::probe_hello_retry(addr, Duration::from_secs(30)) {
+        Ok(models) => models,
+        Err(e) => fail(&format!("cannot reach {addr}: {e}")),
+    };
+    let targets: Vec<ModelTarget> = names
+        .iter()
+        .map(|name| {
+            let descriptor = table
+                .iter()
+                .find(|m| &m.name == name)
+                .unwrap_or_else(|| fail(&format!("server does not serve a model named {name:?}")));
+            ModelTarget {
+                id: descriptor.id,
+                name: name.clone(),
+                symbols: descriptor.symbols as usize,
+            }
+        })
+        .collect();
+    println!("target    {addr} ({} models served)", table.len());
+    for target in &targets {
+        println!(
+            "model     {} (wire id {}, {} symbols)",
+            target.name, target.id, target.symbols
+        );
+    }
+    println!(
+        "load      {} conn x depth {} for {:.1}s across {} models",
+        cfg.connections.max(targets.len()),
+        cfg.depth,
+        cfg.duration.as_secs_f64(),
+        targets.len()
+    );
+
+    let reports = match serveload::run_mixed(addr, &targets, cfg) {
+        Ok(r) => r,
+        Err(e) => fail(&format!("load run failed: {e}")),
+    };
+
+    let mut aggregate = metaai_bench::serveload::LoadReport::default();
+    for (name, report) in &reports {
+        let mut report = report.clone();
+        println!(
+            "{name:<10} {} sent, {} scored, {} shed, {} expired, {} protocol errors",
+            report.sent, report.scored, report.shed, report.expired, report.protocol_errors
+        );
+        println!(
+            "{name:<10} {:>10.1} samples/s, p50 {:>8.1} us, p99 {:>8.1} us, shed {:>6.3}%",
+            report.samples_per_sec(),
+            report.latency_percentile_us(50.0),
+            report.latency_percentile_us(99.0),
+            report.shed_rate() * 100.0
+        );
+        aggregate.sent += report.sent;
+        aggregate.scored += report.scored;
+        aggregate.shed += report.shed;
+        aggregate.expired += report.expired;
+        aggregate.protocol_errors += report.protocol_errors;
+        aggregate.elapsed = aggregate.elapsed.max(report.elapsed);
+    }
+    println!(
+        "aggregate  {} scored, {:>10.1} samples/s, shed rate {:>6.3}%",
+        aggregate.scored,
+        aggregate.samples_per_sec(),
+        aggregate.shed_rate() * 100.0
+    );
+
+    if want_shutdown {
+        match serveload::shutdown(addr) {
+            Ok(()) => println!("shutdown   acked after drain"),
+            Err(e) => fail(&format!("shutdown failed: {e}")),
+        }
+    }
+    if aggregate.protocol_errors > 0 {
+        fail(&format!("{} protocol errors", aggregate.protocol_errors));
     }
 }
 

@@ -15,13 +15,13 @@
 //! only applies at ≥8 cores.
 //!
 //! Usage: `perf_report [--pr N] [output-path]`
-//! (default `--pr 4`, output `BENCH_pr<N>.json`).
+//! (default `--pr 6`, output `BENCH_pr<N>.json`).
 
 use metaai::config::SystemConfig;
 use metaai::mapper::WeightMapper;
 use metaai::ota::OtaReceiver;
 use metaai::pipeline::MetaAiSystem;
-use metaai_bench::serveload::{self, LoadConfig};
+use metaai_bench::serveload::{self, LoadConfig, ModelTarget};
 use metaai_datasets::{generate, DatasetId, Scale};
 use metaai_math::rng::SimRng;
 use metaai_math::{CMat, CVec, C64};
@@ -137,7 +137,7 @@ fn reference_solve(solver: &WeightSolver, target: C64) -> f64 {
 }
 
 fn main() {
-    let mut pr: u32 = 4;
+    let mut pr: u32 = 6;
     let mut out_arg: Option<String> = None;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -267,7 +267,16 @@ fn main() {
         workers: 2,
         ..ServeConfig::default()
     };
-    let server = Server::start(std::sync::Arc::new(system), &serve_cfg);
+    // The trained deployment registered twice — as the default tenant
+    // "afhq" (where the v1 single-model run lands) and again as "afhq-b"
+    // — so the mixed run below measures the multi-tenant scheduler on
+    // the exact same scoring workload, not a different model.
+    let system = std::sync::Arc::new(system);
+    let server = Server::builder()
+        .model("afhq", system.clone())
+        .model("afhq-b", system)
+        .config(serve_cfg)
+        .start();
     let listener = std::net::TcpListener::bind(("127.0.0.1", 0)).expect("bind loopback");
     let serve_addr = listener.local_addr().expect("local addr");
     let serve_thread = std::thread::spawn(move || metaai_serve::tcp::serve(listener, server));
@@ -276,13 +285,9 @@ fn main() {
         connections: 2,
         depth: 256,
         deadline_us: 0,
+        model: None,
     };
     let mut load_report = serveload::run(serve_addr, n_symbols, &load).expect("serve load run");
-    serveload::shutdown(serve_addr).expect("drain shutdown");
-    serve_thread
-        .join()
-        .expect("serve thread")
-        .expect("serve exits cleanly");
     assert_eq!(
         load_report.protocol_errors, 0,
         "serve load hit protocol errors"
@@ -291,13 +296,58 @@ fn main() {
     let serve_p50 = load_report.latency_percentile_us(50.0);
     let serve_p99 = load_report.latency_percentile_us(99.0);
 
+    // --- Mixed multi-tenant serving: the same load shape (2 conn x
+    // depth 256, 2 s) dealt across both registered models over v2
+    // frames, reported per model. ---
+    let targets: Vec<ModelTarget> = serveload::probe_hello(serve_addr)
+        .expect("v2 handshake")
+        .into_iter()
+        .map(|m| ModelTarget {
+            id: m.id,
+            name: m.name,
+            symbols: m.symbols as usize,
+        })
+        .collect();
+    assert_eq!(targets.len(), 2, "both tenants are in the model table");
+    let mixed_reports = serveload::run_mixed(serve_addr, &targets, &load).expect("mixed load run");
+    serveload::shutdown(serve_addr).expect("drain shutdown");
+    serve_thread
+        .join()
+        .expect("serve thread")
+        .expect("serve exits cleanly");
+    let mut mixed_scored = 0u64;
+    let mut mixed_elapsed: f64 = 0.0;
+    let mut models_json = String::new();
+    for (i, (name, report)) in mixed_reports.iter().enumerate() {
+        let mut report = report.clone();
+        assert_eq!(
+            report.protocol_errors, 0,
+            "mixed serve load hit protocol errors on {name}"
+        );
+        mixed_scored += report.scored;
+        mixed_elapsed = mixed_elapsed.max(report.elapsed.as_secs_f64());
+        models_json.push_str(&format!(
+            "{}      \"{name}\": {{\n        \"serve_samples_per_sec\": {:.1},\n        \"p50_latency_us\": {:.1},\n        \"p99_latency_us\": {:.1},\n        \"shed_rate\": {:.6}\n      }}",
+            if i == 0 { "" } else { ",\n" },
+            report.samples_per_sec(),
+            report.latency_percentile_us(50.0),
+            report.latency_percentile_us(99.0),
+            report.shed_rate(),
+        ));
+    }
+    let mixed_sps = if mixed_elapsed > 0.0 {
+        mixed_scored as f64 / mixed_elapsed
+    } else {
+        0.0
+    };
+
     // Embed the telemetry snapshot (re-indented two levels to sit inside
     // the report object). `bench_gate` skips this subtree.
     let telemetry = registry.render_json();
     let telemetry = telemetry.trim_end().replace('\n', "\n  ");
 
     let json = format!(
-        "{{\n  \"pr\": {pr},\n  \"cores\": {cores},\n  \"train\": {{\n    \"workload\": \"toy_problem 10x64, 400 samples, 2 epochs, cdfa\",\n    \"engine_samples_per_sec\": {train_engine_sps:.1},\n    \"sequential_samples_per_sec\": {train_seq_sps:.1},\n    \"speedup\": {:.3}\n  }},\n  \"solver\": {{\n    \"workload\": \"WeightMapper::map 10x32 weights, 256 atoms\",\n    \"map_solves_per_sec\": {map_solves_per_sec:.1},\n    \"table_kernel_solves_per_sec\": {table_solves_per_sec:.1},\n    \"reference_kernel_solves_per_sec\": {ref_solves_per_sec:.1},\n    \"kernel_speedup\": {:.3}\n  }},\n  \"accuracy\": {{\n    \"workload\": \"afhq quick, 8 epochs, cdfa, seed 42\",\n    \"digital\": {digital_accuracy:.6},\n    \"ota\": {ota_accuracy:.6}\n  }},\n  \"serve\": {{\n    \"workload\": \"afhq quick deployment over TCP loopback, 2 conn x depth 256, 2s\",\n    \"serve_samples_per_sec\": {serve_sps:.1},\n    \"per_request_samples_per_sec\": {per_request_sps:.1},\n    \"amortization\": {:.3},\n    \"p50_latency_us\": {serve_p50:.1},\n    \"p99_latency_us\": {serve_p99:.1},\n    \"shed_rate\": {:.6}\n  }},\n  \"telemetry\": {telemetry}\n}}\n",
+        "{{\n  \"pr\": {pr},\n  \"cores\": {cores},\n  \"train\": {{\n    \"workload\": \"toy_problem 10x64, 400 samples, 2 epochs, cdfa\",\n    \"engine_samples_per_sec\": {train_engine_sps:.1},\n    \"sequential_samples_per_sec\": {train_seq_sps:.1},\n    \"speedup\": {:.3}\n  }},\n  \"solver\": {{\n    \"workload\": \"WeightMapper::map 10x32 weights, 256 atoms\",\n    \"map_solves_per_sec\": {map_solves_per_sec:.1},\n    \"table_kernel_solves_per_sec\": {table_solves_per_sec:.1},\n    \"reference_kernel_solves_per_sec\": {ref_solves_per_sec:.1},\n    \"kernel_speedup\": {:.3}\n  }},\n  \"accuracy\": {{\n    \"workload\": \"afhq quick, 8 epochs, cdfa, seed 42\",\n    \"digital\": {digital_accuracy:.6},\n    \"ota\": {ota_accuracy:.6}\n  }},\n  \"serve\": {{\n    \"workload\": \"afhq quick deployment over TCP loopback, 2 conn x depth 256, 2s\",\n    \"serve_samples_per_sec\": {serve_sps:.1},\n    \"per_request_samples_per_sec\": {per_request_sps:.1},\n    \"amortization\": {:.3},\n    \"p50_latency_us\": {serve_p50:.1},\n    \"p99_latency_us\": {serve_p99:.1},\n    \"shed_rate\": {:.6},\n    \"mixed_workload\": \"afhq + afhq-b (same deployment) over v2 frames, 2 conn x depth 256, 2s\",\n    \"mixed_samples_per_sec\": {mixed_sps:.1},\n    \"models\": {{\n{models_json}\n    }}\n  }},\n  \"telemetry\": {telemetry}\n}}\n",
         train_engine_sps / train_seq_sps,
         table_solves_per_sec / ref_solves_per_sec,
         serve_sps / per_request_sps,

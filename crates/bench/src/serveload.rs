@@ -12,7 +12,7 @@
 
 use metaai_math::rng::SimRng;
 use metaai_serve::tcp::TcpClient;
-use metaai_serve::wire::{self, Request, Response};
+use metaai_serve::wire::{self, ModelDescriptor, Request, Response};
 use std::io::{self, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::mpsc;
@@ -29,6 +29,9 @@ pub struct LoadConfig {
     pub depth: usize,
     /// Per-request deadline in µs (0 = none).
     pub deadline_us: u64,
+    /// Route to this wire model id with v2 `INFER_MODEL` frames; `None`
+    /// sends v1 `INFER` frames, served by the default model.
+    pub model: Option<u32>,
 }
 
 impl Default for LoadConfig {
@@ -38,8 +41,20 @@ impl Default for LoadConfig {
             connections: 2,
             depth: 256,
             deadline_us: 0,
+            model: None,
         }
     }
+}
+
+/// One tenant of a mixed multi-model run.
+#[derive(Clone, Debug)]
+pub struct ModelTarget {
+    /// Wire id from the HELLO_ACK model table.
+    pub id: u32,
+    /// Registry name, used to label the per-model report.
+    pub name: String,
+    /// Input length the model expects.
+    pub symbols: usize,
 }
 
 /// Aggregated outcome of a load run.
@@ -137,6 +152,33 @@ pub fn probe_info_retry<A: ToSocketAddrs + Clone>(
     }
 }
 
+/// Performs the v2 handshake and returns the server's model table. A v1
+/// server's refusal surfaces as `InvalidData`, not a hang.
+pub fn probe_hello<A: ToSocketAddrs>(addr: A) -> io::Result<Vec<ModelDescriptor>> {
+    let mut client = TcpClient::connect(addr)?;
+    client.hello()?.map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("handshake refused: {e}"),
+        )
+    })
+}
+
+/// [`probe_hello`] with the same retry loop as [`probe_info_retry`].
+pub fn probe_hello_retry<A: ToSocketAddrs + Clone>(
+    addr: A,
+    timeout: Duration,
+) -> io::Result<Vec<ModelDescriptor>> {
+    let started = Instant::now();
+    loop {
+        match probe_hello(addr.clone()) {
+            Ok(models) => return Ok(models),
+            Err(e) if started.elapsed() >= timeout => return Err(e),
+            Err(_) => std::thread::sleep(Duration::from_millis(100)),
+        }
+    }
+}
+
 /// Sends a `SHUTDOWN` frame and waits for the ack — the server drains
 /// every admitted request before acking.
 pub fn shutdown<A: ToSocketAddrs>(addr: A) -> io::Result<()> {
@@ -161,7 +203,9 @@ pub fn run<A: ToSocketAddrs>(addr: A, symbols: usize, cfg: &LoadConfig) -> io::R
     let mut report = LoadReport::default();
     let outcomes: Vec<io::Result<LoadReport>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..cfg.connections.max(1))
-            .map(|conn| scope.spawn(move || run_connection(addr, conn as u64, symbols, cfg)))
+            .map(|conn| {
+                scope.spawn(move || run_connection(addr, conn as u64, symbols, cfg.model, cfg))
+            })
             .collect();
         handles
             .into_iter()
@@ -174,10 +218,57 @@ pub fn run<A: ToSocketAddrs>(addr: A, symbols: usize, cfg: &LoadConfig) -> io::R
     Ok(report)
 }
 
+/// Drives mixed multi-tenant load: connections are dealt round-robin
+/// across `models` (each model gets at least one), every connection
+/// sends v2 `INFER_MODEL` frames for its model, and the outcomes come
+/// back as one [`LoadReport`] per model, in `models` order.
+pub fn run_mixed<A: ToSocketAddrs>(
+    addr: A,
+    models: &[ModelTarget],
+    cfg: &LoadConfig,
+) -> io::Result<Vec<(String, LoadReport)>> {
+    let addrs: Vec<_> = addr.to_socket_addrs()?.collect();
+    let addr = *addrs.first().ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+    })?;
+    if models.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "run_mixed needs at least one model",
+        ));
+    }
+    let outcomes: Vec<(usize, io::Result<LoadReport>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.connections.max(models.len()))
+            .map(|conn| {
+                let target = &models[conn % models.len()];
+                scope.spawn(move || {
+                    (
+                        conn % models.len(),
+                        run_connection(addr, conn as u64, target.symbols, Some(target.id), cfg),
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("connection thread"))
+            .collect()
+    });
+    let mut reports: Vec<(String, LoadReport)> = models
+        .iter()
+        .map(|m| (m.name.clone(), LoadReport::default()))
+        .collect();
+    for (slot, outcome) in outcomes {
+        reports[slot].1.merge(outcome?);
+    }
+    Ok(reports)
+}
+
 fn run_connection(
     addr: std::net::SocketAddr,
     conn: u64,
     symbols: usize,
+    model: Option<u32>,
     cfg: &LoadConfig,
 ) -> io::Result<LoadReport> {
     let stream = TcpStream::connect(addr)?;
@@ -220,13 +311,24 @@ fn run_connection(
     let mut rng = SimRng::derive(0x10ad, &format!("loadgen-{conn}"));
     let mut pool: Vec<Vec<u8>> = (0..16)
         .map(|_| {
-            Request::Infer {
-                id: 0,
-                sample_index: 0,
-                deadline_us: cfg.deadline_us,
-                input: (0..symbols).map(|_| rng.complex_gaussian(1.0)).collect(),
+            let input = (0..symbols).map(|_| rng.complex_gaussian(1.0)).collect();
+            match model {
+                Some(model) => Request::InferModel {
+                    model,
+                    id: 0,
+                    sample_index: 0,
+                    deadline_us: cfg.deadline_us,
+                    input,
+                }
+                .encode(),
+                None => Request::Infer {
+                    id: 0,
+                    sample_index: 0,
+                    deadline_us: cfg.deadline_us,
+                    input,
+                }
+                .encode(),
             }
-            .encode()
         })
         .collect();
 

@@ -1,9 +1,18 @@
-//! The chaos soak: four fault-injecting connections abuse a live
-//! `tcp::serve` listener (bit flips, truncated frames, corrupt length
-//! prefixes, mid-frame disconnects, slow loris) while a clean connection
-//! keeps scoring through `score_retry` — with two worker panics injected
-//! mid-run for good measure. The service must answer every clean request
-//! bitwise-correctly, restart its panicked workers, and drain cleanly.
+//! The chaos soak, multi-tenant edition: four fault-injecting
+//! connections abuse a live `tcp::serve` listener (bit flips, truncated
+//! frames, corrupt length prefixes, mid-frame disconnects, slow loris)
+//! and two worker panics land on model **alpha** — while a clean v1
+//! connection keeps scoring alpha through `score_retry` *and* a clean v2
+//! connection scores model **beta**. Alpha must answer everything
+//! bitwise-correctly and restart its panicked workers; beta must never
+//! notice: 40/40 beta requests answered with **zero** error replies (no
+//! retryable-error amplification), bitwise-identical to offline, on
+//! epoch 1, with beta's queue depth bounded and beta's worker pool never
+//! restarted.
+//!
+//! Sample-index spaces are disjoint by construction — chaos counts up
+//! from 0, alpha's clean traffic from 1 000 000, beta's from 2 000 000 —
+//! so the globally armed panic faults can only ever fire on alpha.
 
 use metaai::pipeline::MetaAiSystem;
 use metaai_bench::chaos::{self, ChaosConfig};
@@ -19,8 +28,8 @@ use std::time::{Duration, Instant};
 
 const SYMBOLS: usize = 16;
 
-fn tiny_system() -> Arc<MetaAiSystem> {
-    let mut rng = SimRng::seed_from_u64(7);
+fn tiny_system(seed: u64) -> Arc<MetaAiSystem> {
+    let mut rng = SimRng::seed_from_u64(seed);
     let net = ComplexLnn::init(3, SYMBOLS, &mut rng);
     Arc::new(
         MetaAiSystem::builder()
@@ -36,33 +45,39 @@ fn sample_input(seed: u64) -> CVec {
 }
 
 #[test]
-fn the_service_survives_a_wire_level_chaos_soak() {
+fn the_service_survives_a_chaos_soak_with_zero_cross_tenant_interference() {
     metaai_telemetry::set_enabled(true);
     let restarts = metaai_telemetry::global().counter("metaai.serve.worker_restarts");
+    let alpha_restarts =
+        metaai_telemetry::global().counter("metaai.serve.model.alpha.worker_restarts");
     let restarts_before = restarts.value();
+    let alpha_restarts_before = alpha_restarts.value();
 
-    let system = tiny_system();
-    let server = Server::start(
-        system.clone(),
-        &ServeConfig {
+    let system_a = tiny_system(7);
+    let system_b = tiny_system(11);
+    let server = Server::builder()
+        .model("alpha", system_a.clone())
+        .model("beta", system_b.clone())
+        .config(ServeConfig {
             max_batch: 8,
             max_delay: Duration::from_millis(2),
             queue_capacity: 512,
             workers: 2,
             policy: OverflowPolicy::Shed,
-        },
-    );
+        })
+        .start();
     let faults = server.fault_injector();
-    let deployment = server.registry().current();
+    let alpha_deploy = server.registry().current();
+    let beta = server.registry().entry("beta").expect("registered").clone();
+    let beta_deploy = beta.current();
+    let beta_id = beta.wire_id();
 
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
     let addr = listener.local_addr().expect("addr");
     let serve = std::thread::spawn(move || tcp::serve(listener, server));
 
-    // Four chaos connections, at least 100 injected faults. Chaos
-    // sample indices count up from zero, so the clean connection (and
-    // the armed panics) live far above them — a chaos frame can never
-    // consume a panic armed for a clean request.
+    // Four chaos connections, at least 100 injected faults, all speaking
+    // v1 — so every frame that survives corruption lands on alpha.
     let chaos_cfg = ChaosConfig {
         seed: 7,
         connections: 4,
@@ -71,36 +86,73 @@ fn the_service_survives_a_wire_level_chaos_soak() {
     };
     let chaos = std::thread::spawn(move || chaos::run(addr, SYMBOLS, &chaos_cfg));
 
-    // The clean connection: every request must come back answered and
-    // bitwise-identical to offline scoring, no matter what the chaos
-    // connections (or the two injected panics) do to the process.
-    let mut client = TcpClient::connect_with(addr, ClientConfig::with_all(Duration::from_secs(5)))
-        .expect("clean connect");
-    let policy = RetryPolicy {
-        attempts: 5,
-        base_delay: Duration::from_millis(5),
-        max_delay: Duration::from_millis(100),
-        seed: 1,
-    };
-    let victims = [1_000_010u64, 1_000_025];
-    let mut scratch = Vec::new();
-    let mut answered = 0u64;
-    for i in 0..40u64 {
-        let sample = 1_000_000 + i;
-        if victims.contains(&sample) {
-            faults.panic_on_sample(sample);
+    // Alpha's clean connection: every request answered and
+    // bitwise-identical to offline scoring, through the chaos and
+    // through two worker panics injected mid-run.
+    let clean_alpha = std::thread::spawn({
+        let faults = faults.clone();
+        let system_a = system_a.clone();
+        move || {
+            let mut client =
+                TcpClient::connect_with(addr, ClientConfig::with_all(Duration::from_secs(5)))
+                    .expect("clean alpha connect");
+            let policy = RetryPolicy {
+                attempts: 5,
+                base_delay: Duration::from_millis(5),
+                max_delay: Duration::from_millis(100),
+                seed: 1,
+            };
+            let victims = [1_000_010u64, 1_000_025];
+            let mut scratch = Vec::new();
+            for i in 0..40u64 {
+                let sample = 1_000_000 + i;
+                if victims.contains(&sample) {
+                    faults.panic_on_sample(sample);
+                }
+                let input = sample_input(sample);
+                let scored = client
+                    .score_retry(sample, sample, input.as_slice(), &policy)
+                    .expect("alpha's clean connection sees no protocol errors")
+                    .expect("every admitted alpha request is answered");
+                let offline =
+                    system_a.score_indexed(&input, alpha_deploy.stream, sample, &mut scratch);
+                assert_eq!(scored.predicted, offline, "alpha sample {sample}");
+                assert_eq!(scored.scores, scratch, "alpha sample {sample}");
+            }
         }
+    });
+
+    // Beta's clean connection runs concurrently on this thread, with NO
+    // retry wrapper: a single shed, expired, or panicked reply — any
+    // error amplification leaking over from alpha's ordeal — fails the
+    // test outright.
+    let mut client_b =
+        TcpClient::connect_with(addr, ClientConfig::with_all(Duration::from_secs(5)))
+            .expect("clean beta connect");
+    let mut scratch = Vec::new();
+    let mut beta_answered = 0u64;
+    let mut beta_max_depth = 0usize;
+    for i in 0..40u64 {
+        let sample = 2_000_000 + i;
         let input = sample_input(sample);
-        let scored = client
-            .score_retry(sample, sample, input.as_slice(), &policy)
-            .expect("clean connection sees no protocol errors")
-            .expect("every admitted request is answered");
-        let offline = system.score_indexed(&input, deployment.stream, sample, &mut scratch);
-        assert_eq!(scored.predicted, offline, "sample {sample}");
-        assert_eq!(scored.scores, scratch, "sample {sample}");
-        answered += 1;
+        let scored = client_b
+            .score_model(beta_id, sample, sample, input.as_slice().to_vec())
+            .expect("beta's connection sees no io errors")
+            .expect("beta sees zero error replies while alpha is under fire");
+        assert_eq!(scored.epoch, 1, "nobody redeployed beta");
+        let offline = system_b.score_indexed(&input, beta_deploy.stream, sample, &mut scratch);
+        assert_eq!(scored.predicted, offline, "beta sample {sample}");
+        assert_eq!(scored.scores, scratch, "beta sample {sample}");
+        beta_answered += 1;
+        beta_max_depth = beta_max_depth.max(beta.queue().depth());
     }
-    assert_eq!(answered, 40, "the clean connection scored everything");
+    assert_eq!(beta_answered, 40, "beta scored everything, first try");
+    assert!(
+        beta_max_depth <= 8,
+        "beta's queue stayed bounded (saw depth {beta_max_depth}); alpha's backlog never spilled over"
+    );
+
+    clean_alpha.join().expect("alpha's clean connection thread");
     assert_eq!(faults.armed(), 0, "both injected panics fired");
 
     // The restart counter lags the error reply by the tail of the
@@ -113,6 +165,16 @@ fn the_service_survives_a_wire_level_chaos_soak() {
         restarts.value() >= restarts_before + 2,
         "metaai.serve.worker_restarts counted both panics (got {})",
         restarts.value() - restarts_before
+    );
+    assert!(
+        alpha_restarts.value() >= alpha_restarts_before + 2,
+        "the per-model dimension attributes both restarts to alpha (got {})",
+        alpha_restarts.value() - alpha_restarts_before
+    );
+    assert_eq!(
+        beta.worker_restarts(),
+        0,
+        "beta's pool never restarted — the panics were alpha's alone"
     );
 
     let report = chaos
@@ -138,6 +200,7 @@ fn the_service_survives_a_wire_level_chaos_soak() {
         report.reconnects > 0,
         "poisoned connections were redialed — the accept loop kept up under churn"
     );
+    assert_eq!(beta.queue().depth(), 0, "beta's queue drained to empty");
 
     // Drain: the listener survived the abuse and still shuts down
     // cleanly on request.
@@ -149,7 +212,7 @@ fn the_service_survives_a_wire_level_chaos_soak() {
             Some(_) => continue,
         }
     }
-    drop(client);
+    drop(client_b);
     serve
         .join()
         .expect("serve thread")

@@ -10,8 +10,12 @@ pub struct Args {
     pub command: Option<String>,
     /// Remaining positional arguments.
     pub positional: Vec<String>,
-    /// `--key value` pairs; bare flags map to `"true"`.
+    /// `--key value` pairs; bare flags map to `"true"`. Keeps only the
+    /// *last* value per key — see [`Args::all`] for repeatable flags.
     pub options: HashMap<String, String>,
+    /// Every `--key value` occurrence in command-line order, so flags
+    /// like `serve --model a=x.bin --model b=y.bin` keep all values.
+    pub repeated: Vec<(String, String)>,
 }
 
 impl Args {
@@ -25,6 +29,7 @@ impl Args {
                     Some(v) if !v.starts_with("--") => iter.next().expect("peeked"),
                     _ => "true".to_string(),
                 };
+                out.repeated.push((key.to_string(), value.clone()));
                 out.options.insert(key.to_string(), value);
             } else if out.command.is_none() {
                 out.command = Some(a);
@@ -60,6 +65,16 @@ impl Args {
     /// Whether a bare flag is present.
     pub fn flag(&self, key: &str) -> bool {
         self.options.contains_key(key)
+    }
+
+    /// Every value passed for `--key`, in command-line order (empty if
+    /// the flag never appeared).
+    pub fn all(&self, key: &str) -> Vec<&str> {
+        self.repeated
+            .iter()
+            .filter(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+            .collect()
     }
 }
 
@@ -100,5 +115,15 @@ mod tests {
         let a = parse("train --quiet --dataset mnist");
         assert!(a.flag("quiet"));
         assert_eq!(a.get_or("dataset", "?"), "mnist");
+    }
+
+    #[test]
+    fn repeated_flags_keep_every_value_in_order() {
+        let a = parse("serve --model afhq=a.bin --port 7000 --model mnist=b.bin");
+        assert_eq!(a.all("model"), vec!["afhq=a.bin", "mnist=b.bin"]);
+        assert_eq!(a.all("port"), vec!["7000"]);
+        assert!(a.all("nope").is_empty());
+        // `options` keeps the last occurrence, as before.
+        assert_eq!(a.get_or("model", "?"), "mnist=b.bin");
     }
 }

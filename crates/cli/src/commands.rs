@@ -305,14 +305,33 @@ pub fn infer(args: &Args) -> i32 {
     metrics_finish(args).unwrap_or(0)
 }
 
-/// `metaai serve` — long-running OTA inference service over TCP.
+/// `metaai serve` — long-running OTA inference service over TCP. Each
+/// `--model` flag registers one tenant: `--model name=file` serves
+/// `file` under `name`, a bare `--model file` serves it as the default
+/// model (where v1 clients land). The flag repeats to serve several
+/// models on one port, each with its own queue and worker pool.
 pub fn serve(args: &Args) -> i32 {
     metrics_begin(args);
     metaai_serve::register_metrics();
-    let net = match load(args) {
-        Ok(n) => n,
-        Err(e) => return fail(&e),
-    };
+    let specs = args.all("model");
+    if specs.is_empty() {
+        return fail("missing --model <file> (or --model <name>=<file>, repeatable)");
+    }
+    let mut models: Vec<(String, ComplexLnn)> = Vec::new();
+    for spec in specs {
+        let (name, path) = match spec.split_once('=') {
+            Some((name, path)) if !name.is_empty() => (name.to_string(), path),
+            _ => (metaai_serve::DEFAULT_MODEL.to_string(), spec),
+        };
+        if models.iter().any(|(n, _)| *n == name) {
+            return fail(&format!("--model {name:?} given twice"));
+        }
+        let net = match load_model(path) {
+            Ok(n) => n,
+            Err(e) => return fail(&format!("cannot load {path}: {e}")),
+        };
+        models.push((name, net));
+    }
     let seed: u64 = args.num_or("seed", 42);
     let config = SystemConfig {
         seed,
@@ -338,18 +357,26 @@ pub fn serve(args: &Args) -> i32 {
     };
     let addr = listener.local_addr().expect("bound listener");
 
-    let t0 = std::time::Instant::now();
-    let system = std::sync::Arc::new(MetaAiSystem::builder().config(config).deploy(net));
+    let mut builder = metaai_serve::Server::builder();
+    let model_count = models.len();
+    for (name, net) in models {
+        let t0 = std::time::Instant::now();
+        let system =
+            std::sync::Arc::new(MetaAiSystem::builder().config(config.clone()).deploy(net));
+        println!(
+            "deployed {name}: {} classes × {} symbols on {} atoms in {:.1?} \
+             (realization error {:.3} %)",
+            system.engine().num_outputs(),
+            system.engine().num_symbols(),
+            system.array.num_atoms(),
+            t0.elapsed(),
+            100.0 * system.realization_error()
+        );
+        builder = builder.model(name, system);
+    }
     println!(
-        "deployed {} classes × {} symbols on {} atoms in {:.1?} (realization error {:.3} %)",
-        system.engine().num_outputs(),
-        system.engine().num_symbols(),
-        system.array.num_atoms(),
-        t0.elapsed(),
-        100.0 * system.realization_error()
-    );
-    println!(
-        "serving on {addr} — {} workers, batch ≤ {}, flush ≤ {:?}, queue {} ({} overflow); \
+        "serving {model_count} model(s) on {addr} — {} workers/model, batch ≤ {}, \
+         flush ≤ {:?}, queue {} ({} overflow); \
          send a SHUTDOWN frame (loadgen --shutdown) to drain and stop",
         serve_cfg.workers,
         serve_cfg.max_batch,
@@ -357,7 +384,7 @@ pub fn serve(args: &Args) -> i32 {
         serve_cfg.queue_capacity,
         args.get_or("policy", "shed"),
     );
-    let server = metaai_serve::Server::start(system, &serve_cfg);
+    let server = builder.config(serve_cfg).start();
     match metaai_serve::tcp::serve(listener, server) {
         Ok(()) => {
             println!("drained and stopped");

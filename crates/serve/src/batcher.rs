@@ -13,6 +13,7 @@
 //! blocks on, so a thousand in-flight requests cost a thousand parked
 //! receivers, not a thousand threads.
 
+use crate::metrics::ModelMetrics;
 use crate::{OverflowPolicy, ServeConfig, ServeError};
 use metaai_math::CVec;
 use std::collections::VecDeque;
@@ -104,11 +105,24 @@ pub struct BatchQueue {
     policy: OverflowPolicy,
     max_batch: usize,
     max_delay: Duration,
+    /// Per-model instruments, when this queue belongs to a registered
+    /// model. The aggregate `metaai.serve.*` instruments are recorded
+    /// either way.
+    model_metrics: Option<ModelMetrics>,
 }
 
 impl BatchQueue {
     /// A queue with the given batching/backpressure parameters.
     pub fn new(config: &ServeConfig) -> Self {
+        Self::build(config, None)
+    }
+
+    /// A queue that also records the per-model instrument dimension.
+    pub(crate) fn with_metrics(config: &ServeConfig, metrics: ModelMetrics) -> Self {
+        Self::build(config, Some(metrics))
+    }
+
+    fn build(config: &ServeConfig, model_metrics: Option<ModelMetrics>) -> Self {
         assert!(config.max_batch >= 1, "a batch holds at least one request");
         assert!(
             config.queue_capacity >= 1,
@@ -125,7 +139,15 @@ impl BatchQueue {
             policy: config.policy,
             max_batch: config.max_batch,
             max_delay: config.max_delay,
+            model_metrics,
         }
+    }
+
+    /// This queue's per-model instruments, gated on telemetry being
+    /// enabled (`None` for plain queues or when telemetry is off).
+    #[inline]
+    fn model_tele(&self) -> Option<&ModelMetrics> {
+        self.model_metrics.as_ref().and_then(ModelMetrics::on)
     }
 
     /// Admits a request, applying the overflow policy when the queue is
@@ -144,6 +166,9 @@ impl BatchQueue {
                     if let Some(m) = crate::metrics::tele() {
                         m.shed_total.inc();
                     }
+                    if let Some(m) = self.model_tele() {
+                        m.shed_total.inc();
+                    }
                     return Err(ServeError::Overloaded);
                 }
                 OverflowPolicy::Block => {
@@ -158,6 +183,10 @@ impl BatchQueue {
             reply: tx,
         });
         if let Some(m) = crate::metrics::tele() {
+            m.requests.inc();
+            m.queue_depth.set(st.queue.len() as f64);
+        }
+        if let Some(m) = self.model_tele() {
             m.requests.inc();
             m.queue_depth.set(st.queue.len() as f64);
         }
@@ -199,6 +228,11 @@ impl BatchQueue {
         let take = st.queue.len().min(self.max_batch);
         let batch: Vec<Pending> = st.queue.drain(..take).collect();
         if let Some(m) = crate::metrics::tele() {
+            m.batches.inc();
+            m.batch_size.observe(batch.len() as f64);
+            m.queue_depth.set(st.queue.len() as f64);
+        }
+        if let Some(m) = self.model_tele() {
             m.batches.inc();
             m.batch_size.observe(batch.len() as f64);
             m.queue_depth.set(st.queue.len() as f64);

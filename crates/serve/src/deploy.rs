@@ -1,56 +1,120 @@
-//! Epoch-versioned hot-swap of the served [`MetaAiSystem`].
+//! The keyed, epoch-versioned deployment registry behind the multi-tenant
+//! service.
 //!
-//! The registry holds the active deployment behind an `RwLock<Arc<_>>`.
-//! Workers take a cheap `Arc` clone at the *start* of each batch and
-//! score the whole batch against it, so:
+//! One server fronts *many* physical networks at once (per-room channel
+//! models, per-sensor deployments): the registry maps a model name — the
+//! `ModelId`, interned to a dense `u32` for the wire — to a
+//! [`ModelEntry`] holding that tenant's active deployment, its private
+//! submission queue, and its telemetry. Each entry is independently
+//! epoch-versioned behind an `RwLock<Arc<_>>`: workers take a cheap
+//! `Arc` clone at the *start* of each batch and score the whole batch
+//! against it, so
 //!
 //! * `swap` (e.g. after a retrain → solver → map cycle) installs new
-//!   weights with zero downtime — the lock is held only for the pointer
-//!   exchange, never during scoring;
+//!   weights for one model with zero downtime — the lock is held only
+//!   for the pointer exchange, never during scoring, and other tenants
+//!   never observe it;
 //! * a batch in flight when the swap lands finishes on the epoch it
 //!   started on, and every response reports which epoch scored it.
+//!
+//! # RNG streams
+//!
+//! Each deployment scores on the stream `serve-{model}-epoch-{N}`, so a
+//! tenant's served scores stay bitwise-identical to an offline eval of
+//! its system on that stream, and a redeploy re-draws channel
+//! realizations exactly like a fresh offline eval would. The FNV-1a
+//! state of the constant `serve-{model}-epoch-` prefix is hoisted into
+//! [`ModelEntry`] construction; a swap only folds the epoch's decimal
+//! digits into that state instead of formatting and re-hashing the whole
+//! label per swap.
 
+use crate::batcher::BatchQueue;
+use crate::metrics::ModelMetrics;
+use crate::{ServeConfig, ServeError};
 use metaai::pipeline::MetaAiSystem;
+#[cfg(test)]
 use metaai_math::rng::SimRng;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
+
+/// FNV-1a offset basis (the hash behind [`SimRng::stream_id`]).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Folds `bytes` into an FNV-1a state; `fnv1a(FNV_OFFSET, label)` equals
+/// [`SimRng::stream_id`] of the same label.
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
 
 /// One installed deployment: a system plus its serving identity.
 pub struct ServeDeployment {
     /// The deployed system (shared with any in-flight batches).
     pub system: Arc<MetaAiSystem>,
-    /// Monotonic deployment counter, starting at 1.
+    /// Monotonic per-model deployment counter, starting at 1.
     pub epoch: u64,
-    /// RNG stream served requests score on (derived from the epoch, so a
-    /// redeploy re-draws channel realizations exactly like a fresh
-    /// offline eval of the new system would).
+    /// RNG stream served requests score on: `serve-{model}-epoch-{N}`,
+    /// so each tenant's served scores match its own offline eval and a
+    /// redeploy re-draws channel realizations like a fresh eval would.
     pub stream: u64,
 }
 
-impl ServeDeployment {
-    fn new(system: Arc<MetaAiSystem>, epoch: u64) -> Self {
-        let stream = SimRng::stream_id(&format!("serve-epoch-{epoch}"));
-        ServeDeployment {
-            system,
-            epoch,
-            stream,
-        }
-    }
-}
-
-/// Holds the active deployment and swaps it atomically.
-pub struct DeploymentRegistry {
+/// One tenant in the registry: its name, wire id, epoch-versioned active
+/// deployment, private submission queue, and per-model telemetry.
+pub struct ModelEntry {
+    name: String,
+    wire_id: u32,
+    /// FNV-1a state of `serve-{name}-epoch-`, computed once here so a
+    /// swap derives its stream by folding in the epoch digits instead of
+    /// formatting (and re-hashing) the whole label every time.
+    stream_prefix: u64,
     active: RwLock<Arc<ServeDeployment>>,
     next_epoch: AtomicU64,
+    queue: BatchQueue,
+    pub(crate) metrics: ModelMetrics,
+    pub(crate) restarts: AtomicU64,
 }
 
-impl DeploymentRegistry {
-    /// A registry serving `system` as epoch 1.
-    pub fn new(system: Arc<MetaAiSystem>) -> Self {
-        DeploymentRegistry {
-            active: RwLock::new(Arc::new(ServeDeployment::new(system, 1))),
+impl ModelEntry {
+    fn new(name: String, wire_id: u32, system: Arc<MetaAiSystem>, config: &ServeConfig) -> Self {
+        let metrics = ModelMetrics::for_model(&name);
+        let mut prefix = fnv1a(FNV_OFFSET, b"serve-");
+        prefix = fnv1a(prefix, name.as_bytes());
+        let stream_prefix = fnv1a(prefix, b"-epoch-");
+        let stream = stream_for_epoch(stream_prefix, 1);
+        ModelEntry {
+            name,
+            wire_id,
+            stream_prefix,
+            active: RwLock::new(Arc::new(ServeDeployment {
+                system,
+                epoch: 1,
+                stream,
+            })),
             next_epoch: AtomicU64::new(2),
+            queue: BatchQueue::with_metrics(config, metrics.clone()),
+            metrics,
+            restarts: AtomicU64::new(0),
         }
+    }
+
+    /// The model name (the registry key).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The interned wire id carried by v2 `INFER` frames.
+    pub fn wire_id(&self) -> u32 {
+        self.wire_id
+    }
+
+    /// This model's private submission queue.
+    pub fn queue(&self) -> &BatchQueue {
+        &self.queue
     }
 
     /// The deployment new batches score against. Cheap (`Arc` clone under
@@ -62,17 +126,124 @@ impl DeploymentRegistry {
             .clone()
     }
 
-    /// Installs `system` as the new active deployment and returns its
-    /// epoch. In-flight batches finish on their old `Arc`; the previous
-    /// system is dropped when the last of them completes.
+    /// Installs `system` as this model's new active deployment and
+    /// returns its epoch. In-flight batches finish on their old `Arc`;
+    /// the previous system is dropped when the last of them completes.
+    /// Other models are untouched.
     pub fn swap(&self, system: Arc<MetaAiSystem>) -> u64 {
         let epoch = self.next_epoch.fetch_add(1, Ordering::Relaxed);
-        let deployment = Arc::new(ServeDeployment::new(system, epoch));
+        let deployment = Arc::new(ServeDeployment {
+            system,
+            epoch,
+            stream: stream_for_epoch(self.stream_prefix, epoch),
+        });
         *self.active.write().expect("deploy registry poisoned") = deployment;
         if let Some(m) = crate::metrics::tele() {
             m.deploy_swaps.inc();
         }
+        if let Some(m) = self.metrics.on() {
+            m.deploy_swaps.inc();
+        }
         epoch
+    }
+
+    /// How many of this model's scoring workers have been restarted
+    /// after a panic.
+    pub fn worker_restarts(&self) -> u64 {
+        self.restarts.load(Ordering::Relaxed)
+    }
+
+    /// The stream label hash for `epoch` under this model's prefix;
+    /// equals `SimRng::stream_id("serve-{name}-epoch-{epoch}")`.
+    #[cfg(test)]
+    fn stream_for_epoch(&self, epoch: u64) -> u64 {
+        stream_for_epoch(self.stream_prefix, epoch)
+    }
+}
+
+/// Extends the hoisted prefix state with the decimal digits of `epoch`.
+fn stream_for_epoch(stream_prefix: u64, epoch: u64) -> u64 {
+    let mut digits = [0u8; 20];
+    let mut i = digits.len();
+    let mut v = epoch;
+    loop {
+        i -= 1;
+        digits[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    fnv1a(stream_prefix, &digits[i..])
+}
+
+/// The keyed model table: name → [`ModelEntry`], with wire ids interned
+/// densely in registration order (id 0 is the **default model**, which
+/// v1 frames route to). The model set is fixed at construction; what
+/// each entry *serves* changes via [`ModelEntry::swap`].
+pub struct DeploymentRegistry {
+    models: Vec<Arc<ModelEntry>>,
+    by_name: HashMap<String, u32>,
+}
+
+impl DeploymentRegistry {
+    /// Builds a registry serving each `(name, system)` pair at epoch 1,
+    /// each with its own submission queue shaped by `config`.
+    ///
+    /// # Panics
+    ///
+    /// If `models` is empty or a name repeats.
+    pub fn new(models: Vec<(String, Arc<MetaAiSystem>)>, config: &ServeConfig) -> Self {
+        assert!(!models.is_empty(), "the registry needs at least one model");
+        let mut by_name = HashMap::with_capacity(models.len());
+        let models: Vec<Arc<ModelEntry>> = models
+            .into_iter()
+            .enumerate()
+            .map(|(i, (name, system))| {
+                let id = i as u32;
+                assert!(
+                    by_name.insert(name.clone(), id).is_none(),
+                    "model {name:?} registered twice"
+                );
+                Arc::new(ModelEntry::new(name, id, system, config))
+            })
+            .collect();
+        DeploymentRegistry { models, by_name }
+    }
+
+    /// The entry registered under `name`.
+    pub fn entry(&self, name: &str) -> Option<&Arc<ModelEntry>> {
+        self.by_name.get(name).map(|&id| &self.models[id as usize])
+    }
+
+    /// The entry behind wire id `id` (v2 `INFER` routing).
+    pub fn entry_by_id(&self, id: u32) -> Option<&Arc<ModelEntry>> {
+        self.models.get(id as usize)
+    }
+
+    /// The default model (wire id 0): where v1 frames — and the
+    /// deprecated single-model API — land.
+    pub fn default_entry(&self) -> &Arc<ModelEntry> {
+        &self.models[0]
+    }
+
+    /// Every registered entry, in wire-id order.
+    pub fn entries(&self) -> &[Arc<ModelEntry>] {
+        &self.models
+    }
+
+    /// The default model's active deployment (the v1 single-model view).
+    pub fn current(&self) -> Arc<ServeDeployment> {
+        self.default_entry().current()
+    }
+
+    /// Swaps `name`'s deployment to `system`; returns the new epoch, or
+    /// [`ServeError::UnknownModel`] for an unregistered name.
+    pub fn swap(&self, name: &str, system: Arc<MetaAiSystem>) -> Result<u64, ServeError> {
+        match self.entry(name) {
+            Some(entry) => Ok(entry.swap(system)),
+            None => Err(ServeError::UnknownModel),
+        }
     }
 }
 
@@ -93,18 +264,92 @@ mod tests {
         )
     }
 
+    fn registry(names: &[&str]) -> DeploymentRegistry {
+        DeploymentRegistry::new(
+            names
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| (n.to_string(), tiny_system(i as u64 + 1)))
+                .collect(),
+            &ServeConfig::default(),
+        )
+    }
+
     #[test]
     fn swap_bumps_the_epoch_and_keeps_old_arcs_alive() {
         let first = tiny_system(1);
-        let registry = DeploymentRegistry::new(first.clone());
+        let registry = DeploymentRegistry::new(
+            vec![("default".to_string(), first.clone())],
+            &ServeConfig::default(),
+        );
         let held = registry.current();
         assert_eq!(held.epoch, 1);
 
-        let epoch = registry.swap(tiny_system(2));
+        let epoch = registry.swap("default", tiny_system(2)).expect("known");
         assert_eq!(epoch, 2);
         assert_eq!(registry.current().epoch, 2);
         // The in-flight handle still scores on the original system.
         assert!(Arc::ptr_eq(&held.system, &first));
         assert_ne!(held.stream, registry.current().stream);
+    }
+
+    #[test]
+    fn models_are_keyed_by_name_and_interned_in_order() {
+        let r = registry(&["alpha", "beta"]);
+        assert_eq!(r.entry("alpha").unwrap().wire_id(), 0);
+        assert_eq!(r.entry("beta").unwrap().wire_id(), 1);
+        assert!(r.entry("gamma").is_none());
+        assert!(r.entry_by_id(2).is_none());
+        assert_eq!(r.default_entry().name(), "alpha");
+        assert!(matches!(
+            r.swap("gamma", tiny_system(9)),
+            Err(ServeError::UnknownModel)
+        ));
+    }
+
+    #[test]
+    fn hoisted_stream_derivation_matches_the_formatted_label() {
+        // The bugfix pin: the prefix hoisted at entry construction must
+        // reproduce `stream_id` of the fully formatted label, for any
+        // epoch a redeploy can reach.
+        let r = registry(&["afhq", "widar-room3"]);
+        for entry in r.entries() {
+            for epoch in [1u64, 2, 9, 10, 99, 12345, u64::MAX] {
+                let label = format!("serve-{}-epoch-{}", entry.name(), epoch);
+                assert_eq!(
+                    entry.stream_for_epoch(epoch),
+                    SimRng::stream_id(&label),
+                    "{label}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reswapping_bumps_the_epoch_and_streams_stay_distinct_across_models() {
+        // Re-swapping the same model walks its own epoch sequence; two
+        // models walking theirs never collide on a stream (the model
+        // name is folded into every label).
+        let r = registry(&["alpha", "beta"]);
+        let mut seen = std::collections::HashSet::new();
+        for entry in r.entries() {
+            assert_eq!(entry.current().epoch, 1);
+            assert!(seen.insert(entry.current().stream), "epoch-1 collision");
+            for expect in 2..6u64 {
+                let epoch = entry.swap(tiny_system(expect));
+                assert_eq!(epoch, expect, "epochs are per-model, not global");
+                assert!(
+                    seen.insert(entry.current().stream),
+                    "stream collision at {}-epoch-{epoch}",
+                    entry.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_model_names_are_rejected() {
+        let _ = registry(&["alpha", "alpha"]);
     }
 }

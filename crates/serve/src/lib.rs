@@ -44,9 +44,9 @@ pub mod tcp;
 pub mod wire;
 
 pub use batcher::{BatchQueue, ScoreRequest, ScoreResponse, Ticket};
-pub use deploy::{DeploymentRegistry, ServeDeployment};
+pub use deploy::{DeploymentRegistry, ModelEntry, ServeDeployment};
 pub use metrics::register_metrics;
-pub use server::{Client, Server};
+pub use server::{Client, Server, ServerBuilder, DEFAULT_MODEL};
 
 use std::time::Duration;
 
@@ -106,6 +106,12 @@ pub enum ServeError {
     /// worker was restarted and the request may be retried (scoring is
     /// deterministic per `sample_index`, so a retry is idempotent).
     WorkerPanicked,
+    /// The request named a model id the registry does not hold. The
+    /// connection stays open — other models keep scoring.
+    UnknownModel,
+    /// The peer speaks a protocol version this side does not; negotiated
+    /// at the v2 handshake (see [`wire`]). Connection-level and fatal.
+    UnsupportedVersion,
 }
 
 impl ServeError {
@@ -118,6 +124,8 @@ impl ServeError {
             ServeError::BadRequest(_) => 4,
             ServeError::Disconnected => 5,
             ServeError::WorkerPanicked => 6,
+            ServeError::UnknownModel => 7,
+            ServeError::UnsupportedVersion => 8,
         }
     }
 
@@ -130,6 +138,8 @@ impl ServeError {
             3 => ServeError::ShuttingDown,
             4 => ServeError::BadRequest("rejected by server".to_string()),
             6 => ServeError::WorkerPanicked,
+            7 => ServeError::UnknownModel,
+            8 => ServeError::UnsupportedVersion,
             _ => ServeError::Disconnected,
         }
     }
@@ -160,6 +170,10 @@ impl std::fmt::Display for ServeError {
             ServeError::WorkerPanicked => {
                 write!(f, "a worker panicked mid-batch (restarted; retryable)")
             }
+            ServeError::UnknownModel => write!(f, "no such model in the registry"),
+            ServeError::UnsupportedVersion => {
+                write!(f, "peer speaks an unsupported protocol version")
+            }
         }
     }
 }
@@ -178,6 +192,8 @@ mod tests {
             ServeError::ShuttingDown,
             ServeError::Disconnected,
             ServeError::WorkerPanicked,
+            ServeError::UnknownModel,
+            ServeError::UnsupportedVersion,
         ] {
             assert_eq!(ServeError::from_code(e.code()), e);
         }
@@ -201,6 +217,8 @@ mod tests {
             ServeError::ShuttingDown,
             ServeError::BadRequest("x".into()),
             ServeError::Disconnected,
+            ServeError::UnknownModel,
+            ServeError::UnsupportedVersion,
         ] {
             assert!(!e.is_retryable(), "{e} should be fatal");
         }

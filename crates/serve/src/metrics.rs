@@ -1,6 +1,15 @@
 //! Serving-stage instruments, following the workspace scheme
 //! (`metaai.serve.<what>`, DESIGN.md §10).
 //!
+//! Instruments come in two layers since the service went multi-tenant:
+//! the **aggregate** layer keeps the original `metaai.serve.<what>`
+//! names (summed over every model, so PR-4/5 dashboards keep working),
+//! and the **per-model** layer mirrors each request-path instrument
+//! under `metaai.serve.model.<name>.<what>` so one tenant's shed rate or
+//! latency regression is attributable. Connection-level instruments
+//! (`accept_retries`) stay aggregate-only — a TCP accept has no model
+//! yet.
+//!
 //! One deliberate deviation from the `_seconds` convention: end-to-end
 //! request latency is recorded in **microseconds**
 //! (`metaai.serve.e2e_latency_us`) because the interesting SLO range for
@@ -26,11 +35,13 @@ pub const LATENCY_US_BOUNDS: [f64; 8] = [
 pub const BATCH_SIZE_BOUNDS: [f64; 8] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 256.0];
 
 pub(crate) struct ServeMetrics {
-    /// Requests admitted into the queue.
+    /// Requests admitted into any queue.
     pub requests: Counter,
     /// Batches flushed to workers.
     pub batches: Counter,
-    /// Queue depth after the most recent submit/flush.
+    /// Queue depth after the most recent submit/flush (summed over
+    /// models is meaningless for a gauge, so this reports the depth of
+    /// whichever model queue last moved; per-model gauges are exact).
     pub queue_depth: Gauge,
     /// Distribution of flushed batch sizes.
     pub batch_size: Histogram,
@@ -44,9 +55,9 @@ pub(crate) struct ServeMetrics {
     pub shed_total: Counter,
     /// Admitted requests dropped because their deadline passed.
     pub expired_total: Counter,
-    /// Hot-swap deployments installed.
+    /// Hot-swap deployments installed (any model).
     pub deploy_swaps: Counter,
-    /// Scoring workers restarted after a panic.
+    /// Scoring workers restarted after a panic (any model).
     pub worker_restarts: Counter,
     /// Transient `accept` failures retried by the supervised accept loop.
     pub accept_retries: Counter,
@@ -79,9 +90,53 @@ pub(crate) fn tele() -> Option<&'static ServeMetrics> {
     metaai_telemetry::enabled().then(metrics)
 }
 
-/// Registers the serving instruments with the global telemetry registry,
-/// so `--metrics-out` snapshots list them (zero-valued) even before the
-/// first request. The CLI's `serve` command calls this next to
+/// The per-model instrument set, created once when a model is registered
+/// (instruments are `Arc`-backed atomics, cheap to clone and hold).
+#[derive(Clone)]
+pub(crate) struct ModelMetrics {
+    pub requests: Counter,
+    pub batches: Counter,
+    pub queue_depth: Gauge,
+    pub batch_size: Histogram,
+    pub e2e_latency_us: Histogram,
+    pub e2e_latency_expired_us: Histogram,
+    pub shed_total: Counter,
+    pub expired_total: Counter,
+    pub deploy_swaps: Counter,
+    pub worker_restarts: Counter,
+}
+
+impl ModelMetrics {
+    /// Instruments for `model` under `metaai.serve.model.<name>.<what>`.
+    pub fn for_model(model: &str) -> ModelMetrics {
+        let r = metaai_telemetry::global();
+        let name = |what: &str| format!("metaai.serve.model.{model}.{what}");
+        ModelMetrics {
+            requests: r.counter(&name("requests")),
+            batches: r.counter(&name("batches")),
+            queue_depth: r.gauge(&name("queue_depth")),
+            batch_size: r.histogram(&name("batch_size"), &BATCH_SIZE_BOUNDS),
+            e2e_latency_us: r.histogram(&name("e2e_latency_us"), &LATENCY_US_BOUNDS),
+            e2e_latency_expired_us: r
+                .histogram(&name("e2e_latency_expired_us"), &LATENCY_US_BOUNDS),
+            shed_total: r.counter(&name("shed_total")),
+            expired_total: r.counter(&name("expired_total")),
+            deploy_swaps: r.counter(&name("deploy_swaps")),
+            worker_restarts: r.counter(&name("worker_restarts")),
+        }
+    }
+
+    /// The recording gate, mirroring [`tele`].
+    #[inline]
+    pub fn on(&self) -> Option<&ModelMetrics> {
+        metaai_telemetry::enabled().then_some(self)
+    }
+}
+
+/// Registers the aggregate serving instruments with the global telemetry
+/// registry, so `--metrics-out` snapshots list them (zero-valued) even
+/// before the first request. Per-model instruments register themselves
+/// when their model does. The CLI's `serve` command calls this next to
 /// `metaai::telemetry::install()`.
 pub fn register_metrics() {
     let _ = metrics();
@@ -109,6 +164,33 @@ mod tests {
             "metaai.serve.deploy_swaps",
             "metaai.serve.worker_restarts",
             "metaai.serve.accept_retries",
+        ] {
+            assert!(
+                names.iter().any(|n| n == expected),
+                "missing {expected} in {names:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn model_instruments_register_under_the_model_dimension() {
+        let _ = super::ModelMetrics::for_model("unit-test-model");
+        let names: Vec<String> = metaai_telemetry::global()
+            .snapshot()
+            .into_iter()
+            .map(|m| m.name)
+            .collect();
+        for expected in [
+            "metaai.serve.model.unit-test-model.requests",
+            "metaai.serve.model.unit-test-model.batches",
+            "metaai.serve.model.unit-test-model.queue_depth",
+            "metaai.serve.model.unit-test-model.batch_size",
+            "metaai.serve.model.unit-test-model.e2e_latency_us",
+            "metaai.serve.model.unit-test-model.e2e_latency_expired_us",
+            "metaai.serve.model.unit-test-model.shed_total",
+            "metaai.serve.model.unit-test-model.expired_total",
+            "metaai.serve.model.unit-test-model.deploy_swaps",
+            "metaai.serve.model.unit-test-model.worker_restarts",
         ] {
             assert!(
                 names.iter().any(|n| n == expected),

@@ -1,13 +1,19 @@
-//! The worker pool tying queue, deployment, and engine together, plus the
-//! in-process [`Client`] handle.
+//! The per-model worker pools tying queues, deployments, and engines
+//! together, plus the in-process [`Client`] handle and the
+//! [`ServerBuilder`].
 //!
-//! Each worker loops on `BatchQueue::next_batch`, pins the current
-//! deployment for the whole batch, drops expired requests, and scores the
-//! rest through [`MetaAiSystem::score_indexed`] with a per-worker scratch
-//! buffer (no allocation on the hot path beyond the reply's score copy).
-//! Determinism does not depend on which worker scores what: the RNG for a
-//! request is fully determined by `(config.seed, deployment stream,
-//! sample_index)`.
+//! Every registered model owns a private [`BatchQueue`] and a dedicated
+//! pool of `config.workers` scoring threads — that fixed allocation *is*
+//! the scheduler's isolation guarantee: one tenant's backlog fills its
+//! own queue and saturates its own workers, and cannot starve or shed
+//! another tenant's traffic. Each worker loops on its model's
+//! `next_batch`, pins the model's current deployment for the whole
+//! batch, drops expired requests, and scores the rest through
+//! [`MetaAiSystem::score_indexed`] with a per-worker scratch buffer (no
+//! allocation on the hot path beyond the reply's score copy).
+//! Determinism does not depend on which worker scores what: the RNG for
+//! a request is fully determined by `(config.seed, the model's
+//! deployment stream, sample_index)`.
 //!
 //! # Panic isolation
 //!
@@ -18,67 +24,164 @@
 //! `std::panic::catch_unwind`: when a panic unwinds, every unresolved
 //! ticket of the in-flight batch is resolved with
 //! [`ServeError::WorkerPanicked`] (a retryable error — scoring is
-//! deterministic per `sample_index`), the restart is counted
-//! (`metaai.serve.worker_restarts` and [`Server::worker_restarts`]), and
-//! the same thread re-enters the loop with fresh scratch state. One
-//! poisoned request costs one batch one error reply each; the service
-//! keeps serving.
+//! deterministic per `sample_index`), the restart is counted per model
+//! (`metaai.serve.model.{name}.worker_restarts`, plus the aggregate and
+//! [`Server::worker_restarts`]), and the same thread re-enters the loop
+//! with fresh scratch state. One poisoned request costs one batch one
+//! error reply each; the service keeps serving — and because pools are
+//! per-model, a panic storm on one tenant leaves every other tenant's
+//! workers untouched.
 
-use crate::batcher::{BatchQueue, Pending, ScoreRequest, ScoreResponse, Ticket};
-use crate::deploy::DeploymentRegistry;
-use crate::{ServeConfig, ServeError};
+use crate::batcher::{Pending, ScoreRequest, ScoreResponse, Ticket};
+use crate::deploy::{DeploymentRegistry, ModelEntry};
+use crate::{OverflowPolicy, ServeConfig, ServeError};
 use metaai::pipeline::MetaAiSystem;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-/// A running inference service: submission queue + scoring workers +
-/// hot-swap deployment registry.
+/// The model name the deprecated single-model API registers under, and
+/// the registry key v1 wire traffic routes to (wire id 0).
+pub const DEFAULT_MODEL: &str = "default";
+
+/// A running inference service: one keyed deployment registry, one
+/// submission queue + scoring pool per model.
 pub struct Server {
-    queue: Arc<BatchQueue>,
     registry: Arc<DeploymentRegistry>,
     workers: Vec<JoinHandle<()>>,
-    restarts: Arc<AtomicU64>,
     faults: FaultInjector,
 }
 
-impl Server {
-    /// Starts `config.workers` scoring threads over `system` (epoch 1).
-    pub fn start(system: Arc<MetaAiSystem>, config: &ServeConfig) -> Server {
-        assert!(config.workers >= 1, "the pool needs at least one worker");
-        let queue = Arc::new(BatchQueue::new(config));
-        let registry = Arc::new(DeploymentRegistry::new(system));
-        let restarts = Arc::new(AtomicU64::new(0));
+/// Configures and starts a [`Server`]: register each model, shape the
+/// per-model queues/pools, then [`start`](ServerBuilder::start).
+///
+/// ```ignore
+/// let server = Server::builder()
+///     .model("afhq", afhq_system)
+///     .model("widar", widar_system)
+///     .workers(4)
+///     .policy(OverflowPolicy::Shed)
+///     .start();
+/// ```
+///
+/// The first registered model is the **default model** (wire id 0): v1
+/// clients with no model field land there.
+#[must_use = "the builder does nothing until .start()"]
+pub struct ServerBuilder {
+    models: Vec<(String, Arc<MetaAiSystem>)>,
+    config: ServeConfig,
+}
+
+impl ServerBuilder {
+    /// Registers `system` under `name`. Registration order fixes wire
+    /// ids: the first model gets id 0 and serves v1 traffic.
+    pub fn model(mut self, name: impl Into<String>, system: Arc<MetaAiSystem>) -> Self {
+        self.models.push((name.into(), system));
+        self
+    }
+
+    /// Replaces the whole per-model queue/pool configuration at once.
+    pub fn config(mut self, config: ServeConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Scoring threads **per model** (each model gets its own pool).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Flush a batch as soon as this many requests are queued.
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.config.max_batch = max_batch;
+        self
+    }
+
+    /// Flush a partial batch once its oldest request has waited this long.
+    pub fn max_delay(mut self, max_delay: Duration) -> Self {
+        self.config.max_delay = max_delay;
+        self
+    }
+
+    /// Per-model bounded submission-queue capacity.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.config.queue_capacity = capacity;
+        self
+    }
+
+    /// Full-queue behaviour (shed vs block), applied to every model.
+    pub fn policy(mut self, policy: OverflowPolicy) -> Self {
+        self.config.policy = policy;
+        self
+    }
+
+    /// Builds the registry and spawns `workers` scoring threads per
+    /// registered model.
+    ///
+    /// # Panics
+    ///
+    /// If no model was registered, a name repeats, or `workers == 0`.
+    pub fn start(self) -> Server {
+        let config = self.config;
+        assert!(config.workers >= 1, "each pool needs at least one worker");
+        let registry = Arc::new(DeploymentRegistry::new(self.models, &config));
         let faults = FaultInjector::default();
-        let workers = (0..config.workers)
-            .map(|w| {
-                let queue = queue.clone();
-                let registry = registry.clone();
-                let restarts = restarts.clone();
+        let mut workers = Vec::with_capacity(registry.entries().len() * config.workers);
+        for entry in registry.entries() {
+            for w in 0..config.workers {
+                let entry = entry.clone();
                 let faults = faults.clone();
-                std::thread::Builder::new()
-                    .name(format!("metaai-serve-{w}"))
-                    .spawn(move || supervised_worker(&queue, &registry, &restarts, &faults))
-                    .expect("spawn scoring worker")
-            })
-            .collect();
+                workers.push(
+                    std::thread::Builder::new()
+                        .name(format!("metaai-serve-{}-{w}", entry.name()))
+                        .spawn(move || supervised_worker(&entry, &faults))
+                        .expect("spawn scoring worker"),
+                );
+            }
+        }
         Server {
-            queue,
             registry,
             workers,
-            restarts,
             faults,
         }
     }
+}
 
-    /// An in-process submission handle (cheap to clone, usable from any
-    /// thread — the TCP front-end holds one per connection).
+impl Server {
+    /// A builder with the default [`ServeConfig`] and no models yet.
+    pub fn builder() -> ServerBuilder {
+        ServerBuilder {
+            models: Vec::new(),
+            config: ServeConfig::default(),
+        }
+    }
+
+    /// Starts a single-model service with `system` registered under
+    /// [`DEFAULT_MODEL`].
+    #[deprecated(note = "use Server::builder().model(name, system).config(config).start()")]
+    pub fn start(system: Arc<MetaAiSystem>, config: &ServeConfig) -> Server {
+        Server::builder()
+            .model(DEFAULT_MODEL, system)
+            .config(config.clone())
+            .start()
+    }
+
+    /// An in-process submission handle for the default model (cheap to
+    /// clone, usable from any thread).
     pub fn client(&self) -> Client {
         Client {
-            queue: self.queue.clone(),
+            entry: self.registry.default_entry().clone(),
         }
+    }
+
+    /// A submission handle for the model registered under `name`.
+    pub fn client_for(&self, name: &str) -> Option<Client> {
+        self.registry.entry(name).map(|entry| Client {
+            entry: entry.clone(),
+        })
     }
 
     /// The deployment registry, for hot swaps and epoch queries.
@@ -86,33 +189,54 @@ impl Server {
         &self.registry
     }
 
-    /// Installs `system` as the new deployment; returns its epoch.
+    /// Installs `system` as the **default model's** new deployment;
+    /// returns its epoch. Keyed swaps go through
+    /// [`deploy_model`](Self::deploy_model).
     pub fn deploy(&self, system: Arc<MetaAiSystem>) -> u64 {
-        self.registry.swap(system)
+        self.registry.default_entry().swap(system)
     }
 
-    /// Current submission-queue depth.
+    /// Installs `system` as `name`'s new deployment; returns its epoch,
+    /// or [`ServeError::UnknownModel`] for an unregistered name.
+    pub fn deploy_model(&self, name: &str, system: Arc<MetaAiSystem>) -> Result<u64, ServeError> {
+        self.registry.swap(name, system)
+    }
+
+    /// The default model's current submission-queue depth.
     pub fn queue_depth(&self) -> usize {
-        self.queue.depth()
+        self.registry.default_entry().queue().depth()
     }
 
-    /// How many times a scoring worker has been restarted after a panic
-    /// (mirrors the `metaai.serve.worker_restarts` counter, but counted
-    /// unconditionally so tests need not enable telemetry).
+    /// How many scoring workers have been restarted after a panic,
+    /// summed over every model (per-model counts via
+    /// [`ModelEntry::worker_restarts`]; counted unconditionally so tests
+    /// need not enable telemetry).
     pub fn worker_restarts(&self) -> u64 {
-        self.restarts.load(Ordering::Relaxed)
+        self.registry
+            .entries()
+            .iter()
+            .map(|e| e.worker_restarts())
+            .sum()
     }
 
     /// The chaos/test hook for injecting worker panics; cheap to clone
     /// and usable after the server has been moved into a serve loop.
+    /// Shared by every model's pool — a fault is addressed by
+    /// `sample_index`, so keep tenants' index spaces disjoint in tests.
     pub fn fault_injector(&self) -> FaultInjector {
         self.faults.clone()
     }
 
-    /// Drain-then-stop: refuses new submissions, scores every already
-    /// admitted request, then joins the workers.
+    /// Drain-then-stop: refuses new submissions on every model, scores
+    /// every already admitted request, then joins all workers.
     pub fn shutdown(mut self) {
-        self.queue.shutdown();
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        for entry in self.registry.entries() {
+            entry.queue().shutdown();
+        }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
@@ -123,23 +247,25 @@ impl Drop for Server {
     fn drop(&mut self) {
         // Mirrors `shutdown` for servers dropped without an explicit call
         // (tests, panics): drain admitted work, then stop.
-        self.queue.shutdown();
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
-        }
+        self.stop();
     }
 }
 
-/// In-process submission handle to a running [`Server`].
+/// In-process submission handle to one model of a running [`Server`].
 #[derive(Clone)]
 pub struct Client {
-    queue: Arc<BatchQueue>,
+    entry: Arc<ModelEntry>,
 }
 
 impl Client {
+    /// The model this handle submits to.
+    pub fn model(&self) -> &str {
+        self.entry.name()
+    }
+
     /// Submits a request; the returned [`Ticket`] resolves when scored.
     pub fn submit(&self, request: ScoreRequest) -> Result<Ticket, ServeError> {
-        self.queue.submit(request)
+        self.entry.queue().submit(request)
     }
 
     /// Submit + wait, for callers without pipelining.
@@ -150,8 +276,9 @@ impl Client {
 
 /// Arms deliberate worker panics, for chaos tests of the panic-isolation
 /// path. Each armed `sample_index` fires exactly once: the first worker
-/// that dequeues a request with that index panics *before* scoring it,
-/// exercising the full restart + ticket-resolution machinery.
+/// (of any model's pool) that dequeues a request with that index panics
+/// *before* scoring it, exercising the full restart + ticket-resolution
+/// machinery.
 ///
 /// The hot path pays one relaxed atomic load per request while disarmed.
 #[derive(Clone, Default)]
@@ -196,23 +323,22 @@ impl FaultInjector {
     }
 }
 
-/// Restarts `worker_loop` after each panic until the queue shuts down.
-fn supervised_worker(
-    queue: &BatchQueue,
-    registry: &DeploymentRegistry,
-    restarts: &AtomicU64,
-    faults: &FaultInjector,
-) {
+/// Restarts `worker_loop` after each panic until the model's queue shuts
+/// down.
+fn supervised_worker(entry: &ModelEntry, faults: &FaultInjector) {
     loop {
         let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            worker_loop(queue, registry, faults);
+            worker_loop(entry, faults);
         }));
         match outcome {
             // Clean exit: the queue is shut down and drained.
             Ok(()) => return,
             Err(_) => {
-                restarts.fetch_add(1, Ordering::Relaxed);
+                entry.restarts.fetch_add(1, Ordering::Relaxed);
                 if let Some(m) = crate::metrics::tele() {
+                    m.worker_restarts.inc();
+                }
+                if let Some(m) = entry.metrics.on() {
                     m.worker_restarts.inc();
                 }
             }
@@ -246,13 +372,13 @@ impl Drop for BatchGuard {
     }
 }
 
-fn worker_loop(queue: &BatchQueue, registry: &DeploymentRegistry, faults: &FaultInjector) {
+fn worker_loop(entry: &ModelEntry, faults: &FaultInjector) {
     let mut scratch: Vec<f64> = Vec::new();
-    while let Some(batch) = queue.next_batch() {
+    while let Some(batch) = entry.queue().next_batch() {
         // Pin one deployment for the whole batch: a swap landing mid-batch
         // takes effect at the next flush, and in-flight work finishes on
         // the epoch it started on.
-        let deployment = registry.current();
+        let deployment = entry.current();
         let n_symbols = deployment.system.engine().num_symbols();
         let mut guard = BatchGuard::new(batch);
         for i in 0..guard.slots.len() {
@@ -262,10 +388,14 @@ fn worker_loop(queue: &BatchQueue, registry: &DeploymentRegistry, faults: &Fault
                 // deadline that passes while earlier batch items score
                 // still drops this request (and counts it as expired).
                 if pending.request.deadline.is_some_and(|d| d < Instant::now()) {
+                    let waited_us = pending.enqueued_at.elapsed().as_secs_f64() * 1e6;
                     if let Some(m) = crate::metrics::tele() {
                         m.expired_total.inc();
-                        m.e2e_latency_expired_us
-                            .observe(pending.enqueued_at.elapsed().as_secs_f64() * 1e6);
+                        m.e2e_latency_expired_us.observe(waited_us);
+                    }
+                    if let Some(m) = entry.metrics.on() {
+                        m.expired_total.inc();
+                        m.e2e_latency_expired_us.observe(waited_us);
                     }
                     Err(ServeError::Expired)
                 } else if pending.request.input.len() != n_symbols {
@@ -281,9 +411,12 @@ fn worker_loop(queue: &BatchQueue, registry: &DeploymentRegistry, faults: &Fault
                         pending.request.sample_index,
                         &mut scratch,
                     );
+                    let waited_us = pending.enqueued_at.elapsed().as_secs_f64() * 1e6;
                     if let Some(m) = crate::metrics::tele() {
-                        m.e2e_latency_us
-                            .observe(pending.enqueued_at.elapsed().as_secs_f64() * 1e6);
+                        m.e2e_latency_us.observe(waited_us);
+                    }
+                    if let Some(m) = entry.metrics.on() {
+                        m.e2e_latency_us.observe(waited_us);
                     }
                     Ok(ScoreResponse {
                         id: pending.request.id,

@@ -1,12 +1,18 @@
 //! `std::net` front-end: one supervised accept loop, two threads per
 //! connection.
 //!
-//! The per-connection **reader** decodes frames ([`wire`]),
-//! submits `INFER` requests to the queue, and forwards the resulting
-//! tickets to the **writer**, which resolves them in FIFO order and
-//! streams the responses back — so a connection can pipeline requests
-//! without waiting for replies. Responses carry the request id, so
-//! clients may also match out-of-order on their side.
+//! The per-connection **reader** decodes frames ([`wire`]), routes each
+//! `INFER` to its model's submission queue (v1 frames carry no model and
+//! land on the default model; v2 `INFER_MODEL` frames name one by
+//! interned wire id), and forwards the resulting tickets to the
+//! **writer**, which resolves them in FIFO order and streams the
+//! responses back — so a connection can pipeline requests, even across
+//! models, without waiting for replies. Responses carry the request id,
+//! so clients may also match out-of-order on their side. A v2 `HELLO`
+//! is answered inline with the full model table (or an
+//! `UnsupportedVersion` error + close, for a version this build does not
+//! speak); an `INFER_MODEL` naming an unknown id fails that one request
+//! with `UnknownModel` and the connection keeps serving.
 //!
 //! # Accept supervision
 //!
@@ -36,8 +42,8 @@
 //! [`serve`]'s return, so clients should disconnect once done.
 
 use crate::deploy::DeploymentRegistry;
-use crate::server::{Client, Server};
-use crate::wire::{self, Request, Response, NO_REQUEST_ID};
+use crate::server::Server;
+use crate::wire::{self, ModelDescriptor, Request, Response, NO_REQUEST_ID, PROTOCOL_VERSION};
 use crate::{ScoreResponse, ServeError, Ticket};
 use metaai_math::rng::SimRng;
 use std::io::{self, BufReader, BufWriter, Write};
@@ -149,12 +155,11 @@ pub fn serve(listener: TcpListener, server: Server) -> io::Result<()> {
                     refuse_post_stop(stream);
                     break None;
                 }
-                let client = server.client();
                 let registry = server.registry().clone();
                 let stop = stop.clone();
                 let handler = std::thread::Builder::new()
                     .name("metaai-serve-conn".to_string())
-                    .spawn(move || handle_connection(stream, client, registry, stop, addr))
+                    .spawn(move || handle_connection(stream, registry, stop, addr))
                     .expect("spawn connection handler");
                 handlers.push(handler);
                 reap_finished(&mut handlers);
@@ -192,7 +197,6 @@ pub fn serve(listener: TcpListener, server: Server) -> io::Result<()> {
 
 fn handle_connection(
     stream: TcpStream,
-    client: Client,
     registry: Arc<DeploymentRegistry>,
     stop: Arc<AtomicBool>,
     listen_addr: SocketAddr,
@@ -206,7 +210,7 @@ fn handle_connection(
         .name("metaai-serve-writer".to_string())
         .spawn(move || writer_loop(write_stream, rx))
         .expect("spawn connection writer");
-    reader_loop(stream, &client, &registry, &stop, listen_addr, &tx);
+    reader_loop(stream, &registry, &stop, listen_addr, &tx);
     drop(tx);
     let _ = writer.join();
 }
@@ -226,9 +230,28 @@ fn poke_listener(listen_addr: SocketAddr) {
     }
 }
 
+/// The HELLO_ACK model table: every registered model with its live epoch
+/// and engine shape.
+fn model_table(registry: &DeploymentRegistry) -> Vec<ModelDescriptor> {
+    registry
+        .entries()
+        .iter()
+        .map(|entry| {
+            let deployment = entry.current();
+            let engine = deployment.system.engine();
+            ModelDescriptor {
+                id: entry.wire_id(),
+                epoch: deployment.epoch,
+                outputs: engine.num_outputs() as u32,
+                symbols: engine.num_symbols() as u32,
+                name: entry.name().to_string(),
+            }
+        })
+        .collect()
+}
+
 fn reader_loop(
     stream: TcpStream,
-    client: &Client,
     registry: &DeploymentRegistry,
     stop: &AtomicBool,
     listen_addr: SocketAddr,
@@ -262,14 +285,43 @@ fn reader_loop(
                 poke_listener(listen_addr);
                 return;
             }
-            Ok(request @ Request::Infer { .. }) => {
-                let Request::Infer { id, .. } = request else {
-                    unreachable!()
+            Ok(Request::Hello { version }) => {
+                // Versioning is per frame kind; a HELLO itself is only
+                // meaningful from v2 on, and a client announcing a newer
+                // version than this build speaks cannot be served.
+                if !(2..=PROTOCOL_VERSION).contains(&version) {
+                    let _ = tx.send(Reply::Ready(Response::Error {
+                        id: NO_REQUEST_ID,
+                        code: ServeError::UnsupportedVersion.code(),
+                    }));
+                    return;
+                }
+                let _ = tx.send(Reply::Ready(Response::HelloAck {
+                    version: PROTOCOL_VERSION,
+                    models: model_table(registry),
+                }));
+            }
+            Ok(request @ (Request::Infer { .. } | Request::InferModel { .. })) => {
+                // v1 INFER carries no model: the compatibility shim
+                // routes it to the default model (wire id 0). v2 names
+                // one explicitly; an unknown id fails this request only.
+                let (id, entry) = match &request {
+                    Request::Infer { id, .. } => (*id, Some(registry.default_entry())),
+                    Request::InferModel { model, id, .. } => (*id, registry.entry_by_id(*model)),
+                    _ => unreachable!(),
                 };
-                let score_request = request.into_score_request().expect("infer request");
-                let reply = match client.submit(score_request) {
-                    Ok(ticket) => Reply::Pending(id, ticket),
-                    Err(e) => Reply::Ready(Response::Error { id, code: e.code() }),
+                let reply = match entry {
+                    None => Reply::Ready(Response::Error {
+                        id,
+                        code: ServeError::UnknownModel.code(),
+                    }),
+                    Some(entry) => {
+                        let score_request = request.into_score_request().expect("infer request");
+                        match entry.queue().submit(score_request) {
+                            Ok(ticket) => Reply::Pending(id, ticket),
+                            Err(e) => Reply::Ready(Response::Error { id, code: e.code() }),
+                        }
+                    }
                 };
                 let _ = tx.send(reply);
             }
@@ -515,19 +567,66 @@ impl TcpClient {
         })
     }
 
-    /// Scores one sample and returns the decoded result.
+    /// v2 handshake: announces this client's [`PROTOCOL_VERSION`] and
+    /// returns the server's model table (wire id → epoch/shape/name).
+    ///
+    /// A v1-only server rejects the unknown HELLO kind with a
+    /// `BadRequest` error frame; that reply *is* the version mismatch,
+    /// so it surfaces as [`ServeError::UnsupportedVersion`] — the caller
+    /// can fall back to v1 frames or bail, but never hangs on a server
+    /// that will not answer.
+    pub fn hello(&mut self) -> io::Result<Result<Vec<ModelDescriptor>, ServeError>> {
+        let reply = self.request(&Request::Hello {
+            version: PROTOCOL_VERSION,
+        })?;
+        match reply {
+            Response::HelloAck { models, .. } => Ok(Ok(models)),
+            Response::Error { code, .. } => Ok(Err(match ServeError::from_code(code) {
+                ServeError::BadRequest(_) => ServeError::UnsupportedVersion,
+                other => other,
+            })),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected reply {other:?}"),
+            )),
+        }
+    }
+
+    /// Scores one sample on the default model (v1 frame).
     pub fn score(
         &mut self,
         id: u64,
         sample_index: u64,
         input: Vec<metaai_math::C64>,
     ) -> io::Result<Result<ScoreResponse, ServeError>> {
-        let reply = self.request(&Request::Infer {
+        self.score_with(&Request::Infer {
             id,
             sample_index,
             deadline_us: 0,
             input,
-        })?;
+        })
+    }
+
+    /// Scores one sample on the model with interned wire id `model`
+    /// (v2 frame; ids come from [`hello`](Self::hello)'s table).
+    pub fn score_model(
+        &mut self,
+        model: u32,
+        id: u64,
+        sample_index: u64,
+        input: Vec<metaai_math::C64>,
+    ) -> io::Result<Result<ScoreResponse, ServeError>> {
+        self.score_with(&Request::InferModel {
+            model,
+            id,
+            sample_index,
+            deadline_us: 0,
+            input,
+        })
+    }
+
+    fn score_with(&mut self, request: &Request) -> io::Result<Result<ScoreResponse, ServeError>> {
+        let reply = self.request(request)?;
         match reply {
             Response::Score {
                 id,
@@ -565,6 +664,45 @@ impl TcpClient {
         input: &[metaai_math::C64],
         policy: &RetryPolicy,
     ) -> io::Result<Result<ScoreResponse, ServeError>> {
+        self.retry_with(
+            &Request::Infer {
+                id,
+                sample_index,
+                deadline_us: 0,
+                input: input.to_vec(),
+            },
+            policy,
+        )
+    }
+
+    /// [`score_model`](Self::score_model) wrapped in `policy`'s retry
+    /// schedule, with the same semantics as
+    /// [`score_retry`](Self::score_retry).
+    pub fn score_model_retry(
+        &mut self,
+        model: u32,
+        id: u64,
+        sample_index: u64,
+        input: &[metaai_math::C64],
+        policy: &RetryPolicy,
+    ) -> io::Result<Result<ScoreResponse, ServeError>> {
+        self.retry_with(
+            &Request::InferModel {
+                model,
+                id,
+                sample_index,
+                deadline_us: 0,
+                input: input.to_vec(),
+            },
+            policy,
+        )
+    }
+
+    fn retry_with(
+        &mut self,
+        request: &Request,
+        policy: &RetryPolicy,
+    ) -> io::Result<Result<ScoreResponse, ServeError>> {
         let mut rng = SimRng::derive(policy.seed, "tcp-client-retry");
         let attempts = policy.attempts.max(1);
         let mut last: io::Result<Result<ScoreResponse, ServeError>> =
@@ -573,7 +711,7 @@ impl TcpClient {
             if retry > 0 {
                 std::thread::sleep(policy.delay(retry - 1, &mut rng));
             }
-            match self.score(id, sample_index, input.to_vec()) {
+            match self.score_with(request) {
                 Ok(Ok(scored)) => return Ok(Ok(scored)),
                 Ok(Err(e)) if !e.is_retryable() => return Ok(Err(e)),
                 Ok(Err(e)) => last = Ok(Err(e)),

@@ -7,24 +7,44 @@
 //!
 //! Requests:
 //!
-//! | kind | name     | body |
-//! |------|----------|------|
-//! | 0    | INFER    | `id: u64`, `sample_index: u64`, `deadline_us: u64` (0 = none), `n: u32`, `n × (re: f64, im: f64)` |
-//! | 1    | INFO     | — |
-//! | 2    | SHUTDOWN | — |
+//! | kind | name        | proto | body |
+//! |------|-------------|-------|------|
+//! | 0    | INFER       | v1    | `id: u64`, `sample_index: u64`, `deadline_us: u64` (0 = none), `n: u32`, `n × (re: f64, im: f64)` |
+//! | 1    | INFO        | v1    | — |
+//! | 2    | SHUTDOWN    | v1    | — |
+//! | 3    | HELLO       | v2    | `version: u16` |
+//! | 4    | INFER_MODEL | v2    | `model: u32`, then the INFER body |
 //!
 //! Responses:
 //!
-//! | kind | name         | body |
-//! |------|--------------|------|
-//! | 0    | SCORE        | `id: u64`, `epoch: u64`, `predicted: u32`, `n: u32`, `n × f64` |
-//! | 1    | ERROR        | `id: u64`, `code: u8` ([`ServeError::code`]) |
-//! | 2    | INFO         | `epoch: u64`, `outputs: u32`, `symbols: u32` |
-//! | 3    | SHUTDOWN_ACK | — |
+//! | kind | name         | proto | body |
+//! |------|--------------|-------|------|
+//! | 0    | SCORE        | v1    | `id: u64`, `epoch: u64`, `predicted: u32`, `n: u32`, `n × f64` |
+//! | 1    | ERROR        | v1    | `id: u64`, `code: u8` ([`ServeError::code`]) |
+//! | 2    | INFO         | v1    | `epoch: u64`, `outputs: u32`, `symbols: u32` |
+//! | 3    | SHUTDOWN_ACK | v1    | — |
+//! | 4    | HELLO_ACK    | v2    | `version: u16`, `count: u32`, `count ×` [`ModelDescriptor`] |
 //!
 //! A deadline travels as a relative budget in microseconds (an `Instant`
 //! cannot cross the wire); the server anchors it at decode time, so
 //! network transit counts against the budget only after arrival.
+//!
+//! # Protocol v2 and compatibility
+//!
+//! Version 2 ([`PROTOCOL_VERSION`]) adds multi-tenancy: a HELLO
+//! handshake carrying the client's version, answered by a HELLO_ACK
+//! listing every registered model (interned wire id, epoch, shape,
+//! name), and a per-request model id on INFER_MODEL frames. Versioning
+//! is **per frame kind**, not per session: v1 kinds stay valid on any
+//! connection and route to the **default model** (wire id 0), so a PR-4/5
+//! client that never sends a HELLO keeps working unchanged. A v2 server
+//! answering a HELLO with a version it does not speak replies
+//! `ERROR { NO_REQUEST_ID, UnsupportedVersion }` and closes; a v2
+//! *client* greeting a v1-only server gets `ERROR { BadRequest }` back
+//! (v1 rejects unknown kinds), which the client maps to
+//! [`ServeError::UnsupportedVersion`] — never a hang or a garbage
+//! decode. An INFER_MODEL naming an unregistered id fails that request
+//! with [`ServeError::UnknownModel`]; the connection stays open.
 //!
 //! # The "no id" sentinel
 //!
@@ -45,15 +65,34 @@ use std::time::{Duration, Instant};
 /// Frames larger than this are rejected as corrupt rather than allocated.
 pub const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
 
+/// The protocol version this build speaks (and the highest HELLO version
+/// it accepts).
+pub const PROTOCOL_VERSION: u16 = 2;
+
 /// Reserved request id meaning "no particular request" (see the module
 /// docs): used in ERROR responses about corrupt frames and post-shutdown
 /// connections, and rejected as a client-supplied INFER id.
 pub const NO_REQUEST_ID: u64 = u64::MAX;
 
+/// One registered model as advertised in a HELLO_ACK.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ModelDescriptor {
+    /// Interned wire id, carried by INFER_MODEL frames.
+    pub id: u32,
+    /// The model's active deployment epoch at handshake time.
+    pub epoch: u64,
+    /// Number of output classes.
+    pub outputs: u32,
+    /// Symbols per transmission (inputs must match).
+    pub symbols: u32,
+    /// The registry key (UTF-8, at most `u16::MAX` bytes).
+    pub name: String,
+}
+
 /// A decoded client→server message.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
-    /// Score one sample.
+    /// Score one sample on the default model (v1).
     Infer {
         /// Correlation id, echoed in the response.
         id: u64,
@@ -64,10 +103,30 @@ pub enum Request {
         /// Transmitted symbols.
         input: Vec<C64>,
     },
-    /// Ask for the deployment shape (epoch, outputs, symbols).
+    /// Ask for the default model's deployment shape (v1).
     Info,
     /// Drain the service and close.
     Shutdown,
+    /// v2 handshake: announce the client's protocol version; the server
+    /// answers with a HELLO_ACK (its version + the model table) or an
+    /// `UnsupportedVersion` error.
+    Hello {
+        /// The client's [`PROTOCOL_VERSION`].
+        version: u16,
+    },
+    /// Score one sample on a named model (v2).
+    InferModel {
+        /// Interned wire id from the HELLO_ACK model table.
+        model: u32,
+        /// Correlation id, echoed in the response.
+        id: u64,
+        /// Deterministic per-sample RNG index.
+        sample_index: u64,
+        /// Scoring budget; 0 means no deadline.
+        deadline_us: u64,
+        /// Transmitted symbols.
+        input: Vec<C64>,
+    },
 }
 
 /// A decoded server→client message.
@@ -102,6 +161,14 @@ pub enum Response {
     },
     /// Drain finished; the connection closes after this frame.
     ShutdownAck,
+    /// v2 handshake reply: the server's version plus every registered
+    /// model, in wire-id order.
+    HelloAck {
+        /// The server's [`PROTOCOL_VERSION`].
+        version: u16,
+        /// The model table (wire-id order; ids are dense from 0).
+        models: Vec<ModelDescriptor>,
+    },
 }
 
 impl Request {
@@ -137,6 +204,32 @@ impl Request {
             }
             Request::Info => buf.push(1),
             Request::Shutdown => buf.push(2),
+            Request::Hello { version } => {
+                buf.push(3);
+                buf.extend_from_slice(&version.to_le_bytes());
+            }
+            Request::InferModel {
+                model,
+                id,
+                sample_index,
+                deadline_us,
+                input,
+            } => {
+                assert_ne!(
+                    *id, NO_REQUEST_ID,
+                    "request id u64::MAX is reserved (NO_REQUEST_ID)"
+                );
+                buf.push(4);
+                buf.extend_from_slice(&model.to_le_bytes());
+                buf.extend_from_slice(&id.to_le_bytes());
+                buf.extend_from_slice(&sample_index.to_le_bytes());
+                buf.extend_from_slice(&deadline_us.to_le_bytes());
+                buf.extend_from_slice(&(input.len() as u32).to_le_bytes());
+                for z in input {
+                    buf.extend_from_slice(&z.re.to_le_bytes());
+                    buf.extend_from_slice(&z.im.to_le_bytes());
+                }
+            }
         }
         buf
     }
@@ -176,6 +269,35 @@ impl Request {
             }
             1 => Request::Info,
             2 => Request::Shutdown,
+            3 => Request::Hello { version: r.u16()? },
+            4 => {
+                let model = r.u32()?;
+                let id = r.u64()?;
+                if id == NO_REQUEST_ID {
+                    return Err(ServeError::BadRequest(
+                        "request id u64::MAX is reserved".into(),
+                    ));
+                }
+                let sample_index = r.u64()?;
+                let deadline_us = r.u64()?;
+                let n = r.u32()? as usize;
+                if payload.len() < 33 + 16 * n {
+                    return Err(ServeError::BadRequest("truncated INFER frame".into()));
+                }
+                let block = r.take(16 * n)?;
+                let mut input = Vec::with_capacity(n);
+                input.extend(block.chunks_exact(16).map(|c| C64 {
+                    re: f64::from_le_bytes(c[..8].try_into().unwrap()),
+                    im: f64::from_le_bytes(c[8..].try_into().unwrap()),
+                }));
+                Request::InferModel {
+                    model,
+                    id,
+                    sample_index,
+                    deadline_us,
+                    input,
+                }
+            }
             kind => {
                 return Err(ServeError::BadRequest(format!(
                     "unknown request kind {kind}"
@@ -186,38 +308,56 @@ impl Request {
         Ok(request)
     }
 
-    /// Rewrites the id and sample-index fields of an encoded INFER
-    /// payload in place. Load generators pre-encode one payload per
-    /// distinct input and restamp it per send, instead of re-serializing
-    /// the (much larger) symbol vector every time.
+    /// Rewrites the id and sample-index fields of an encoded INFER (v1,
+    /// kind 0) or INFER_MODEL (v2, kind 4) payload in place. Load
+    /// generators pre-encode one payload per distinct (model, input) pair
+    /// and restamp it per send, instead of re-serializing the (much
+    /// larger) symbol vector every time.
     pub fn restamp_infer(payload: &mut [u8], id: u64, sample_index: u64) {
-        assert_eq!(payload.first(), Some(&0), "not an INFER payload");
+        // The id field starts right after the kind byte (v1) or after the
+        // kind byte + u32 model id (v2); sample_index follows the id.
+        let at = match payload.first() {
+            Some(&0) => 1,
+            Some(&4) => 5,
+            _ => panic!("not an INFER payload"),
+        };
         assert_ne!(
             id, NO_REQUEST_ID,
             "request id u64::MAX is reserved (NO_REQUEST_ID)"
         );
-        payload[1..9].copy_from_slice(&id.to_le_bytes());
-        payload[9..17].copy_from_slice(&sample_index.to_le_bytes());
+        payload[at..at + 8].copy_from_slice(&id.to_le_bytes());
+        payload[at + 8..at + 16].copy_from_slice(&sample_index.to_le_bytes());
     }
 
-    /// The queue-side view of an `Infer` request: owned input vector and
-    /// the relative deadline anchored at `now`.
+    /// The queue-side view of an `Infer`/`InferModel` request: owned
+    /// input vector and the relative deadline anchored at `now`. The
+    /// model id is routing information, resolved *before* this
+    /// conversion — [`crate::ScoreRequest`] is already model-scoped by
+    /// which queue it is submitted to.
     pub fn into_score_request(self) -> Option<crate::ScoreRequest> {
-        match self {
+        let (id, sample_index, deadline_us, input) = match self {
             Request::Infer {
                 id,
                 sample_index,
                 deadline_us,
                 input,
-            } => Some(crate::ScoreRequest {
+            }
+            | Request::InferModel {
                 id,
                 sample_index,
-                input: CVec::from_vec(input),
-                deadline: (deadline_us > 0)
-                    .then(|| Instant::now() + Duration::from_micros(deadline_us)),
-            }),
-            _ => None,
-        }
+                deadline_us,
+                input,
+                ..
+            } => (id, sample_index, deadline_us, input),
+            _ => return None,
+        };
+        Some(crate::ScoreRequest {
+            id,
+            sample_index,
+            input: CVec::from_vec(input),
+            deadline: (deadline_us > 0)
+                .then(|| Instant::now() + Duration::from_micros(deadline_us)),
+        })
     }
 }
 
@@ -257,6 +397,23 @@ impl Response {
                 buf.extend_from_slice(&symbols.to_le_bytes());
             }
             Response::ShutdownAck => buf.push(3),
+            Response::HelloAck { version, models } => {
+                buf.push(4);
+                buf.extend_from_slice(&version.to_le_bytes());
+                buf.extend_from_slice(&(models.len() as u32).to_le_bytes());
+                for m in models {
+                    assert!(
+                        m.name.len() <= u16::MAX as usize,
+                        "model name exceeds the u16 wire length"
+                    );
+                    buf.extend_from_slice(&m.id.to_le_bytes());
+                    buf.extend_from_slice(&m.epoch.to_le_bytes());
+                    buf.extend_from_slice(&m.outputs.to_le_bytes());
+                    buf.extend_from_slice(&m.symbols.to_le_bytes());
+                    buf.extend_from_slice(&(m.name.len() as u16).to_le_bytes());
+                    buf.extend_from_slice(m.name.as_bytes());
+                }
+            }
         }
         buf
     }
@@ -294,6 +451,34 @@ impl Response {
                 symbols: r.u32()?,
             },
             3 => Response::ShutdownAck,
+            4 => {
+                let version = r.u16()?;
+                let count = r.u32()? as usize;
+                // Each descriptor is at least 22 bytes; bound the count by
+                // what the payload can actually hold before reserving.
+                if payload.len() < 7 + 22 * count {
+                    return Err(ServeError::BadRequest("truncated HELLO_ACK frame".into()));
+                }
+                let mut models = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let id = r.u32()?;
+                    let epoch = r.u64()?;
+                    let outputs = r.u32()?;
+                    let symbols = r.u32()?;
+                    let name_len = r.u16()? as usize;
+                    let name = std::str::from_utf8(r.take(name_len)?)
+                        .map_err(|_| ServeError::BadRequest("model name is not UTF-8".into()))?
+                        .to_string();
+                    models.push(ModelDescriptor {
+                        id,
+                        epoch,
+                        outputs,
+                        symbols,
+                        name,
+                    });
+                }
+                Response::HelloAck { version, models }
+            }
             kind => {
                 return Err(ServeError::BadRequest(format!(
                     "unknown response kind {kind}"
@@ -364,6 +549,10 @@ impl<'a> Cursor<'a> {
         Ok(self.take(1)?[0])
     }
 
+    fn u16(&mut self) -> Result<u16, ServeError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
     fn u32(&mut self) -> Result<u32, ServeError> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
@@ -403,6 +592,16 @@ mod tests {
             },
             Request::Info,
             Request::Shutdown,
+            Request::Hello {
+                version: PROTOCOL_VERSION,
+            },
+            Request::InferModel {
+                model: 3,
+                id: 7,
+                sample_index: 42,
+                deadline_us: 1500,
+                input: vec![C64 { re: 0.5, im: -1.25 }, C64 { re: -2.0, im: 0.0 }],
+            },
         ];
         for req in cases {
             let decoded = Request::decode(&req.encode()).expect("decode");
@@ -426,6 +625,29 @@ mod tests {
                 symbols: 256,
             },
             Response::ShutdownAck,
+            Response::HelloAck {
+                version: PROTOCOL_VERSION,
+                models: vec![
+                    ModelDescriptor {
+                        id: 0,
+                        epoch: 1,
+                        outputs: 3,
+                        symbols: 256,
+                        name: "default".into(),
+                    },
+                    ModelDescriptor {
+                        id: 1,
+                        epoch: 7,
+                        outputs: 10,
+                        symbols: 16,
+                        name: "widar-room3".into(),
+                    },
+                ],
+            },
+            Response::HelloAck {
+                version: PROTOCOL_VERSION,
+                models: Vec::new(),
+            },
         ];
         for resp in cases {
             let decoded = Response::decode(&resp.encode()).expect("decode");
@@ -494,6 +716,29 @@ mod tests {
     }
 
     #[test]
+    fn restamping_a_v2_infer_payload_equals_reencoding_it() {
+        let input = vec![C64 { re: 0.5, im: -1.5 }];
+        let mut payload = Request::InferModel {
+            model: 9,
+            id: 0,
+            sample_index: 0,
+            deadline_us: 77,
+            input: input.clone(),
+        }
+        .encode();
+        Request::restamp_infer(&mut payload, 123, 456);
+        let reencoded = Request::InferModel {
+            model: 9,
+            id: 123,
+            sample_index: 456,
+            deadline_us: 77,
+            input,
+        }
+        .encode();
+        assert_eq!(payload, reencoded, "the model field survives restamping");
+    }
+
+    #[test]
     fn the_no_id_sentinel_is_rejected_end_to_end() {
         // Encode-time: a client cannot even serialize the reserved id.
         let sentinel = Request::Infer {
@@ -549,5 +794,19 @@ mod tests {
         assert_eq!(sr.input.len(), 1);
         assert!(sr.deadline.is_none());
         assert!(Request::Info.into_score_request().is_none());
+
+        // The v2 variant converts identically; the model id is routing
+        // information and does not reach the queue-side request.
+        let sr = Request::InferModel {
+            model: 5,
+            id: 3,
+            sample_index: 8,
+            deadline_us: 0,
+            input: vec![C64 { re: 1.0, im: 0.0 }],
+        }
+        .into_score_request()
+        .expect("infer");
+        assert_eq!((sr.id, sr.sample_index), (3, 8));
+        assert!(Request::Hello { version: 2 }.into_score_request().is_none());
     }
 }

@@ -4,7 +4,7 @@
 
 mod common;
 
-use metaai_serve::{OverflowPolicy, ScoreRequest, ServeConfig, Server};
+use metaai_serve::{OverflowPolicy, ScoreRequest, ServeConfig, Server, DEFAULT_MODEL};
 use proptest::proptest;
 use std::time::Duration;
 
@@ -29,7 +29,10 @@ fn assert_served_matches_offline(workers: usize, max_batch: usize, input_seeds: 
         .map(|&s| common::sample_input(common::SYMBOLS, s))
         .collect();
 
-    let server = Server::start(system.clone(), &serve_config(workers, max_batch));
+    let server = Server::builder()
+        .model(DEFAULT_MODEL, system.clone())
+        .config(serve_config(workers, max_batch))
+        .start();
     let stream = server.registry().current().stream;
     let client = server.client();
     let tickets: Vec<_> = inputs

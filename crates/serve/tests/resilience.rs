@@ -7,7 +7,9 @@ mod common;
 
 use metaai_serve::tcp::{self, ClientConfig, RetryPolicy, TcpClient};
 use metaai_serve::wire::{self, Request, Response};
-use metaai_serve::{OverflowPolicy, ScoreRequest, ServeConfig, ServeError, Server, Ticket};
+use metaai_serve::{
+    OverflowPolicy, ScoreRequest, ServeConfig, ServeError, Server, Ticket, DEFAULT_MODEL,
+};
 use std::io::{BufReader, Write};
 use std::net::TcpListener;
 use std::time::{Duration, Instant};
@@ -20,6 +22,13 @@ fn config(workers: usize) -> ServeConfig {
         workers,
         policy: OverflowPolicy::Shed,
     }
+}
+
+fn start_default(cfg: &ServeConfig) -> Server {
+    Server::builder()
+        .model(DEFAULT_MODEL, common::shared_system())
+        .config(cfg.clone())
+        .start()
 }
 
 fn request(i: u64) -> ScoreRequest {
@@ -43,7 +52,7 @@ fn wait_for_restarts(server: &Server, n: u64) {
 
 #[test]
 fn a_worker_panic_resolves_the_ticket_and_the_pool_keeps_scoring() {
-    let server = Server::start(common::shared_system(), &config(1));
+    let server = start_default(&config(1));
     let client = server.client();
     let faults = server.fault_injector();
 
@@ -82,7 +91,7 @@ fn a_mid_batch_panic_fails_only_the_tail_of_the_batch() {
         workers: 1,
         policy: OverflowPolicy::Shed,
     };
-    let server = Server::start(common::shared_system(), &cfg);
+    let server = start_default(&cfg);
     let client = server.client();
     server.fault_injector().panic_on_sample(3);
 
@@ -113,7 +122,7 @@ fn a_mid_batch_panic_fails_only_the_tail_of_the_batch() {
 
 #[test]
 fn the_pool_survives_repeated_panics() {
-    let server = Server::start(common::shared_system(), &config(2));
+    let server = start_default(&config(2));
     let client = server.client();
     let faults = server.fault_injector();
     for round in 0..3u64 {
@@ -264,7 +273,7 @@ fn score_retry_reports_the_last_error_when_attempts_run_out() {
 fn a_client_held_open_across_shutdown_is_answered_not_dropped() {
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
-    let server = Server::start(common::shared_system(), &config(2));
+    let server = start_default(&config(2));
     let handle = std::thread::spawn(move || tcp::serve(listener, server));
 
     // B connects first and stays idle across A's shutdown.

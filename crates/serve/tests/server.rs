@@ -1,9 +1,14 @@
 //! End-to-end behaviour of the in-process service: admission, shedding,
-//! deadlines, drain-shutdown, and zero-downtime hot swaps.
+//! deadlines, drain-shutdown, zero-downtime hot swaps, and multi-tenant
+//! isolation of all of the above.
 
 mod common;
 
-use metaai_serve::{OverflowPolicy, ScoreRequest, ServeConfig, ServeError, Server, Ticket};
+use metaai::pipeline::MetaAiSystem;
+use metaai_serve::{
+    OverflowPolicy, ScoreRequest, ServeConfig, ServeError, Server, Ticket, DEFAULT_MODEL,
+};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 fn config() -> ServeConfig {
@@ -14,6 +19,14 @@ fn config() -> ServeConfig {
         workers: 2,
         policy: OverflowPolicy::Shed,
     }
+}
+
+/// The single-model shape every pre-multi-tenant test ran against.
+fn start_default(system: Arc<MetaAiSystem>, cfg: &ServeConfig) -> Server {
+    Server::builder()
+        .model(DEFAULT_MODEL, system)
+        .config(cfg.clone())
+        .start()
 }
 
 fn request(i: u64) -> ScoreRequest {
@@ -28,7 +41,7 @@ fn request(i: u64) -> ScoreRequest {
 #[test]
 fn serves_scores_matching_the_offline_engine() {
     let system = common::shared_system();
-    let server = Server::start(system.clone(), &config());
+    let server = start_default(system.clone(), &config());
     let deployment = server.registry().current();
     let client = server.client();
 
@@ -46,7 +59,7 @@ fn serves_scores_matching_the_offline_engine() {
 
 #[test]
 fn drain_shutdown_completes_every_admitted_request() {
-    let server = Server::start(common::shared_system(), &config());
+    let server = start_default(common::shared_system(), &config());
     let client = server.client();
     let tickets: Vec<Ticket> = (0..100u64)
         .map(|i| client.submit(request(i)).expect("admitted"))
@@ -75,7 +88,7 @@ fn saturation_sheds_with_overloaded() {
         workers: 1,
         policy: OverflowPolicy::Shed,
     };
-    let server = Server::start(common::shared_system(), &cfg);
+    let server = start_default(common::shared_system(), &cfg);
     let client = server.client();
     let _held: Vec<Ticket> = (0..4u64)
         .map(|i| client.submit(request(i)).expect("fits in queue"))
@@ -98,7 +111,7 @@ fn expired_requests_are_dropped_before_scoring() {
         workers: 1,
         policy: OverflowPolicy::Shed,
     };
-    let server = Server::start(common::shared_system(), &cfg);
+    let server = start_default(common::shared_system(), &cfg);
     let client = server.client();
     let mut expired = request(0);
     expired.deadline = Some(Instant::now() + Duration::from_millis(1));
@@ -109,7 +122,7 @@ fn expired_requests_are_dropped_before_scoring() {
 
 #[test]
 fn wrong_input_length_is_a_bad_request() {
-    let server = Server::start(common::shared_system(), &config());
+    let server = start_default(common::shared_system(), &config());
     let client = server.client();
     let mut bad = request(0);
     bad.input = common::sample_input(common::SYMBOLS + 1, 0);
@@ -120,7 +133,7 @@ fn wrong_input_length_is_a_bad_request() {
 
 #[test]
 fn hot_swap_changes_the_epoch_without_downtime() {
-    let server = Server::start(common::shared_system(), &config());
+    let server = start_default(common::shared_system(), &config());
     let client = server.client();
 
     let before = client.score(request(0)).expect("epoch 1");
@@ -138,5 +151,119 @@ fn hot_swap_changes_the_epoch_without_downtime() {
     let offline = replacement.score_indexed(&request(0).input, deployment.stream, 0, &mut scratch);
     assert_eq!(after.predicted, offline);
     assert_eq!(after.scores, scratch);
+    server.shutdown();
+}
+
+#[test]
+#[allow(deprecated)]
+fn the_deprecated_start_shim_registers_under_the_default_model() {
+    let server = Server::start(common::shared_system(), &config());
+    let entry = server.registry().default_entry();
+    assert_eq!(entry.name(), DEFAULT_MODEL);
+    assert_eq!(entry.wire_id(), 0);
+    assert!(server.client().score(request(0)).is_ok(), "the shim serves");
+    server.shutdown();
+}
+
+#[test]
+fn two_models_score_on_their_own_systems_and_streams() {
+    let system_a = common::shared_system();
+    let system_b = common::tiny_system(77);
+    let server = Server::builder()
+        .model("alpha", system_a.clone())
+        .model("beta", system_b.clone())
+        .config(config())
+        .start();
+
+    let mut scratch = Vec::new();
+    for (name, system) in [("alpha", &system_a), ("beta", &system_b)] {
+        let client = server.client_for(name).expect("registered");
+        assert_eq!(client.model(), name);
+        let entry = server.registry().entry(name).expect("registered");
+        let deployment = entry.current();
+        for i in 0..4u64 {
+            let response = client.score(request(i)).expect("scored");
+            let offline =
+                system.score_indexed(&request(i).input, deployment.stream, i, &mut scratch);
+            assert_eq!(response.predicted, offline, "{name} sample {i}");
+            assert_eq!(response.scores, scratch, "{name} sample {i} scores");
+        }
+    }
+    assert!(server.client_for("gamma").is_none());
+    server.shutdown();
+}
+
+#[test]
+fn a_full_tenant_queue_does_not_shed_another_tenants_traffic() {
+    // Before the keyed registry, one shared queue meant a backlogged
+    // tenant consumed the global capacity; now each model owns its
+    // bounded queue, so alpha saturating sheds alpha alone.
+    let cfg = ServeConfig {
+        max_batch: 64,
+        max_delay: Duration::from_secs(30),
+        queue_capacity: 4,
+        workers: 1,
+        policy: OverflowPolicy::Shed,
+    };
+    let server = Server::builder()
+        .model("alpha", common::shared_system())
+        .model("beta", common::shared_system())
+        .config(cfg)
+        .start();
+    let alpha = server.client_for("alpha").expect("alpha");
+    let beta = server.client_for("beta").expect("beta");
+
+    let _held: Vec<Ticket> = (0..4u64)
+        .map(|i| alpha.submit(request(i)).expect("fits in alpha's queue"))
+        .collect();
+    assert_eq!(
+        alpha.submit(request(4)).unwrap_err(),
+        ServeError::Overloaded
+    );
+
+    // Beta's queue is untouched: its full capacity still admits.
+    let _beta_held: Vec<Ticket> = (0..4u64)
+        .map(|i| beta.submit(request(100 + i)).expect("beta admits freely"))
+        .collect();
+    server.shutdown();
+}
+
+#[test]
+fn keyed_deploys_touch_only_their_model() {
+    let server = Server::builder()
+        .model("alpha", common::shared_system())
+        .model("beta", common::shared_system())
+        .config(config())
+        .start();
+
+    let replacement = common::tiny_system(99);
+    assert_eq!(
+        server
+            .deploy_model("beta", replacement.clone())
+            .expect("known"),
+        2
+    );
+    assert!(matches!(
+        server.deploy_model("gamma", replacement.clone()),
+        Err(ServeError::UnknownModel)
+    ));
+
+    let registry = server.registry();
+    assert_eq!(registry.entry("alpha").unwrap().current().epoch, 1);
+    assert_eq!(registry.entry("beta").unwrap().current().epoch, 2);
+
+    // Beta serves the replacement on its epoch-2 stream; alpha still
+    // serves the original on its epoch-1 stream.
+    let mut scratch = Vec::new();
+    let beta_deploy = registry.entry("beta").unwrap().current();
+    let response = server
+        .client_for("beta")
+        .unwrap()
+        .score(request(0))
+        .expect("scored");
+    assert_eq!(response.epoch, 2);
+    let offline = replacement.score_indexed(&request(0).input, beta_deploy.stream, 0, &mut scratch);
+    assert_eq!(response.predicted, offline);
+    assert_eq!(response.scores, scratch);
     server.shutdown();
 }

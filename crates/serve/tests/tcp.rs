@@ -1,29 +1,37 @@
 //! Loopback round trips through the TCP front-end: wire scoring matches
 //! the offline engine, INFO reports the deployment shape, pipelined
-//! requests come back in order, and SHUTDOWN drains cleanly.
+//! requests come back in order, SHUTDOWN drains cleanly, and the v2
+//! handshake + per-request model routing serve two tenants on one port.
 
 mod common;
 
 use metaai_serve::tcp::{self, TcpClient};
-use metaai_serve::wire::{Request, Response};
-use metaai_serve::{OverflowPolicy, ServeConfig, Server};
+use metaai_serve::wire::{Request, Response, PROTOCOL_VERSION};
+use metaai_serve::{OverflowPolicy, ServeConfig, Server, ServerBuilder, DEFAULT_MODEL};
 use std::net::TcpListener;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-fn start_tcp_server() -> (std::net::SocketAddr, JoinHandle<std::io::Result<()>>) {
-    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
-    let addr = listener.local_addr().expect("local addr");
-    let cfg = ServeConfig {
+fn serve_config() -> ServeConfig {
+    ServeConfig {
         max_batch: 8,
         max_delay: Duration::from_millis(1),
         queue_capacity: 256,
         workers: 2,
         policy: OverflowPolicy::Shed,
-    };
-    let server = Server::start(common::shared_system(), &cfg);
+    }
+}
+
+fn spawn_serve(builder: ServerBuilder) -> (std::net::SocketAddr, JoinHandle<std::io::Result<()>>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let server = builder.config(serve_config()).start();
     let handle = std::thread::spawn(move || tcp::serve(listener, server));
     (addr, handle)
+}
+
+fn start_tcp_server() -> (std::net::SocketAddr, JoinHandle<std::io::Result<()>>) {
+    spawn_serve(Server::builder().model(DEFAULT_MODEL, common::shared_system()))
 }
 
 fn connect(addr: std::net::SocketAddr) -> TcpClient {
@@ -34,7 +42,7 @@ fn connect(addr: std::net::SocketAddr) -> TcpClient {
 fn tcp_round_trip_matches_offline_scores() {
     let (addr, handle) = start_tcp_server();
     let system = common::shared_system();
-    let stream = metaai_math::rng::SimRng::stream_id("serve-epoch-1");
+    let stream = metaai_math::rng::SimRng::stream_id("serve-default-epoch-1");
 
     let mut client = connect(addr);
     let mut scratch = Vec::new();
@@ -150,4 +158,117 @@ fn shutdown(mut client: TcpClient) {
             Some(_) => continue,
         }
     }
+}
+
+fn start_two_model_server() -> (std::net::SocketAddr, JoinHandle<std::io::Result<()>>) {
+    spawn_serve(
+        Server::builder()
+            .model("alpha", common::shared_system())
+            .model("beta", common::tiny_system(77)),
+    )
+}
+
+#[test]
+fn hello_negotiates_v2_and_lists_every_model() {
+    let (addr, handle) = start_two_model_server();
+    let mut client = connect(addr);
+    let models = client.hello().expect("io").expect("v2 server");
+    assert_eq!(models.len(), 2);
+    assert_eq!(models[0].id, 0);
+    assert_eq!(models[0].name, "alpha");
+    assert_eq!(models[0].epoch, 1);
+    assert_eq!(models[0].symbols, common::SYMBOLS as u32);
+    assert_eq!(models[1].id, 1);
+    assert_eq!(models[1].name, "beta");
+    shutdown(client);
+    handle.join().unwrap().expect("serve exits cleanly");
+}
+
+#[test]
+fn two_models_score_over_one_connection_each_on_its_own_stream() {
+    let (addr, handle) = start_two_model_server();
+    let system_a = common::shared_system();
+    let system_b = common::tiny_system(77);
+    let stream_a = metaai_math::rng::SimRng::stream_id("serve-alpha-epoch-1");
+    let stream_b = metaai_math::rng::SimRng::stream_id("serve-beta-epoch-1");
+
+    let mut client = connect(addr);
+    let mut scratch = Vec::new();
+    for i in 0..4u64 {
+        let input = common::sample_input(common::SYMBOLS, i);
+        for (model, system, stream) in [(0u32, &system_a, stream_a), (1u32, &system_b, stream_b)] {
+            let response = client
+                .score_model(model, i, i, input.as_slice().to_vec())
+                .expect("io")
+                .expect("scored");
+            let offline = system.score_indexed(&input, stream, i, &mut scratch);
+            assert_eq!(response.predicted, offline, "model {model} sample {i}");
+            assert_eq!(response.scores, scratch, "model {model} sample {i}");
+        }
+    }
+    shutdown(client);
+    handle.join().unwrap().expect("serve exits cleanly");
+}
+
+#[test]
+fn v1_frames_route_to_the_default_model_on_a_multi_model_server() {
+    // The compatibility shim: a client that never sends a HELLO scores
+    // against the first registered model ("alpha" here), exactly as a
+    // PR-4/5 client would.
+    let (addr, handle) = start_two_model_server();
+    let system = common::shared_system();
+    let stream = metaai_math::rng::SimRng::stream_id("serve-alpha-epoch-1");
+    let mut client = connect(addr);
+    let mut scratch = Vec::new();
+    let input = common::sample_input(common::SYMBOLS, 3);
+    let response = client
+        .score(3, 3, input.as_slice().to_vec())
+        .expect("io")
+        .expect("scored");
+    let offline = system.score_indexed(&input, stream, 3, &mut scratch);
+    assert_eq!(response.predicted, offline);
+    assert_eq!(response.scores, scratch);
+    shutdown(client);
+    handle.join().unwrap().expect("serve exits cleanly");
+}
+
+#[test]
+fn an_unknown_model_id_fails_the_request_but_not_the_connection() {
+    let (addr, handle) = start_two_model_server();
+    let mut client = connect(addr);
+    let input = common::sample_input(common::SYMBOLS, 0);
+    let err = client
+        .score_model(99, 7, 0, input.as_slice().to_vec())
+        .expect("io — the connection answers")
+        .expect_err("unregistered id");
+    assert_eq!(err.code(), 7, "UnknownModel wire code");
+    // The same connection keeps serving valid requests afterwards.
+    assert!(client
+        .score_model(0, 8, 0, input.as_slice().to_vec())
+        .expect("io")
+        .is_ok());
+    shutdown(client);
+    handle.join().unwrap().expect("serve exits cleanly");
+}
+
+#[test]
+fn a_hello_from_the_future_is_refused_with_unsupported_version() {
+    let (addr, handle) = start_tcp_server();
+    let mut client = connect(addr);
+    client
+        .send(&Request::Hello {
+            version: PROTOCOL_VERSION + 1,
+        })
+        .expect("send");
+    match client.recv().expect("recv").expect("answered, not hung") {
+        Response::Error { code, .. } => assert_eq!(code, 8, "UnsupportedVersion wire code"),
+        other => panic!("expected an error frame, got {other:?}"),
+    }
+    assert!(
+        client.recv().expect("recv").is_none(),
+        "the connection closes after the refusal"
+    );
+    // The server itself is still up; shut it down over a fresh one.
+    shutdown(connect(addr));
+    handle.join().unwrap().expect("serve exits cleanly");
 }
