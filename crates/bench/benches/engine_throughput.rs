@@ -1,0 +1,79 @@
+//! Fused-vs-legacy scoring-kernel benchmarks at the paper's dimensions
+//! (10 classes × 784 symbols).
+//!
+//! `fused` is the production kernel: one chip-stage pass per sample, then
+//! row-blocked complex dot products over the staged SoA slices (several
+//! rows per sweep, one accumulator pair each, AVX2 lanes when the host
+//! has them). `legacy` is [`OtaEngine::scores_scalar`], the pre-fusion
+//! per-row loop that re-derives every chip K times — kept in-tree as the
+//! bitwise-equivalence reference, and benchmarked here so the speedup the
+//! fusion buys stays visible (and regressions in either arm stand out).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use metaai::config::SystemConfig;
+use metaai::engine::OtaEngine;
+use metaai::mapper::WeightMapper;
+use metaai::ota::{realize_channels, OtaConditions};
+use metaai_math::rng::SimRng;
+use metaai_math::{CMat, CVec};
+use metaai_mts::array::{MtsArray, Prototype};
+use std::hint::black_box;
+
+/// Paper-default channels, one input, and noisy/shifted conditions.
+fn workload() -> (CMat, CVec, OtaConditions) {
+    let config = SystemConfig::paper_default();
+    let array = MtsArray::paper_prototype(Prototype::DualBand, config.mts_center);
+    let mapper = WeightMapper::new(&config, &array);
+    let mut rng = SimRng::seed_from_u64(17);
+    let weights = CMat::from_fn(10, 784, |_, _| rng.complex_gaussian(1.0));
+    let schedule = mapper.map(&weights, metaai_math::C64::ZERO);
+    let h = realize_channels(&schedule, &mapper.link, &array);
+    let x = CVec::from_fn(784, |_| rng.complex_gaussian(1.0));
+    let mut cond = OtaConditions::ideal(784);
+    cond.awgn.variance = metaai::ota::signal_power(&h) / metaai_math::stats::from_db(config.snr_db);
+    cond.sync_shift = -3;
+    (h, x, cond)
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let (h, x, cond) = workload();
+    let engine = OtaEngine::new(&h);
+
+    c.bench_function("engine_throughput/fused_10x784", |b| {
+        let mut rng = SimRng::seed_from_u64(1);
+        let mut out = Vec::new();
+        b.iter(|| {
+            engine.scores_into(&x, &cond, &mut rng, &mut out);
+            black_box(out[0])
+        })
+    });
+
+    c.bench_function("engine_throughput/legacy_10x784", |b| {
+        let mut rng = SimRng::seed_from_u64(1);
+        b.iter(|| black_box(engine.scores_scalar(&x, &cond, &mut rng)[0]))
+    });
+
+    // The cancellation scheme doubles the chip arithmetic; the uncancelled
+    // kernel is the floor both arms share.
+    let mut plain = cond.clone();
+    plain.cancellation = false;
+    c.bench_function("engine_throughput/fused_no_cancellation", |b| {
+        let mut rng = SimRng::seed_from_u64(2);
+        let mut out = Vec::new();
+        b.iter(|| {
+            engine.scores_into(&x, &plain, &mut rng, &mut out);
+            black_box(out[0])
+        })
+    });
+    c.bench_function("engine_throughput/legacy_no_cancellation", |b| {
+        let mut rng = SimRng::seed_from_u64(2);
+        b.iter(|| black_box(engine.scores_scalar(&x, &plain, &mut rng)[0]))
+    });
+}
+
+criterion_group! {
+    name = engine_throughput;
+    config = Criterion::default().sample_size(30);
+    targets = bench_kernels
+}
+criterion_main!(engine_throughput);

@@ -6,8 +6,14 @@
 //! accuracy (AFHQ quick, digital and over the air); drives the serving
 //! stack (`metaai-serve` behind its TCP front-end, on a loopback port)
 //! at batch-saturating load and compares it against the per-request
-//! scoring loop a service without a batcher would run; and embeds a
-//! telemetry snapshot of every instrumented stage. Writes
+//! scoring loop a service without a batcher would run; measures the
+//! engine's single-thread scoring capacity on the serve unit of work
+//! (`engine.samples_per_core_sec`, a gated per-core figure — the host
+//! `cores` count is in the report so it stays comparable across
+//! machines) plus an interleaved fused-vs-scalar kernel A/B at the
+//! paper's 10×784 dimensioning (`engine.kernel.*_samples_per_core_sec`,
+//! also gated); and embeds a telemetry snapshot of every
+//! instrumented stage. Writes
 //! `BENCH_pr<N>.json` for CI to archive and for `bench_gate` to compare
 //! against the committed baseline. The host core count is recorded
 //! because the training speedup is a function of it: on one core the
@@ -15,7 +21,7 @@
 //! only applies at ≥8 cores.
 //!
 //! Usage: `perf_report [--pr N] [output-path]`
-//! (default `--pr 6`, output `BENCH_pr<N>.json`).
+//! (default `--pr 7`, output `BENCH_pr<N>.json`).
 
 use metaai::config::SystemConfig;
 use metaai::mapper::WeightMapper;
@@ -137,7 +143,7 @@ fn reference_solve(solver: &WeightSolver, target: C64) -> f64 {
 }
 
 fn main() {
-    let mut pr: u32 = 6;
+    let mut pr: u32 = 7;
     let mut out_arg: Option<String> = None;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -250,7 +256,7 @@ fn main() {
     // amortization ratio stays comparable run to run.
     let mut per_request_done = 0u64;
     let baseline_started = Instant::now();
-    while baseline_started.elapsed() < std::time::Duration::from_millis(800) {
+    while baseline_started.elapsed() < std::time::Duration::from_millis(2000) {
         let i = per_request_done;
         let x = &serve_inputs[(i % serve_inputs.len() as u64) as usize];
         let mut r = SimRng::derive(42, &format!("serve-legacy-{i}"));
@@ -262,6 +268,66 @@ fn main() {
         per_request_done += 1;
     }
     let per_request_sps = per_request_done as f64 / baseline_started.elapsed().as_secs_f64();
+
+    // --- Single-core engine throughput: the serve unit of work (derived
+    // per-sample RNG, default conditions, scoring through the engine) on
+    // one thread — `samples_per_core_sec` is the per-core scoring
+    // capacity the engine gives the serving stack, directly comparable
+    // to the request-at-a-time figure above (the PR-7 target is ≥4×). ---
+    let engine_stream = SimRng::stream_id("perf-engine");
+    let mut engine_scratch = Vec::new();
+    let mut engine_done = 0u64;
+    let engine_started = Instant::now();
+    while engine_started.elapsed() < std::time::Duration::from_millis(2000) {
+        let i = engine_done;
+        let x = &serve_inputs[(i % serve_inputs.len() as u64) as usize];
+        black_box(system.score_indexed(x, engine_stream, i, &mut engine_scratch));
+        engine_done += 1;
+    }
+    let engine_core_sps = engine_done as f64 / engine_started.elapsed().as_secs_f64();
+
+    // --- Fused-vs-scalar kernel A/B at the paper's dimensioning (10
+    // classes × 784 symbols, cancellation + noise + residual shift) —
+    // the workload the fused SoA kernel targets; the engine dispatches
+    // small class counts (like the 3-class deployment above) to the
+    // scalar path, so the fusion is measured where it runs. The two arms
+    // alternate in short slices rather than running back to back: on a
+    // shared host, machine-wide speed drifts over a fraction of a
+    // second, and sequential windows fold that drift into the ratio —
+    // interleaving cancels it. ---
+    let kernel_weights = CMat::from_fn(10, 784, |_, _| rng.complex_gaussian(1.0));
+    let kernel_schedule = mapper.map(&kernel_weights, C64::ZERO);
+    let kernel_h = metaai::ota::realize_channels(&kernel_schedule, &mapper.link, &array);
+    let kernel_x = CVec::from_fn(784, |_| rng.complex_gaussian(1.0));
+    let mut kernel_cond = metaai::ota::OtaConditions::ideal(784);
+    kernel_cond.awgn.variance =
+        metaai::ota::signal_power(&kernel_h) / metaai_math::stats::from_db(config.snr_db);
+    kernel_cond.sync_shift = -3;
+    let kernel_engine = metaai::engine::OtaEngine::new(&kernel_h);
+    let (mut fused_done, mut scalar_done) = (0u64, 0u64);
+    let mut fused_time = std::time::Duration::ZERO;
+    let mut scalar_time = std::time::Duration::ZERO;
+    let slice = std::time::Duration::from_millis(25);
+    let mut fused_rng = SimRng::seed_from_u64(1);
+    let mut scalar_rng = SimRng::seed_from_u64(1);
+    let mut kernel_out = Vec::new();
+    for _ in 0..64 {
+        let started = Instant::now();
+        while started.elapsed() < slice {
+            kernel_engine.scores_into(&kernel_x, &kernel_cond, &mut fused_rng, &mut kernel_out);
+            black_box(kernel_out[0]);
+            fused_done += 1;
+        }
+        fused_time += started.elapsed();
+        let started = Instant::now();
+        while started.elapsed() < slice {
+            black_box(kernel_engine.scores_scalar(&kernel_x, &kernel_cond, &mut scalar_rng)[0]);
+            scalar_done += 1;
+        }
+        scalar_time += started.elapsed();
+    }
+    let fused_core_sps = fused_done as f64 / fused_time.as_secs_f64();
+    let scalar_core_sps = scalar_done as f64 / scalar_time.as_secs_f64();
 
     let serve_cfg = ServeConfig {
         workers: 2,
@@ -347,9 +413,11 @@ fn main() {
     let telemetry = telemetry.trim_end().replace('\n', "\n  ");
 
     let json = format!(
-        "{{\n  \"pr\": {pr},\n  \"cores\": {cores},\n  \"train\": {{\n    \"workload\": \"toy_problem 10x64, 400 samples, 2 epochs, cdfa\",\n    \"engine_samples_per_sec\": {train_engine_sps:.1},\n    \"sequential_samples_per_sec\": {train_seq_sps:.1},\n    \"speedup\": {:.3}\n  }},\n  \"solver\": {{\n    \"workload\": \"WeightMapper::map 10x32 weights, 256 atoms\",\n    \"map_solves_per_sec\": {map_solves_per_sec:.1},\n    \"table_kernel_solves_per_sec\": {table_solves_per_sec:.1},\n    \"reference_kernel_solves_per_sec\": {ref_solves_per_sec:.1},\n    \"kernel_speedup\": {:.3}\n  }},\n  \"accuracy\": {{\n    \"workload\": \"afhq quick, 8 epochs, cdfa, seed 42\",\n    \"digital\": {digital_accuracy:.6},\n    \"ota\": {ota_accuracy:.6}\n  }},\n  \"serve\": {{\n    \"workload\": \"afhq quick deployment over TCP loopback, 2 conn x depth 256, 2s\",\n    \"serve_samples_per_sec\": {serve_sps:.1},\n    \"per_request_samples_per_sec\": {per_request_sps:.1},\n    \"amortization\": {:.3},\n    \"p50_latency_us\": {serve_p50:.1},\n    \"p99_latency_us\": {serve_p99:.1},\n    \"shed_rate\": {:.6},\n    \"mixed_workload\": \"afhq + afhq-b (same deployment) over v2 frames, 2 conn x depth 256, 2s\",\n    \"mixed_samples_per_sec\": {mixed_sps:.1},\n    \"models\": {{\n{models_json}\n    }}\n  }},\n  \"telemetry\": {telemetry}\n}}\n",
+        "{{\n  \"pr\": {pr},\n  \"cores\": {cores},\n  \"train\": {{\n    \"workload\": \"toy_problem 10x64, 400 samples, 2 epochs, cdfa\",\n    \"engine_samples_per_sec\": {train_engine_sps:.1},\n    \"sequential_samples_per_sec\": {train_seq_sps:.1},\n    \"speedup\": {:.3}\n  }},\n  \"solver\": {{\n    \"workload\": \"WeightMapper::map 10x32 weights, 256 atoms\",\n    \"map_solves_per_sec\": {map_solves_per_sec:.1},\n    \"table_kernel_solves_per_sec\": {table_solves_per_sec:.1},\n    \"reference_kernel_solves_per_sec\": {ref_solves_per_sec:.1},\n    \"kernel_speedup\": {:.3}\n  }},\n  \"accuracy\": {{\n    \"workload\": \"afhq quick, 8 epochs, cdfa, seed 42\",\n    \"digital\": {digital_accuracy:.6},\n    \"ota\": {ota_accuracy:.6}\n  }},\n  \"engine\": {{\n    \"workload\": \"afhq quick deployment, per-sample conditions + scoring, single thread\",\n    \"samples_per_core_sec\": {engine_core_sps:.1},\n    \"vs_per_request\": {:.3},\n    \"kernel\": {{\n      \"workload\": \"paper-default 10x784 channels, cancellation + noise + residual shift, single thread\",\n      \"fused_samples_per_core_sec\": {fused_core_sps:.1},\n      \"scalar_samples_per_core_sec\": {scalar_core_sps:.1},\n      \"fused_speedup\": {:.3}\n    }}\n  }},\n  \"serve\": {{\n    \"workload\": \"afhq quick deployment over TCP loopback, 2 conn x depth 256, 2s\",\n    \"serve_samples_per_sec\": {serve_sps:.1},\n    \"per_request_samples_per_sec\": {per_request_sps:.1},\n    \"amortization\": {:.3},\n    \"p50_latency_us\": {serve_p50:.1},\n    \"p99_latency_us\": {serve_p99:.1},\n    \"shed_rate\": {:.6},\n    \"mixed_workload\": \"afhq + afhq-b (same deployment) over v2 frames, 2 conn x depth 256, 2s\",\n    \"mixed_samples_per_sec\": {mixed_sps:.1},\n    \"models\": {{\n{models_json}\n    }}\n  }},\n  \"telemetry\": {telemetry}\n}}\n",
         train_engine_sps / train_seq_sps,
         table_solves_per_sec / ref_solves_per_sec,
+        engine_core_sps / per_request_sps,
+        fused_core_sps / scalar_core_sps,
         serve_sps / per_request_sps,
         load_report.shed_rate(),
     );

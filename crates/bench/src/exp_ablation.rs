@@ -184,7 +184,7 @@ pub fn multipath_scheme_comparison(ctx: &ExpContext) -> Vec<(&'static str, f64, 
         .config(base.clone())
         .deploy(net.clone());
     sys_eqn8.schedule = sched_eqn8;
-    sys_eqn8.channels = realize_channels(&sys_eqn8.schedule, &mapper.link, &array);
+    sys_eqn8.set_channels(realize_channels(&sys_eqn8.schedule, &mapper.link, &array));
 
     // Cancellation: the standard deployment.
     let sys_cancel = probe;

@@ -3,8 +3,10 @@
 //! CI regenerates a fresh report with `perf_report` and compares it
 //! against the committed baseline with [`compare`]:
 //!
-//! * any numeric leaf whose key ends in `_per_sec` is a throughput
-//!   figure and may not regress by more than `max_regress` (relative);
+//! * any numeric leaf whose key ends in `_per_sec` (an absolute rate) or
+//!   `_per_core_sec` (a core-normalized rate, e.g. the engine's
+//!   single-thread scoring throughput) is a throughput figure and may not
+//!   regress by more than `max_regress` (relative);
 //! * any numeric leaf under the `accuracy` object is a tier-1 accuracy
 //!   figure and may not drop at all (within float-printing epsilon) —
 //!   the workloads are fully seeded, so baseline and fresh runs produce
@@ -251,6 +253,13 @@ pub fn flatten(value: &Json) -> BTreeMap<String, f64> {
 /// noise, not a real drop.
 const ACCURACY_EPS: f64 = 1e-6;
 
+/// Whether a flattened path names a gated throughput figure: absolute
+/// rates end in `_per_sec`, core-normalized rates in `_per_core_sec`
+/// (which plain suffix matching on `_per_sec` would miss).
+fn is_throughput_key(path: &str) -> bool {
+    path.ends_with("_per_sec") || path.ends_with("_per_core_sec")
+}
+
 /// The result of gating a fresh report against a baseline.
 #[derive(Debug, Default)]
 pub struct GateReport {
@@ -292,7 +301,7 @@ pub fn compare(baseline: &Json, fresh: &Json, max_regress: f64) -> GateReport {
         if path.starts_with("telemetry.") || path == "pr" || path == "cores" {
             continue;
         }
-        let is_throughput = path.ends_with("_per_sec");
+        let is_throughput = is_throughput_key(path);
         let is_accuracy = path.starts_with("accuracy.");
         if !is_throughput && !is_accuracy {
             continue;
@@ -326,8 +335,7 @@ pub fn compare(baseline: &Json, fresh: &Json, max_regress: f64) -> GateReport {
     // not need its baseline hand-edited. They become gated once the
     // baseline is regenerated with them included.
     for (path, &f) in &new {
-        if path.ends_with("_per_sec") && !path.starts_with("telemetry.") && !base.contains_key(path)
-        {
+        if is_throughput_key(path) && !path.starts_with("telemetry.") && !base.contains_key(path) {
             report.warnings.push(format!(
                 "{path}: new throughput metric not in baseline (fresh {f:.1}); \
                  advisory until the baseline is regenerated"
@@ -453,6 +461,41 @@ mod tests {
         assert!(r.passed(), "failures: {:?}", r.failures);
         assert_eq!(r.warnings.len(), 1);
         assert!(r.warnings[0].contains("serve_samples_per_sec"));
+        assert!(r.warnings[0].contains("advisory"));
+    }
+
+    #[test]
+    fn per_core_throughput_metric_is_gated() {
+        let base = parse(&BASE.replace(
+            "\"speedup\": 2.0",
+            "\"speedup\": 2.0, \"samples_per_core_sec\": 12000.0",
+        ))
+        .expect("parse");
+        // A >15 % single-core regression must fail the gate.
+        let fresh = parse(&BASE.replace(
+            "\"speedup\": 2.0",
+            "\"speedup\": 2.0, \"samples_per_core_sec\": 9000.0",
+        ))
+        .expect("parse");
+        let r = compare(&base, &fresh, 0.15);
+        assert!(!r.passed());
+        assert!(r.failures[0].contains("samples_per_core_sec"));
+        // Within tolerance passes.
+        assert!(compare(&base, &base, 0.15).passed());
+    }
+
+    #[test]
+    fn fresh_only_per_core_metric_warns_but_passes() {
+        let base = parse(BASE).expect("parse");
+        let fresh = parse(&BASE.replace(
+            "\"speedup\": 2.0",
+            "\"speedup\": 2.0, \"samples_per_core_sec\": 12000.0",
+        ))
+        .expect("parse");
+        let r = compare(&base, &fresh, 0.15);
+        assert!(r.passed(), "failures: {:?}", r.failures);
+        assert_eq!(r.warnings.len(), 1);
+        assert!(r.warnings[0].contains("samples_per_core_sec"));
         assert!(r.warnings[0].contains("advisory"));
     }
 

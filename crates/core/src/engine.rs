@@ -13,10 +13,24 @@
 //!   index arithmetic on the input slice instead of materializing a
 //!   shifted `CVec` per output row (the legacy path allocated and copied
 //!   `R` shifted vectors per sample).
-//! * **Shared per-symbol weight chips.** The effective weight
-//!   `h = H[r,i] · mts_factor[i]` is computed once per symbol and both
-//!   chip polarities derive from it through `chip_signal`; the traced
-//!   and untraced paths call the *same* function, so they cannot drift.
+//! * **Fused K-class SoA kernel.** Scoring resolves the symbol stream
+//!   *once* per sample — the paper's Eqn 9/10 parallelism, where all K
+//!   class scores fall out of a single transmission. A chip stage
+//!   resolves the cyclic shift and materializes the shifted symbols and
+//!   environment gains into split re/im scratch (`EngineScratch`,
+//!   thread-local so batch workers reuse one allocation); the
+//!   accumulation stage then runs each output row as a pure complex dot
+//!   product of those SoA slices against the channel matrix's precomputed
+//!   split re/im planes ([`CPlanes`]), several rows per sweep with
+//!   register-resident accumulators — plain `f64` multiply-adds, no
+//!   intrinsics, on stable rustc. The arithmetic mirrors `symbol_signal`
+//!   operation-for-operation, so the fused scores are bitwise identical
+//!   to the scalar reference kernel ([`OtaEngine::scores_scalar`], the
+//!   pre-fusion loop kept as the executable specification).
+//! * **Shared per-symbol chip staging.** The traced path reads the same
+//!   staged shift/symbol/gain values as the scoring kernel and derives
+//!   both chip polarities through the same `chip_signal`, so traced and
+//!   untraced chips cannot drift.
 //! * **Aggregated receiver noise.** The legacy path drew one complex
 //!   Gaussian per chip. Noise enters the accumulation additively, and a
 //!   sum of `k` independent `CN(0, σ²)` draws is exactly one
@@ -38,10 +52,12 @@ use crate::ota::OtaConditions;
 use crate::trace::{InferenceTrace, TraceRow};
 use metaai_math::rng::SimRng;
 use metaai_math::stats::argmax;
-use metaai_math::{CMat, CVec, C64};
+use metaai_math::{cyclic_offset, shifted_index, CMat, CPlanes, CVec, C64};
 use metaai_phy::shaping;
 use metaai_telemetry::{Counter, Histogram};
 use rayon::prelude::*;
+use std::borrow::Cow;
+use std::cell::RefCell;
 use std::sync::OnceLock;
 
 /// Inference-stage instruments, registered once with the global registry.
@@ -165,16 +181,265 @@ fn noise_draws_per_row(n_symbols: usize, cancellation: bool) -> usize {
     }
 }
 
+/// Reusable split re/im scratch for the fused kernel.
+///
+/// The chip stage writes per-symbol values here once per sample; the
+/// accumulation stage reads them back as scalar broadcasts while streaming
+/// the channel planes. One instance lives per thread (see [`SCRATCH`]), so
+/// rayon batch workers and serve worker threads each reuse a single
+/// allocation across every sample they score without a scratch handle
+/// threading through the public API.
+#[derive(Default)]
+struct EngineScratch {
+    /// Shifted input symbols `x[(i + shift) mod u]`, split re/im.
+    x_re: Vec<f64>,
+    x_im: Vec<f64>,
+    /// Environment gains `H_e(i)`, split re/im.
+    e_re: Vec<f64>,
+    e_im: Vec<f64>,
+}
+
+impl EngineScratch {
+    /// The chip stage: resolves the cyclic shift once and materializes the
+    /// shifted symbols and environment gains for `0..u` — the per-symbol
+    /// values every output row shares, computed once per *sample* instead
+    /// of once per row. [`OtaEngine::traced`] reads the same staged
+    /// values, so traced and untraced chips cannot drift.
+    fn stage_chips(&mut self, x: &CVec, cond: &OtaConditions) {
+        let u = x.len();
+        let offset = cyclic_offset(cond.sync_shift, u);
+        let xs = x.as_slice();
+        self.x_re.clear();
+        self.x_im.clear();
+        self.e_re.clear();
+        self.e_im.clear();
+        self.x_re.reserve(u);
+        self.x_im.reserve(u);
+        self.e_re.reserve(u);
+        self.e_im.reserve(u);
+        for i in 0..u {
+            let xi = xs[shifted_index(i, offset, u)];
+            let he = cond.env.gain_at(i);
+            self.x_re.push(xi.re);
+            self.x_im.push(xi.im);
+            self.e_re.push(he.re);
+            self.e_im.push(he.im);
+        }
+    }
+}
+
+/// Widest accumulation sweep in the block cascade (8/4/2/1). Each row's
+/// dot product is a serial chain of two dependent `f64` adds; running a
+/// block of independent chains side by side fills SIMD lanes and hides
+/// that latency without reassociating any single row's sum (each row
+/// keeps its own strictly serial symbol order, so blocking is
+/// bitwise-invisible). The cascade keeps small class counts lane-packed
+/// too: K=5 sweeps as 4+1 instead of five scalar passes.
+const ROW_BLOCK: usize = 8;
+
+/// Minimum output rows for the fused path to win. Measured break-even
+/// (U=900, cancellation on): at K=3 the chip stage still costs more than
+/// the `K×U` re-derivations it removes and split-form sweeps can't fill
+/// their lanes (fused ≈0.88× scalar); from K=4 the fused kernel wins and
+/// keeps growing (≈1.25× at K=4, ≈1.8× at K=10, ≈2.2× at K=16). Below
+/// the threshold the engine scores through the bitwise-identical scalar
+/// path instead.
+const FUSED_MIN_ROWS: usize = 4;
+
+/// The accumulation stage for one block of `N` output rows: `N`
+/// simultaneous complex dot products of the staged symbol stream against
+/// the channel planes, accumulators held in registers.
+///
+/// The column-major planes put the block's channel entries `H[r..r+N, i]`
+/// in one contiguous run per component, so the `k` loop (a compile-time
+/// constant trip count) maps onto SIMD lanes with plain vector loads —
+/// the per-symbol scalars broadcast across the block. The arithmetic per
+/// row mirrors `symbol_signal` operation-for-operation in split re/im
+/// form — see [`OtaEngine::score_rows`] for the bitwise argument.
+#[inline(always)]
+fn sweep_rows<const N: usize>(
+    planes: &CPlanes,
+    first_row: usize,
+    s: &EngineScratch,
+    mf: &[f64],
+    cancellation: bool,
+) -> [(f64, f64); N] {
+    let u = mf.len();
+    let x_re = &s.x_re[..u];
+    let x_im = &s.x_im[..u];
+    let e_re = &s.e_re[..u];
+    let e_im = &s.e_im[..u];
+    let mut acc_re = [0.0f64; N];
+    let mut acc_im = [0.0f64; N];
+    if cancellation {
+        // `symbol_signal`'s two chips, expanded in split form:
+        // (He + W)·x on slot 0, (He − W)·(−x) on slot 1, summed before
+        // joining the accumulator.
+        for i in 0..u {
+            let c_re = &planes.col_re(i)[first_row..first_row + N];
+            let c_im = &planes.col_im(i)[first_row..first_row + N];
+            let (xr, xi) = (x_re[i], x_im[i]);
+            let (er, ei) = (e_re[i], e_im[i]);
+            let m = mf[i];
+            let (nxr, nxi) = (-xr, -xi);
+            for k in 0..N {
+                let hr = c_re[k] * m;
+                let hi = c_im[k] * m;
+                let (ar, ai) = (er + hr, ei + hi);
+                let c0r = ar * xr - ai * xi;
+                let c0i = ar * xi + ai * xr;
+                let (br, bi) = (er - hr, ei - hi);
+                let c1r = br * nxr - bi * nxi;
+                let c1i = br * nxi + bi * nxr;
+                acc_re[k] += c0r + c1r;
+                acc_im[k] += c0i + c1i;
+            }
+        }
+    } else {
+        // `(He + H)·x`, split form of the uncancelled symbol.
+        for i in 0..u {
+            let c_re = &planes.col_re(i)[first_row..first_row + N];
+            let c_im = &planes.col_im(i)[first_row..first_row + N];
+            let (xr, xi) = (x_re[i], x_im[i]);
+            let (er, ei) = (e_re[i], e_im[i]);
+            let m = mf[i];
+            for k in 0..N {
+                let hr = c_re[k] * m;
+                let hi = c_im[k] * m;
+                let (ar, ai) = (er + hr, ei + hi);
+                acc_re[k] += ar * xr - ai * xi;
+                acc_im[k] += ar * xi + ai * xr;
+            }
+        }
+    }
+    std::array::from_fn(|k| (acc_re[k], acc_im[k]))
+}
+
+/// AVX2 instantiations of [`sweep_rows`] for every block width in the
+/// cascade, plus the runtime dispatch that picks them.
+///
+/// `#[target_feature(enable = "avx2")]` recompiles the *same* safe Rust
+/// body with 256-bit vectors available; autovectorization widens the
+/// block's lanes from 2 (baseline SSE2) to 4. No intrinsics are involved,
+/// and FMA stays off deliberately: rustc never contracts `mul` + `add`
+/// on its own, so every lane computes the identical `f64` sequence on
+/// every path — ISA dispatch is bitwise-invisible.
+#[cfg(target_arch = "x86_64")]
+mod sweep_x86 {
+    use super::{sweep_rows, CPlanes, EngineScratch};
+
+    macro_rules! dispatch {
+        ($name:ident, $avx2:ident, $n:expr) => {
+            #[target_feature(enable = "avx2")]
+            unsafe fn $avx2(
+                planes: &CPlanes,
+                first_row: usize,
+                s: &EngineScratch,
+                mf: &[f64],
+                cancellation: bool,
+            ) -> [(f64, f64); $n] {
+                sweep_rows::<$n>(planes, first_row, s, mf, cancellation)
+            }
+
+            #[inline]
+            pub fn $name(
+                planes: &CPlanes,
+                first_row: usize,
+                s: &EngineScratch,
+                mf: &[f64],
+                cancellation: bool,
+            ) -> [(f64, f64); $n] {
+                if std::arch::is_x86_feature_detected!("avx2") {
+                    // SAFETY: guarded by the runtime feature check above.
+                    unsafe { $avx2(planes, first_row, s, mf, cancellation) }
+                } else {
+                    sweep_rows::<$n>(planes, first_row, s, mf, cancellation)
+                }
+            }
+        };
+    }
+
+    dispatch!(by8, by8_avx2, 8);
+    dispatch!(by4, by4_avx2, 4);
+    dispatch!(by2, by2_avx2, 2);
+    dispatch!(by1, by1_avx2, 1);
+}
+
+/// Portable fallback dispatch: the plain autovectorized sweeps.
+#[cfg(not(target_arch = "x86_64"))]
+mod sweep_portable {
+    use super::{sweep_rows, CPlanes, EngineScratch};
+
+    macro_rules! dispatch {
+        ($name:ident, $n:expr) => {
+            #[inline]
+            pub fn $name(
+                planes: &CPlanes,
+                first_row: usize,
+                s: &EngineScratch,
+                mf: &[f64],
+                cancellation: bool,
+            ) -> [(f64, f64); $n] {
+                sweep_rows::<$n>(planes, first_row, s, mf, cancellation)
+            }
+        };
+    }
+
+    dispatch!(by8, 8);
+    dispatch!(by4, 4);
+    dispatch!(by2, 2);
+    dispatch!(by1, 1);
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+use sweep_portable as sweep;
+#[cfg(target_arch = "x86_64")]
+use sweep_x86 as sweep;
+
+thread_local! {
+    /// Per-thread [`EngineScratch`]; the kernel never re-enters itself, so
+    /// the `RefCell` borrow is always uncontended.
+    static SCRATCH: RefCell<EngineScratch> = RefCell::new(EngineScratch::default());
+}
+
 /// A batched, scratch-reusing OTA inference engine over one deployed
 /// channel matrix `H[r, i]`.
+///
+/// Construction splits the matrix into column-major re/im planes
+/// ([`CPlanes`]) for the fused kernel. Callers that keep one matrix
+/// deployed across many requests (the serving path) should split the
+/// planes once and lend them via [`OtaEngine::with_planes`], making
+/// per-request engine construction free.
 pub struct OtaEngine<'a> {
     channels: &'a CMat,
+    planes: Cow<'a, CPlanes>,
 }
 
 impl<'a> OtaEngine<'a> {
-    /// Wraps a realized channel matrix.
+    /// Wraps a realized channel matrix, splitting it into SoA planes.
     pub fn new(channels: &'a CMat) -> Self {
-        OtaEngine { channels }
+        OtaEngine {
+            channels,
+            planes: Cow::Owned(CPlanes::from_cmat(channels)),
+        }
+    }
+
+    /// Wraps a channel matrix whose SoA planes were split up front.
+    ///
+    /// The caller owns coherence: `planes` must be a faithful copy of
+    /// `channels` ([`CPlanes::matches`], asserted in debug builds; shape
+    /// agreement is always asserted).
+    pub fn with_planes(channels: &'a CMat, planes: &'a CPlanes) -> Self {
+        assert_eq!(planes.rows(), channels.rows(), "planes/matrix row count");
+        assert_eq!(planes.cols(), channels.cols(), "planes/matrix col count");
+        debug_assert!(
+            planes.matches(channels),
+            "SoA planes are stale: rebuild them whenever the channel matrix changes"
+        );
+        OtaEngine {
+            channels,
+            planes: Cow::Borrowed(planes),
+        }
     }
 
     /// Number of output classes (`R`).
@@ -226,16 +491,120 @@ impl<'a> OtaEngine<'a> {
         }
     }
 
-    /// The scoring kernel: per-row accumulation with index-based cyclic
-    /// shift and row-aggregated noise.
+    /// The fused scoring kernel: the chip stage materializes the shifted,
+    /// conditioned symbol stream once per sample (`U` cheap ops instead of
+    /// `K×U` chip re-derivations — the paper's Eqn 9/10 parallelism, where
+    /// all K class scores fall out of a single transmission), then the
+    /// accumulation stage runs each output row as a pure complex dot
+    /// product over the staged SoA slices against the row's precomputed
+    /// re/im planes, [`ROW_BLOCK`] rows per sweep with accumulators in
+    /// registers.
+    ///
+    /// Bitwise equivalence with [`OtaEngine::scores_scalar`] rests on two
+    /// invariants:
+    ///
+    /// * Each row's accumulator sees additions in the same symbol order,
+    ///   with operand arithmetic mirroring `symbol_signal`
+    ///   operation-for-operation — no reassociation across symbols and no
+    ///   factoring the two cancellation chips into `2·W·x` — so every
+    ///   intermediate `f64` is identical. Row blocking only interleaves
+    ///   *independent* rows' chains; within a row nothing is reordered.
+    ///   (The only non-mirrored detail: `symbol_signal` folds its chips
+    ///   through an extra `C64::ZERO + …`, which can flip a zero's sign
+    ///   but never the accumulator's value, since a running sum seeded at
+    ///   `+0.0` cannot reach `-0.0`.)
+    /// * Accumulation consumes no randomness, and the single aggregate
+    ///   noise draw per row happens in ascending row order — exactly the
+    ///   RNG sequence the scalar kernel consumes (the sweeps between draws
+    ///   touch no RNG state).
+    ///
+    /// The sweeps are plain indexed `f64` arithmetic over contiguous plane
+    /// rows and staged slices — no intrinsics; stable rustc keeps the
+    /// block's accumulators in registers and schedules the independent
+    /// row chains in parallel.
     #[inline]
     fn score_rows(&self, x: &CVec, cond: &OtaConditions, rng: &mut SimRng, out: &mut Vec<f64>) {
         let u = x.len();
-        let shift = if u == 0 {
-            0
-        } else {
-            cond.sync_shift.rem_euclid(u as isize) as usize
-        };
+        let rows = self.channels.rows();
+        if rows < FUSED_MIN_ROWS {
+            // Below the break-even class count the chip stage cannot
+            // amortize, and the scalar path's interleaved complex ops
+            // already pair re/im into SIMD lanes — it is simply faster.
+            // The two paths are bitwise identical (proptest-pinned), so
+            // this dispatch is invisible in every output and RNG stream.
+            self.score_rows_scalar(x, cond, rng, out);
+            return;
+        }
+        let noise_var = cond.awgn.variance * noise_draws_per_row(u, cond.cancellation) as f64;
+        let planes = self.planes.as_ref();
+        let mf = &cond.mts_factor[..u];
+
+        SCRATCH.with(|cell| {
+            let mut borrow = cell.borrow_mut();
+            borrow.stage_chips(x, cond);
+            let s = &*borrow;
+
+            out.clear();
+            out.reserve(rows);
+            let finalize = |acc: (f64, f64), rng: &mut SimRng, out: &mut Vec<f64>| {
+                let mut z = C64::new(acc.0, acc.1);
+                if noise_var > 0.0 {
+                    z += rng.complex_gaussian(noise_var);
+                }
+                out.push(z.abs());
+            };
+
+            let mut r = 0;
+            while r + ROW_BLOCK <= rows {
+                for acc in sweep::by8(planes, r, s, mf, cond.cancellation) {
+                    finalize(acc, rng, out);
+                }
+                r += ROW_BLOCK;
+            }
+            if r + 4 <= rows {
+                for acc in sweep::by4(planes, r, s, mf, cond.cancellation) {
+                    finalize(acc, rng, out);
+                }
+                r += 4;
+            }
+            if r + 2 <= rows {
+                for acc in sweep::by2(planes, r, s, mf, cond.cancellation) {
+                    finalize(acc, rng, out);
+                }
+                r += 2;
+            }
+            if r < rows {
+                let [acc] = sweep::by1(planes, r, s, mf, cond.cancellation);
+                finalize(acc, rng, out);
+            }
+        });
+    }
+
+    /// The scalar reference kernel: the pre-fusion per-row loop, kept as
+    /// the executable specification the fused kernel is proptested against
+    /// (and as the `legacy` arm of the `engine_throughput` bench). It is
+    /// also the production path below [`FUSED_MIN_ROWS`] output rows,
+    /// where the fused kernel's chip stage cannot amortize.
+    ///
+    /// Performs `K×U` chip re-derivations where the fused kernel does `U`;
+    /// output and RNG consumption are bitwise identical to
+    /// [`OtaEngine::scores`].
+    pub fn scores_scalar(&self, x: &CVec, cond: &OtaConditions, rng: &mut SimRng) -> Vec<f64> {
+        self.check_shapes(x, cond);
+        let mut out = Vec::with_capacity(self.channels.rows());
+        self.score_rows_scalar(x, cond, rng, &mut out);
+        out
+    }
+
+    fn score_rows_scalar(
+        &self,
+        x: &CVec,
+        cond: &OtaConditions,
+        rng: &mut SimRng,
+        out: &mut Vec<f64>,
+    ) {
+        let u = x.len();
+        let offset = cyclic_offset(cond.sync_shift, u);
         let xs = x.as_slice();
         let noise_var = cond.awgn.variance * noise_draws_per_row(u, cond.cancellation) as f64;
 
@@ -247,11 +616,9 @@ impl<'a> OtaEngine<'a> {
             for (i, &hri) in h_row.iter().enumerate() {
                 // Index-based cyclic shift: xs[(i + shift) mod u] without
                 // materializing a shifted copy per row.
-                let j = i + shift;
-                let j = if j >= u { j - u } else { j };
                 let h = hri * cond.mts_factor[i];
                 let he = cond.env.gain_at(i);
-                acc += symbol_signal(h, he, xs[j], cond.cancellation);
+                acc += symbol_signal(h, he, xs[shifted_index(i, offset, u)], cond.cancellation);
             }
             if noise_var > 0.0 {
                 acc += rng.complex_gaussian(noise_var);
@@ -276,58 +643,56 @@ impl<'a> OtaEngine<'a> {
 
     /// One traced inference: every chip and accumulator state recorded.
     ///
-    /// The signal arithmetic is `chip_signal` — shared with the scoring
-    /// kernel, so traced and untraced scores are bitwise identical in the
-    /// noiseless case. Receiver noise, when enabled, is resolved per chip
-    /// here (the trace reports chip-level values) while the scoring kernel
-    /// draws the distributionally identical row-level aggregate.
+    /// The per-symbol values come from the same chip stage
+    /// (`EngineScratch::stage_chips`) the scoring kernel reads, and the
+    /// signal arithmetic is the shared `chip_signal` — so traced and
+    /// untraced scores are bitwise identical in the noiseless case.
+    /// Receiver noise, when enabled, is resolved per chip here (the trace
+    /// reports chip-level values) while the scoring kernel draws the
+    /// distributionally identical row-level aggregate.
     pub fn traced(&self, x: &CVec, cond: &OtaConditions, rng: &mut SimRng) -> InferenceTrace {
         assert!(cond.cancellation, "the trace records the chip-level scheme");
         self.check_shapes(x, cond);
         let u = x.len();
-        let shift = if u == 0 {
-            0
-        } else {
-            cond.sync_shift.rem_euclid(u as isize) as usize
-        };
-        let xs = x.as_slice();
         let noisy = cond.awgn.variance > 0.0;
 
         let r_total = self.channels.rows();
         let mut rows = Vec::with_capacity(r_total * u);
         let mut scores = Vec::with_capacity(r_total);
-        for r in 0..r_total {
-            let h_row = self.channels.row(r);
-            let mut acc = C64::ZERO;
-            for (i, &hri) in h_row.iter().enumerate() {
-                let j = i + shift;
-                let j = if j >= u { j - u } else { j };
-                let xi = xs[j];
-                let h = hri * cond.mts_factor[i];
-                let he = cond.env.gain_at(i);
-                let mut chips = [C64::ZERO; shaping::SLOTS_PER_SYMBOL];
-                let mut sum = C64::ZERO;
-                for (slot, chip_out) in chips.iter_mut().enumerate() {
-                    let mut y = chip_signal(h, he, xi, slot);
-                    if noisy {
-                        y += cond.awgn.sample(rng);
+        SCRATCH.with(|cell| {
+            let s = &mut *cell.borrow_mut();
+            s.stage_chips(x, cond);
+            for r in 0..r_total {
+                let h_row = self.channels.row(r);
+                let mut acc = C64::ZERO;
+                for (i, &hri) in h_row.iter().enumerate() {
+                    let xi = C64::new(s.x_re[i], s.x_im[i]);
+                    let he = C64::new(s.e_re[i], s.e_im[i]);
+                    let h = hri * cond.mts_factor[i];
+                    let mut chips = [C64::ZERO; shaping::SLOTS_PER_SYMBOL];
+                    let mut sum = C64::ZERO;
+                    for (slot, chip_out) in chips.iter_mut().enumerate() {
+                        let mut y = chip_signal(h, he, xi, slot);
+                        if noisy {
+                            y += cond.awgn.sample(rng);
+                        }
+                        *chip_out = y;
+                        sum += y;
                     }
-                    *chip_out = y;
-                    sum += y;
+                    acc += sum;
+                    rows.push(TraceRow {
+                        output: r,
+                        symbol: i,
+                        x: xi,
+                        weight: h,
+                        env: he,
+                        chips,
+                        accumulator: acc,
+                    });
                 }
-                acc += sum;
-                rows.push(TraceRow {
-                    output: r,
-                    symbol: i,
-                    x: xi,
-                    weight: h,
-                    env: he,
-                    chips,
-                    accumulator: acc,
-                });
+                scores.push(acc.abs());
             }
-            scores.push(acc.abs());
-        }
+        });
 
         let predicted = argmax(&scores);
         if let Some(m) = tele() {
@@ -643,6 +1008,49 @@ mod tests {
         assert!(engine
             .batch_predict_with(&[], 1, 2, |_| OtaConditions::ideal(4))
             .is_empty());
+    }
+
+    #[test]
+    fn fused_matches_scalar_reference_bitwise() {
+        let (h, inputs) = setup(5, 11, 20);
+        let engine = OtaEngine::new(&h);
+        for &(shift, noisy, cancel) in &[
+            (-3isize, true, true),
+            (0, false, true),
+            (7, true, false),
+            (25, false, false),
+        ] {
+            let mut cond = busy_conditions(11, 21, noisy);
+            cond.sync_shift = shift;
+            cond.cancellation = cancel;
+            for x in &inputs {
+                let mut r1 = SimRng::seed_from_u64(5);
+                let mut r2 = SimRng::seed_from_u64(5);
+                let fused = engine.scores(x, &cond, &mut r1);
+                let scalar = engine.scores_scalar(x, &cond, &mut r2);
+                assert_eq!(fused.len(), scalar.len());
+                for (a, b) in fused.iter().zip(&scalar) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "shift {shift}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn borrowed_planes_match_owned_planes_bitwise() {
+        let (h, inputs) = setup(4, 8, 22);
+        let cond = busy_conditions(8, 23, true);
+        let planes = metaai_math::CPlanes::from_cmat(&h);
+        let owned = OtaEngine::new(&h);
+        let lent = OtaEngine::with_planes(&h, &planes);
+        for x in &inputs {
+            let mut r1 = SimRng::seed_from_u64(9);
+            let mut r2 = SimRng::seed_from_u64(9);
+            assert_eq!(
+                owned.scores(x, &cond, &mut r1),
+                lent.scores(x, &cond, &mut r2)
+            );
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@ use crate::engine::{InferenceOutcome, InferenceRequest, OtaEngine};
 use crate::mapper::{WeightMapper, WeightSchedule};
 use crate::ota::{realize_channels, signal_power, OtaConditions};
 use metaai_math::rng::SimRng;
-use metaai_math::{CMat, CVec, C64};
+use metaai_math::{CMat, CPlanes, CVec, C64};
 use metaai_mts::array::MtsArray;
 use metaai_nn::complex_lnn::ComplexLnn;
 use metaai_nn::data::ComplexDataset;
@@ -59,11 +59,18 @@ pub struct MetaAiSystem {
     /// The solved metasurface schedule.
     pub schedule: WeightSchedule,
     /// Realized physical channels `H[r, i]` ("prototype model").
+    ///
+    /// Prefer [`MetaAiSystem::set_channels`] for replacing the matrix: the
+    /// system caches a split re/im copy of the channels for the fused
+    /// scoring kernel, and `set_channels` keeps that cache coherent.
     pub channels: CMat,
     /// Receiver noise variance — a *fixed* thermal floor, anchored so the
     /// reference geometry sees `config.snr_db`. Redeployments keep the
     /// floor: moving the receiver changes signal power, not noise.
     pub noise_floor: f64,
+    /// Column-major re/im planes of `channels`, split once at deployment
+    /// so per-request engines ([`MetaAiSystem::engine`]) skip the split.
+    planes: CPlanes,
 }
 
 /// Staged construction of a [`MetaAiSystem`].
@@ -130,6 +137,7 @@ impl SystemBuilder {
         let schedule = mapper.map(&net.weights, C64::ZERO);
         let channels = realize_channels(&schedule, &mapper.link, &array);
         let noise_floor = signal_power(&channels) / metaai_math::stats::from_db(config.snr_db);
+        let planes = CPlanes::from_cmat(&channels);
         MetaAiSystem {
             config,
             array,
@@ -138,6 +146,7 @@ impl SystemBuilder {
             schedule,
             channels,
             noise_floor,
+            planes,
         }
     }
 
@@ -185,9 +194,24 @@ impl MetaAiSystem {
         }
     }
 
+    /// Replaces the realized channels, rebuilding the cached SoA planes
+    /// the fused scoring kernel reads.
+    ///
+    /// `channels` is a public field for read access and compatibility, but
+    /// assigning it directly leaves the plane cache stale — fault-injection
+    /// and ablation harnesses that swap the matrix must come through here.
+    pub fn set_channels(&mut self, channels: CMat) {
+        self.channels = channels;
+        self.planes = CPlanes::from_cmat(&self.channels);
+    }
+
     /// The inference engine over this deployment's realized channels.
+    ///
+    /// Borrows the deployment-time SoA planes, so constructing an engine
+    /// per request costs nothing. Debug builds verify the plane cache is
+    /// coherent with [`MetaAiSystem::channels`].
     pub fn engine(&self) -> OtaEngine<'_> {
-        OtaEngine::new(&self.channels)
+        OtaEngine::with_planes(&self.channels, &self.planes)
     }
 
     /// Runs one inference request (scores, prediction, optional trace).

@@ -1,7 +1,38 @@
-//! Dense complex vectors.
+//! Dense complex vectors, and the cyclic-shift index arithmetic shared by
+//! every consumer of residual-synchronization-error models.
 
 use crate::complex::C64;
 use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// Normalizes a signed cyclic shift to a left-rotation offset in `0..n`
+/// (`0` when `n == 0`, so empty streams need no special-casing).
+///
+/// This is the one definition of the `rem_euclid` sync-shift arithmetic:
+/// [`CVec::cyclic_shift_signed`], the inference engine's index-based shift,
+/// and the traced path all go through it, so they cannot drift.
+#[inline]
+pub fn cyclic_offset(shift: isize, n: usize) -> usize {
+    if n == 0 {
+        0
+    } else {
+        shift.rem_euclid(n as isize) as usize
+    }
+}
+
+/// The source index for position `i` under a left rotation by `offset`:
+/// `(i + offset) mod n`, computed with a single wraparound comparison
+/// instead of a division (`i < n` and `offset < n` must already hold, as
+/// [`cyclic_offset`] guarantees for the offset).
+#[inline]
+pub fn shifted_index(i: usize, offset: usize, n: usize) -> usize {
+    debug_assert!(i < n && offset < n);
+    let j = i + offset;
+    if j >= n {
+        j - n
+    } else {
+        j
+    }
+}
 
 /// A dense, heap-allocated complex vector.
 ///
@@ -148,12 +179,7 @@ impl CVec {
     /// negative shifts right. Residual synchronization error after
     /// preamble centring has both signs.
     pub fn cyclic_shift_signed(&self, shift: isize) -> CVec {
-        let n = self.len();
-        if n == 0 {
-            return self.clone();
-        }
-        let s = shift.rem_euclid(n as isize) as usize;
-        self.cyclic_shift(s)
+        self.cyclic_shift(cyclic_offset(shift, self.len()))
     }
 }
 
@@ -252,6 +278,49 @@ mod tests {
         assert_eq!(a.cyclic_shift(3), a);
         // Shifts compose modulo n.
         assert_eq!(a.cyclic_shift(4), a.cyclic_shift(1));
+    }
+
+    #[test]
+    fn cyclic_offset_normalizes_every_sign_and_magnitude() {
+        // u == 0: no valid indices exist, the offset collapses to 0.
+        assert_eq!(cyclic_offset(0, 0), 0);
+        assert_eq!(cyclic_offset(-7, 0), 0);
+        assert_eq!(cyclic_offset(7, 0), 0);
+        // Negative shifts wrap to the equivalent left rotation.
+        assert_eq!(cyclic_offset(-1, 5), 4);
+        assert_eq!(cyclic_offset(-5, 5), 0);
+        assert_eq!(cyclic_offset(-13, 5), 2);
+        // shift >= u reduces modulo u.
+        assert_eq!(cyclic_offset(5, 5), 0);
+        assert_eq!(cyclic_offset(12, 5), 2);
+        // Already-normalized shifts pass through.
+        for s in 0..5 {
+            assert_eq!(cyclic_offset(s as isize, 5), s);
+        }
+    }
+
+    #[test]
+    fn shifted_index_wraps_once() {
+        let n = 6;
+        for offset in 0..n {
+            for i in 0..n {
+                assert_eq!(shifted_index(i, offset, n), (i + offset) % n);
+            }
+        }
+    }
+
+    #[test]
+    fn shift_helpers_agree_with_cyclic_shift_signed() {
+        let a = v(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (3.0, 0.0)]);
+        for shift in [-9isize, -4, -1, 0, 1, 3, 4, 11] {
+            let shifted = a.cyclic_shift_signed(shift);
+            let offset = cyclic_offset(shift, a.len());
+            for i in 0..a.len() {
+                assert_eq!(shifted[i], a[shifted_index(i, offset, a.len())]);
+            }
+        }
+        // The empty vector round-trips through the helpers untouched.
+        assert_eq!(CVec::zeros(0).cyclic_shift_signed(-3), CVec::zeros(0));
     }
 
     #[test]

@@ -11,8 +11,11 @@
 //! * descriptive statistics ([`stats`]) for the experiment harness, and
 //! * deterministic, seedable random sources ([`rng`]).
 //!
-//! Everything is written for clarity first; the matrices involved are small
-//! (hundreds by tens), so cache-oblivious blocking or SIMD would be noise.
+//! Everything is written for clarity first. The one concession to raw speed
+//! is [`CPlanes`], a split re/im column-major copy of a [`CMat`] that the
+//! inference engine's fused scoring kernel streams through the autovectorizer;
+//! everywhere else the matrices involved are small (hundreds by tens) and
+//! cache-oblivious blocking or explicit SIMD would be noise.
 
 pub mod cmat;
 pub mod complex;
@@ -20,9 +23,11 @@ pub mod cvec;
 pub mod fft;
 pub mod rmat;
 pub mod rng;
+pub mod soa;
 pub mod stats;
 
 pub use cmat::CMat;
 pub use complex::C64;
-pub use cvec::CVec;
+pub use cvec::{cyclic_offset, shifted_index, CVec};
 pub use rmat::RMat;
+pub use soa::CPlanes;

@@ -1,0 +1,142 @@
+//! Split-complex (structure-of-arrays) planar matrix layout.
+//!
+//! [`CMat`] stores complex entries interleaved (`re, im, re, im, …`) in
+//! row-major order — the right layout for row-at-a-time algorithms that
+//! think in [`crate::C64`]. The inference engine's fused scoring kernel
+//! sweeps a *block* of output rows at once: for each symbol `i` it wants
+//! the block's channel entries `H[r..r+N, i]` as one contiguous `f64` run
+//! per component, so the block maps onto SIMD lanes with plain vector
+//! loads — no gathers, no shuffles. [`CPlanes`] is that copy: a
+//! **column-major** pair of `f64` planes, built once per deployed channel
+//! matrix and reused for every sample scored against it.
+
+use crate::cmat::CMat;
+
+/// A column-major split re/im copy of a [`CMat`].
+///
+/// `col_re(c)[r]` equals `m[(r, c)].re` bitwise (and likewise for `im`);
+/// building the planes performs no arithmetic, so any kernel reading them
+/// sees exactly the matrix entries.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CPlanes {
+    rows: usize,
+    cols: usize,
+    re: Vec<f64>,
+    im: Vec<f64>,
+}
+
+impl CPlanes {
+    /// Splits `m` into column-major re/im planes.
+    pub fn from_cmat(m: &CMat) -> Self {
+        let (rows, cols) = (m.rows(), m.cols());
+        let mut re = vec![0.0; rows * cols];
+        let mut im = vec![0.0; rows * cols];
+        for r in 0..rows {
+            for (c, z) in m.row(r).iter().enumerate() {
+                re[c * rows + r] = z.re;
+                im[c * rows + r] = z.im;
+            }
+        }
+        CPlanes { rows, cols, re, im }
+    }
+
+    /// Number of rows of the source matrix.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns of the source matrix.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The real parts of column `c` — one `f64` per row, contiguous.
+    #[inline]
+    pub fn col_re(&self, c: usize) -> &[f64] {
+        &self.re[c * self.rows..(c + 1) * self.rows]
+    }
+
+    /// The imaginary parts of column `c` — one `f64` per row, contiguous.
+    #[inline]
+    pub fn col_im(&self, c: usize) -> &[f64] {
+        &self.im[c * self.rows..(c + 1) * self.rows]
+    }
+
+    /// Whether these planes are a faithful (bitwise) copy of `m`.
+    ///
+    /// Cached planes must be rebuilt whenever their source matrix changes;
+    /// this is the coherence check callers run in debug builds.
+    pub fn matches(&self, m: &CMat) -> bool {
+        self.rows == m.rows()
+            && self.cols == m.cols()
+            && (0..self.rows).all(|r| {
+                m.row(r).iter().enumerate().all(|(c, z)| {
+                    z.re.to_bits() == self.re[c * self.rows + r].to_bits()
+                        && z.im.to_bits() == self.im[c * self.rows + r].to_bits()
+                })
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::C64;
+    use crate::rng::SimRng;
+
+    fn random_mat(rows: usize, cols: usize, seed: u64) -> CMat {
+        let mut rng = SimRng::seed_from_u64(seed);
+        CMat::from_fn(rows, cols, |_, _| rng.complex_gaussian(1.0))
+    }
+
+    #[test]
+    fn planes_transpose_the_matrix_bitwise() {
+        let m = random_mat(5, 9, 1);
+        let p = CPlanes::from_cmat(&m);
+        assert_eq!(p.rows(), 5);
+        assert_eq!(p.cols(), 9);
+        for c in 0..9 {
+            let (re, im) = (p.col_re(c), p.col_im(c));
+            assert_eq!(re.len(), 5);
+            for r in 0..5 {
+                assert_eq!(re[r].to_bits(), m[(r, c)].re.to_bits());
+                assert_eq!(im[r].to_bits(), m[(r, c)].im.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn matches_detects_any_entry_change() {
+        let m = random_mat(3, 4, 2);
+        let p = CPlanes::from_cmat(&m);
+        assert!(p.matches(&m));
+        let mut stale = m.clone();
+        let z = stale[(2, 1)];
+        stale[(2, 1)] = C64::new(f64::from_bits(z.re.to_bits() ^ 1), z.im);
+        assert!(!p.matches(&stale));
+    }
+
+    #[test]
+    fn matches_rejects_shape_mismatch() {
+        let p = CPlanes::from_cmat(&random_mat(3, 4, 3));
+        assert!(!p.matches(&CMat::zeros(4, 3)));
+        assert!(!p.matches(&CMat::zeros(3, 5)));
+    }
+
+    #[test]
+    fn degenerate_shapes_are_fine() {
+        let p = CPlanes::from_cmat(&CMat::zeros(0, 0));
+        assert_eq!(p.rows(), 0);
+        let tall = CPlanes::from_cmat(&random_mat(4, 1, 4));
+        assert_eq!(tall.col_re(0).len(), 4);
+    }
+
+    #[test]
+    fn negative_zero_survives_the_split() {
+        let mut m = CMat::zeros(2, 2);
+        m[(1, 0)] = C64::new(-0.0, -0.0);
+        let p = CPlanes::from_cmat(&m);
+        assert_eq!(p.col_re(0)[1].to_bits(), (-0.0f64).to_bits());
+        assert!(p.matches(&m));
+    }
+}

@@ -221,8 +221,7 @@ impl DeploymentRegistry {
         self.models.get(id as usize)
     }
 
-    /// The default model (wire id 0): where v1 frames — and the
-    /// deprecated single-model API — land.
+    /// The default model (wire id 0): where v1 frames land.
     pub fn default_entry(&self) -> &Arc<ModelEntry> {
         &self.models[0]
     }

@@ -42,8 +42,8 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// The model name the deprecated single-model API registers under, and
-/// the registry key v1 wire traffic routes to (wire id 0).
+/// The registry key v1 wire traffic routes to (wire id 0), and the model
+/// single-model deployments conventionally register under.
 pub const DEFAULT_MODEL: &str = "default";
 
 /// A running inference service: one keyed deployment registry, one
@@ -157,16 +157,6 @@ impl Server {
             models: Vec::new(),
             config: ServeConfig::default(),
         }
-    }
-
-    /// Starts a single-model service with `system` registered under
-    /// [`DEFAULT_MODEL`].
-    #[deprecated(note = "use Server::builder().model(name, system).config(config).start()")]
-    pub fn start(system: Arc<MetaAiSystem>, config: &ServeConfig) -> Server {
-        Server::builder()
-            .model(DEFAULT_MODEL, system)
-            .config(config.clone())
-            .start()
     }
 
     /// An in-process submission handle for the default model (cheap to

@@ -155,13 +155,15 @@ fn hot_swap_changes_the_epoch_without_downtime() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn the_deprecated_start_shim_registers_under_the_default_model() {
-    let server = Server::start(common::shared_system(), &config());
+fn a_default_model_deployment_owns_wire_id_zero() {
+    let server = Server::builder()
+        .model(DEFAULT_MODEL, common::shared_system())
+        .config(config())
+        .start();
     let entry = server.registry().default_entry();
     assert_eq!(entry.name(), DEFAULT_MODEL);
     assert_eq!(entry.wire_id(), 0);
-    assert!(server.client().score(request(0)).is_ok(), "the shim serves");
+    assert!(server.client().score(request(0)).is_ok());
     server.shutdown();
 }
 

@@ -54,7 +54,11 @@ fn main() {
     // the weight sum is a 256-way redundancy.
     let mut rng = SimRng::seed_from_u64(5);
     system.array.inject_stuck_faults(0.05, &mut rng);
-    system.channels = realize_channels(&system.schedule, &system.mapper.link, &system.array);
+    system.set_channels(realize_channels(
+        &system.schedule,
+        &system.mapper.link,
+        &system.array,
+    ));
     let degraded = system.ota_accuracy(&test, "retail-stuck");
     println!("with 5 % stuck atoms: {:.1} %", 100.0 * degraded);
 
@@ -71,7 +75,11 @@ fn main() {
         moved_cfg.rx,
         moved_cfg.freq_hz,
     );
-    stale.channels = realize_channels(&stale.schedule, &stale.mapper.link, &stale.array);
+    stale.set_channels(realize_channels(
+        &stale.schedule,
+        &stale.mapper.link,
+        &stale.array,
+    ));
     let stale_acc = stale.ota_accuracy(&test, "retail-stale");
     println!(
         "after receiver moved (stale schedule): {:.1} %",

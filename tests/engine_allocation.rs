@@ -1,0 +1,96 @@
+//! Allocation-contract tests for the engine's score buffers.
+//!
+//! `OtaEngine::scores_into` promises to reuse the caller's buffer across
+//! calls: after the first call pins the capacity at the row count, further
+//! calls must never reallocate. Batch workers and the serving loop lease
+//! one buffer per thread on the strength of this contract, and the fused
+//! kernel's thread-local scratch reuse follows the same discipline — a
+//! regression here turns the pure-arithmetic hot path back into an
+//! allocating one.
+
+use metaai::engine::OtaEngine;
+use metaai::ota::OtaConditions;
+use metaai_math::rng::SimRng;
+use metaai_math::stats::argmax;
+use metaai_math::{CMat, CVec};
+use metaai_rf::environment::EnvChannel;
+use metaai_rf::noise::Awgn;
+
+const ROWS: usize = 7;
+const U: usize = 33;
+
+fn setup() -> (CMat, Vec<CVec>) {
+    let mut rng = SimRng::seed_from_u64(42);
+    let h = CMat::from_fn(ROWS, U, |_, _| rng.complex_gaussian(1.0));
+    let inputs = (0..5)
+        .map(|_| CVec::from_fn(U, |_| rng.complex_gaussian(1.0)))
+        .collect();
+    (h, inputs)
+}
+
+fn noisy_conditions(shift: isize) -> OtaConditions {
+    let mut rng = SimRng::seed_from_u64(7);
+    OtaConditions {
+        env: EnvChannel::constant(rng.complex_gaussian(0.4), U),
+        mts_factor: (0..U).map(|_| 0.5 + rng.uniform()).collect(),
+        awgn: Awgn { variance: 0.02 },
+        sync_shift: shift,
+        cancellation: true,
+    }
+}
+
+#[test]
+fn scores_into_pins_capacity_after_the_first_call() {
+    let (h, inputs) = setup();
+    let engine = OtaEngine::new(&h);
+    let mut rng = SimRng::seed_from_u64(1);
+    let mut out = Vec::new();
+    engine.scores_into(&inputs[0], &noisy_conditions(0), &mut rng, &mut out);
+    assert_eq!(out.len(), ROWS);
+    let cap = out.capacity();
+    let ptr = out.as_ptr();
+    // Vary input, conditions, and shift — the buffer must not move.
+    for round in 0..10 {
+        for (i, x) in inputs.iter().enumerate() {
+            let cond = noisy_conditions(round - 2 * i as isize);
+            engine.scores_into(x, &cond, &mut rng, &mut out);
+            assert_eq!(out.len(), ROWS);
+        }
+    }
+    assert_eq!(out.capacity(), cap, "capacity pinned after first call");
+    assert_eq!(out.as_ptr(), ptr, "buffer reallocated");
+}
+
+#[test]
+fn scores_into_keeps_a_preallocated_buffer_in_place() {
+    let (h, inputs) = setup();
+    let engine = OtaEngine::new(&h);
+    let mut rng = SimRng::seed_from_u64(2);
+    // Over-provisioned caller buffer: never shrunk, never moved, starting
+    // from the very first call.
+    let mut out: Vec<f64> = Vec::with_capacity(64);
+    let ptr = out.as_ptr();
+    for x in &inputs {
+        engine.scores_into(x, &noisy_conditions(-3), &mut rng, &mut out);
+        assert_eq!(out.len(), ROWS);
+        assert_eq!(out.capacity(), 64);
+        assert_eq!(out.as_ptr(), ptr);
+    }
+}
+
+#[test]
+fn scores_and_predict_agree_with_scores_into() {
+    let (h, inputs) = setup();
+    let engine = OtaEngine::new(&h);
+    let cond = noisy_conditions(4);
+    let mut scratch = Vec::new();
+    for x in &inputs {
+        let mut r1 = SimRng::seed_from_u64(3);
+        let mut r2 = SimRng::seed_from_u64(3);
+        let mut r3 = SimRng::seed_from_u64(3);
+        let owned = engine.scores(x, &cond, &mut r1);
+        engine.scores_into(x, &cond, &mut r2, &mut scratch);
+        assert_eq!(owned, scratch);
+        assert_eq!(engine.predict(x, &cond, &mut r3), argmax(&owned));
+    }
+}

@@ -97,6 +97,63 @@ proptest! {
         }
     }
 
+    /// The fused SoA kernel bit-matches the scalar reference kernel
+    /// (`scores_scalar`, the pre-fusion per-row loop) across sync shifts,
+    /// cancellation on/off, and noise on/off — and consumes the RNG
+    /// stream identically, so everything downstream of a score stays
+    /// bitwise reproducible too.
+    #[test]
+    fn fused_scores_bit_match_the_scalar_reference(
+        seed in 0u64..1_000,
+        rows in 1usize..6,
+        u in 1usize..24,
+        batch in 1usize..8,
+        shift in -50isize..50,
+        canc in 0u8..2,
+        noisy in 0u8..2,
+    ) {
+        let (h, inputs, cond) =
+            random_setup(seed, rows, u, batch, shift, canc == 1, noisy == 1);
+        let engine = OtaEngine::new(&h);
+        for x in &inputs {
+            let mut fused_rng = SimRng::seed_from_u64(seed);
+            let mut scalar_rng = SimRng::seed_from_u64(seed);
+            let fused = engine.scores(x, &cond, &mut fused_rng);
+            let scalar = engine.scores_scalar(x, &cond, &mut scalar_rng);
+            prop_assert_eq!(fused.len(), scalar.len());
+            for (a, b) in fused.iter().zip(&scalar) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+            // Both kernels must leave the RNG in the same state.
+            prop_assert_eq!(fused_rng.uniform().to_bits(), scalar_rng.uniform().to_bits());
+        }
+    }
+
+    /// Lending precomputed SoA planes (`with_planes`, the serving path)
+    /// changes nothing about the scores vs splitting them at construction.
+    #[test]
+    fn borrowed_planes_bit_match_owned_planes(
+        seed in 0u64..1_000,
+        rows in 1usize..5,
+        u in 1usize..20,
+        shift in -30isize..30,
+        noisy in 0u8..2,
+    ) {
+        let (h, inputs, cond) = random_setup(seed, rows, u, 2, shift, true, noisy == 1);
+        let planes = metaai_math::CPlanes::from_cmat(&h);
+        let owned = OtaEngine::new(&h);
+        let lent = OtaEngine::with_planes(&h, &planes);
+        for x in &inputs {
+            let mut r1 = SimRng::seed_from_u64(seed);
+            let mut r2 = SimRng::seed_from_u64(seed);
+            let a = owned.scores(x, &cond, &mut r1);
+            let b = lent.scores(x, &cond, &mut r2);
+            for (s1, s2) in a.iter().zip(&b) {
+                prop_assert_eq!(s1.to_bits(), s2.to_bits());
+            }
+        }
+    }
+
     /// With noise off, trace mode reproduces the untraced scores bitwise —
     /// the two paths share their chip arithmetic and cannot drift.
     #[test]

@@ -36,7 +36,11 @@ fn small_stuck_fraction_degrades_gracefully() {
 
     let mut rng = SimRng::seed_from_u64(1);
     sys.array.inject_stuck_faults(0.05, &mut rng);
-    sys.channels = realize_channels(&sys.schedule, &sys.mapper.link, &sys.array);
+    sys.set_channels(realize_channels(
+        &sys.schedule,
+        &sys.mapper.link,
+        &sys.array,
+    ));
     let degraded = sys.ota_accuracy(&test, "fault-5");
 
     // 5 % of a 256-atom aperture: the redundancy of the sum absorbs it.
@@ -51,7 +55,11 @@ fn massive_stuck_fraction_destroys_the_computation() {
     let (mut sys, test) = build();
     let mut rng = SimRng::seed_from_u64(2);
     sys.array.inject_stuck_faults(0.9, &mut rng);
-    sys.channels = realize_channels(&sys.schedule, &sys.mapper.link, &sys.array);
+    sys.set_channels(realize_channels(
+        &sys.schedule,
+        &sys.mapper.link,
+        &sys.array,
+    ));
     let broken = sys.ota_accuracy(&test, "fault-90");
     assert!(broken < 0.5, "90% stuck atoms should break it: {broken}");
 }
