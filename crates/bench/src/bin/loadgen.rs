@@ -223,12 +223,7 @@ fn run_mixed(addr: &str, names: &[String], cfg: &LoadConfig, want_shutdown: bool
             report.latency_percentile_us(99.0),
             report.shed_rate() * 100.0
         );
-        aggregate.sent += report.sent;
-        aggregate.scored += report.scored;
-        aggregate.shed += report.shed;
-        aggregate.expired += report.expired;
-        aggregate.protocol_errors += report.protocol_errors;
-        aggregate.elapsed = aggregate.elapsed.max(report.elapsed);
+        aggregate.merge(report);
     }
     println!(
         "aggregate  {} scored, {:>10.1} samples/s, shed rate {:>6.3}%",

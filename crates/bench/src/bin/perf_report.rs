@@ -21,12 +21,13 @@
 //! only applies at ≥8 cores.
 //!
 //! Usage: `perf_report [--pr N] [output-path]`
-//! (default `--pr 7`, output `BENCH_pr<N>.json`).
+//! (default `--pr 8`, output `BENCH_pr<N>.json`).
 
 use metaai::config::SystemConfig;
 use metaai::mapper::WeightMapper;
 use metaai::ota::OtaReceiver;
 use metaai::pipeline::MetaAiSystem;
+use metaai_bench::common::time_best;
 use metaai_bench::serveload::{self, LoadConfig, ModelTarget};
 use metaai_datasets::{generate, DatasetId, Scale};
 use metaai_math::rng::SimRng;
@@ -42,29 +43,6 @@ use metaai_nn::TrainEngine;
 use metaai_serve::{ServeConfig, Server};
 use std::hint::black_box;
 use std::time::Instant;
-
-/// Best-of-`reps` wall time for one call of `f`, in seconds, where each
-/// timed sample runs `f` `inner` times back to back. The minimum is the
-/// noise-robust estimator here: scheduler/contention noise is strictly
-/// one-sided (it only ever slows a run down), so the fastest sample is
-/// the closest observation of the code's actual cost, and it is what
-/// keeps `bench_gate`'s regression comparison stable on busy CI hosts
-/// where a median still jitters by double-digit percentages. The inner
-/// repeats stretch each sample to tens of milliseconds so that a single
-/// descheduling doesn't dominate the measurement.
-fn time_best<F: FnMut()>(reps: usize, inner: usize, mut f: F) -> f64 {
-    f(); // warmup
-    (0..reps)
-        .map(|_| {
-            let start = Instant::now();
-            for _ in 0..inner {
-                f();
-            }
-            start.elapsed().as_secs_f64() / inner as f64
-        })
-        .min_by(f64::total_cmp)
-        .expect("reps >= 1")
-}
 
 /// The pre-engine training loop (see `benches/throughput.rs` for the
 /// provenance of this transplant).
@@ -143,7 +121,7 @@ fn reference_solve(solver: &WeightSolver, target: C64) -> f64 {
 }
 
 fn main() {
-    let mut pr: u32 = 7;
+    let mut pr: u32 = 8;
     let mut out_arg: Option<String> = None;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {

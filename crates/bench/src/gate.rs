@@ -52,6 +52,95 @@ impl Json {
             _ => None,
         }
     }
+
+    /// Renders the tree as pretty-printed JSON with a trailing newline.
+    ///
+    /// The output is deterministic: objects keep insertion order, numbers
+    /// use Rust's shortest-round-trip `Display` (non-finite values become
+    /// `null`), and indentation is two spaces. The scenario runner relies
+    /// on this to make "same seed ⇒ byte-identical result file" a
+    /// testable contract.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.is_finite() {
+                    out.push_str(&format!("{n}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 /// Parses a complete JSON document (trailing whitespace allowed).
@@ -260,6 +349,34 @@ fn is_throughput_key(path: &str) -> bool {
     path.ends_with("_per_sec") || path.ends_with("_per_core_sec")
 }
 
+/// Whether a flattened path names a gated accuracy figure: either the
+/// report's top-level `accuracy` object or a nested `accuracy` object
+/// (scenario results put theirs under `scenarios.<recipe>.<scenario>.
+/// fixed.accuracy.*`).
+fn is_accuracy_key(path: &str) -> bool {
+    path.starts_with("accuracy.") || path.contains(".accuracy.")
+}
+
+/// Whether `path` falls inside the `only`/`skip` prefix scope. A prefix
+/// matches the exact path or any dotted descendant of it.
+fn in_scope(path: &str, only: Option<&str>, skip: Option<&str>) -> bool {
+    let under = |prefix: &str| {
+        path == prefix
+            || (path.starts_with(prefix) && path.as_bytes().get(prefix.len()) == Some(&b'.'))
+    };
+    if let Some(prefix) = only {
+        if !under(prefix) {
+            return false;
+        }
+    }
+    if let Some(prefix) = skip {
+        if under(prefix) {
+            return false;
+        }
+    }
+    true
+}
+
 /// The result of gating a fresh report against a baseline.
 #[derive(Debug, Default)]
 pub struct GateReport {
@@ -283,6 +400,22 @@ impl GateReport {
 /// `max_regress` is the tolerated relative throughput drop (0.15 ⇒ the
 /// fresh value must be ≥ 85 % of the baseline).
 pub fn compare(baseline: &Json, fresh: &Json, max_regress: f64) -> GateReport {
+    compare_filtered(baseline, fresh, max_regress, None, None)
+}
+
+/// [`compare`] restricted to a dotted-path prefix scope: with
+/// `only = Some("scenarios")` only keys under the `scenarios` subtree are
+/// gated; with `skip = Some("scenarios")` that subtree is excluded. This
+/// lets one committed `BENCH_pr{N}.json` (perf-report sections plus the
+/// merged scenario subtree) back two CI gate steps with different
+/// tolerances. `pr`/`cores` advisory checks always run.
+pub fn compare_filtered(
+    baseline: &Json,
+    fresh: &Json,
+    max_regress: f64,
+    only: Option<&str>,
+    skip: Option<&str>,
+) -> GateReport {
     let mut report = GateReport::default();
 
     for key in ["pr", "cores"] {
@@ -301,8 +434,11 @@ pub fn compare(baseline: &Json, fresh: &Json, max_regress: f64) -> GateReport {
         if path.starts_with("telemetry.") || path == "pr" || path == "cores" {
             continue;
         }
+        if !in_scope(path, only, skip) {
+            continue;
+        }
         let is_throughput = is_throughput_key(path);
-        let is_accuracy = path.starts_with("accuracy.");
+        let is_accuracy = is_accuracy_key(path);
         if !is_throughput && !is_accuracy {
             continue;
         }
@@ -335,6 +471,9 @@ pub fn compare(baseline: &Json, fresh: &Json, max_regress: f64) -> GateReport {
     // not need its baseline hand-edited. They become gated once the
     // baseline is regenerated with them included.
     for (path, &f) in &new {
+        if !in_scope(path, only, skip) {
+            continue;
+        }
         if is_throughput_key(path) && !path.starts_with("telemetry.") && !base.contains_key(path) {
             report.warnings.push(format!(
                 "{path}: new throughput metric not in baseline (fresh {f:.1}); \
@@ -506,6 +645,79 @@ mod tests {
             .expect("parse");
         let r = compare(&base, &fresh, 0.15);
         assert!(r.passed());
+        assert!(r.warnings.is_empty(), "warnings: {:?}", r.warnings);
+    }
+
+    #[test]
+    fn render_round_trips_through_the_parser() {
+        let v = parse(r#"{"a": [1, -2.5, "s\n\"x\"", true, false, null], "b": {}, "c": []}"#)
+            .expect("parse");
+        let rendered = v.render();
+        assert_eq!(parse(&rendered).expect("reparse"), v);
+        // Deterministic: rendering twice is byte-identical.
+        assert_eq!(v.render(), rendered);
+    }
+
+    #[test]
+    fn render_of_a_report_is_stable_under_reparse() {
+        let v = parse(BASE).expect("parse");
+        let once = v.render();
+        let twice = parse(&once).expect("reparse").render();
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn nested_accuracy_objects_are_gated() {
+        let base = parse(
+            r#"{"pr": 8, "cores": 4, "scenarios": {"r": {"s": {"fixed": {"accuracy": {"ota": 0.8}}}}}}"#,
+        )
+        .expect("parse");
+        let fresh = parse(
+            r#"{"pr": 8, "cores": 4, "scenarios": {"r": {"s": {"fixed": {"accuracy": {"ota": 0.7}}}}}}"#,
+        )
+        .expect("parse");
+        assert!(compare(&base, &base, 0.15).passed());
+        let r = compare(&base, &fresh, 0.15);
+        assert!(!r.passed());
+        assert!(r.failures[0].contains("scenarios.r.s.fixed.accuracy.ota"));
+    }
+
+    #[test]
+    fn only_scope_restricts_gating_to_the_subtree() {
+        let base = parse(BASE).expect("parse");
+        // Both the throughput and an accuracy figure regress…
+        let fresh = parse(&doctored(100.0, 0.5)).expect("parse");
+        // …but scoping to a subtree without gated keys sees neither.
+        let r = compare_filtered(&base, &fresh, 0.15, Some("telemetry"), None);
+        assert!(r.passed(), "failures: {:?}", r.failures);
+        assert_eq!(r.checked, 0);
+        // Scoped to `accuracy`, only the accuracy drop fails.
+        let r = compare_filtered(&base, &fresh, 0.15, Some("accuracy"), None);
+        assert!(!r.passed());
+        assert!(r.failures.iter().all(|f| f.contains("accuracy.")));
+    }
+
+    #[test]
+    fn skip_scope_excludes_the_subtree() {
+        let base = parse(BASE).expect("parse");
+        let fresh = parse(&doctored(100.0, 0.9)).expect("parse");
+        // The only regression is under `train`; skipping it passes.
+        let r = compare_filtered(&base, &fresh, 0.15, None, Some("train"));
+        assert!(r.passed(), "failures: {:?}", r.failures);
+        // A prefix must match whole path segments, not substrings.
+        let r = compare_filtered(&base, &fresh, 0.15, None, Some("tra"));
+        assert!(!r.passed());
+    }
+
+    #[test]
+    fn fresh_only_warning_respects_scope() {
+        let base = parse(BASE).expect("parse");
+        let fresh = parse(&BASE.replace(
+            "\"speedup\": 2.0",
+            "\"speedup\": 2.0, \"serve_samples_per_sec\": 5000.0",
+        ))
+        .expect("parse");
+        let r = compare_filtered(&base, &fresh, 0.15, Some("accuracy"), None);
         assert!(r.warnings.is_empty(), "warnings: {:?}", r.warnings);
     }
 

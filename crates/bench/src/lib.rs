@@ -18,6 +18,7 @@ pub mod exp_privacy;
 pub mod exp_robustness;
 pub mod exp_sensors;
 pub mod gate;
+pub mod scenario;
 pub mod serveload;
 
 pub use common::{csv_write, ExpContext};

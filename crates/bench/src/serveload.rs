@@ -107,7 +107,10 @@ impl LoadReport {
         self.latencies_us[rank.round() as usize]
     }
 
-    fn merge(&mut self, other: LoadReport) {
+    /// Folds another connection's outcome into this aggregate: counters
+    /// add, elapsed takes the max (connections run concurrently), and
+    /// latency samples concatenate.
+    pub fn merge(&mut self, other: LoadReport) {
         self.sent += other.sent;
         self.scored += other.scored;
         self.shed += other.shed;

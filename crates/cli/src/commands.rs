@@ -474,6 +474,138 @@ pub fn wdd(args: &Args) -> i32 {
     0
 }
 
+/// `metaai bench` — run declarative scenario recipes (see
+/// `metaai_bench::scenario` and DESIGN.md §14).
+///
+/// ```text
+/// metaai bench list
+/// metaai bench run --recipes recipes/quick [--out-dir scenario-results]
+///                  [--pr 8]
+/// metaai bench run --recipe recipes/quick/serve-clean.recipe
+/// ```
+///
+/// `run` writes one `<recipe>-<scenario>.json` per result plus a
+/// `merged.json` in the `BENCH_pr{N}.json` layout `bench_gate` parses,
+/// and exits non-zero if any scenario errors (the error still lands in
+/// the merged report, so the artifact shows what failed).
+///
+/// `--merge-into BENCH_pr8.json` additionally splices the fresh
+/// `scenarios` subtree into an existing perf report — that is how the
+/// committed baseline carrying both perf and scenario keys is
+/// regenerated.
+pub fn bench(args: &Args) -> i32 {
+    use metaai_bench::scenario;
+
+    match args.positional.first().map(String::as_str) {
+        Some("list") => {
+            println!("scenario registry:");
+            for s in scenario::SCENARIOS {
+                println!("  {s}");
+            }
+            0
+        }
+        Some("run") => {
+            let mut recipes = Vec::new();
+            for path in args.all("recipe") {
+                match scenario::load_recipe_file(std::path::Path::new(path)) {
+                    Ok(r) => recipes.push(r),
+                    Err(e) => return fail(&e),
+                }
+            }
+            if let Some(dir) = args.options.get("recipes") {
+                match scenario::load_recipe_dir(std::path::Path::new(dir)) {
+                    Ok(rs) => recipes.extend(rs),
+                    Err(e) => return fail(&e),
+                }
+            }
+            if recipes.is_empty() {
+                return fail("bench run needs --recipes DIR or --recipe FILE");
+            }
+            let out_dir = args.get_or("out-dir", "scenario-results");
+            if let Err(e) = std::fs::create_dir_all(out_dir) {
+                return fail(&format!("cannot create {out_dir}: {e}"));
+            }
+            let pr: u32 = args.num_or("pr", 8);
+
+            let mut runs = Vec::new();
+            let mut errors = 0usize;
+            for recipe in recipes {
+                println!(
+                    "recipe {} (seed {}): {}",
+                    recipe.name,
+                    recipe.seed,
+                    recipe.scenarios.join(", ")
+                );
+                let results = scenario::run_recipe(&recipe);
+                for (name, result) in &results {
+                    match result {
+                        Ok(outcome) => {
+                            let path = format!("{out_dir}/{}-{name}.json", recipe.name);
+                            let doc = scenario::result_json(&recipe, name, outcome);
+                            if let Err(e) = std::fs::write(&path, doc.render()) {
+                                return fail(&format!("cannot write {path}: {e}"));
+                            }
+                            println!("  {name:<18} ok → {path}");
+                        }
+                        Err(e) => {
+                            errors += 1;
+                            eprintln!("  {name:<18} ERROR: {e}");
+                        }
+                    }
+                }
+                runs.push(scenario::RecipeRun { recipe, results });
+            }
+
+            let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+            let merged = scenario::merged_json(pr, cores, &runs);
+            let merged_path = format!("{out_dir}/merged.json");
+            if let Err(e) = std::fs::write(&merged_path, merged.render()) {
+                return fail(&format!("cannot write {merged_path}: {e}"));
+            }
+            let total: usize = runs.iter().map(|r| r.results.len()).sum();
+            println!(
+                "{} scenario run(s), {errors} error(s) → {merged_path}",
+                total
+            );
+
+            if let Some(path) = args.options.get("merge-into") {
+                use metaai_bench::gate::Json;
+                let text = match std::fs::read_to_string(path) {
+                    Ok(t) => t,
+                    Err(e) => return fail(&format!("cannot read {path}: {e}")),
+                };
+                let report = match metaai_bench::gate::parse(&text) {
+                    Ok(j) => j,
+                    Err(e) => return fail(&format!("{path} is not valid JSON: {e}")),
+                };
+                let (Json::Obj(mut pairs), Json::Obj(fresh)) = (report, merged) else {
+                    return fail(&format!("{path} is not a JSON object"));
+                };
+                let scenarios = fresh
+                    .into_iter()
+                    .find(|(k, _)| k == "scenarios")
+                    .expect("merged report always has a scenarios key");
+                pairs.retain(|(k, _)| k != "scenarios");
+                pairs.push(scenarios);
+                if let Err(e) = std::fs::write(path, Json::Obj(pairs).render()) {
+                    return fail(&format!("cannot write {path}: {e}"));
+                }
+                println!("scenarios subtree merged into {path}");
+            }
+
+            if errors > 0 {
+                1
+            } else {
+                0
+            }
+        }
+        Some(other) => fail(&format!(
+            "unknown bench action {other:?} (expected run|list)"
+        )),
+        None => fail("bench needs an action: run or list"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

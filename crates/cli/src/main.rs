@@ -9,6 +9,7 @@
 //! metaai scan   [--angle 25]
 //! metaai export --dataset mnist --scale quick --out sheet.pgm
 //! metaai wdd    [--atoms 16,64,256]
+//! metaai bench  run --recipes recipes/quick --out-dir scenario-results
 //! ```
 //!
 //! Every command is deterministic in `--seed` (default 42).
@@ -29,6 +30,7 @@ fn main() {
         Some("scan") => commands::scan(&args),
         Some("export") => commands::export(&args),
         Some("wdd") => commands::wdd(&args),
+        Some("bench") => commands::bench(&args),
         Some("help") | None => {
             print_help();
             0
@@ -62,6 +64,9 @@ COMMANDS:
   scan     Beam-scan demo: estimate the receiver angle
   export   Dump a dataset contact sheet as a PGM image
   wdd      Weight-distribution-density sweep (Appendix A.2)
+  bench    Run declarative benchmark scenarios from recipe files
+           (bench run --recipes DIR | --recipe FILE [--out-dir DIR]
+           [--pr N]; bench list shows the scenario registry)
   help     Show this message
 
 COMMON OPTIONS:
