@@ -1,0 +1,211 @@
+//! The closed loop: probe → decide → warm re-solve → hot swap.
+
+use crate::metrics::metrics;
+use crate::policy::{Decision, PolicyState, TriggerPolicy};
+use crate::probe::{probe_health, HealthReading, ProbeSet};
+use crate::view::ChannelView;
+use metaai::pipeline::redeploy_warm;
+use metaai::MetaAiSystem;
+use metaai_mts::solver::SolverScratch;
+use metaai_serve::ModelEntry;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// One accepted re-solve + hot swap.
+#[derive(Clone, Copy, Debug)]
+pub struct SwapRecord {
+    /// Round that triggered.
+    pub round: u64,
+    /// Epoch the registry assigned to the fresh deployment.
+    pub epoch: u64,
+    /// Wall-clock seconds spent in the warm re-solve.
+    pub resolve_seconds: f64,
+    /// Wall-clock seconds spent installing the swap (registry update
+    /// alone; in-flight batches keep their old epoch and drain normally).
+    pub swap_seconds: f64,
+}
+
+/// Everything one round did.
+#[derive(Clone, Debug)]
+pub struct StepReport {
+    /// Round number (0-based).
+    pub round: u64,
+    /// The health signals observed this round.
+    pub reading: HealthReading,
+    /// The policy's verdict.
+    pub decision: Decision,
+    /// The swap, when the verdict was [`Decision::Trigger`] and the
+    /// registry accepted it.
+    pub swap: Option<SwapRecord>,
+}
+
+/// Per-tenant adaptation controller.
+///
+/// Owns the loop state for one [`ModelEntry`]: the channel view, the
+/// probe set, the trigger policy, the system it last deployed, and a
+/// reusable [`SolverScratch`]. [`step`](Self::step) runs one synchronous
+/// round; [`spawn`](Self::spawn) moves the controller onto its own
+/// background thread.
+///
+/// The re-solve runs *sequentially on the controller's thread* — it
+/// never fans out over rayon, so serving workers keep their cores and
+/// the schedule it produces is identical for every worker count.
+pub struct AdaptController {
+    entry: Arc<ModelEntry>,
+    view: Box<dyn ChannelView>,
+    probes: ProbeSet,
+    policy: TriggerPolicy,
+    state: PolicyState,
+    current: Arc<MetaAiSystem>,
+    scratch: SolverScratch,
+    round: u64,
+}
+
+impl AdaptController {
+    /// A controller for `entry`, starting from its currently served
+    /// system, observing the world through `view`.
+    pub fn new(
+        entry: Arc<ModelEntry>,
+        view: Box<dyn ChannelView>,
+        probes: ProbeSet,
+        policy: TriggerPolicy,
+    ) -> Self {
+        let current = entry.current().system.clone();
+        AdaptController {
+            entry,
+            view,
+            probes,
+            policy,
+            state: PolicyState::default(),
+            current,
+            scratch: SolverScratch::new(),
+            round: 0,
+        }
+    }
+
+    /// The system this controller last deployed (or inherited).
+    pub fn current(&self) -> &Arc<MetaAiSystem> {
+        &self.current
+    }
+
+    /// Rounds executed so far.
+    pub fn rounds(&self) -> u64 {
+        self.round
+    }
+
+    /// Runs one round: probe the live channel, assess, and on trigger
+    /// re-solve + swap. Returns what happened.
+    pub fn step(&mut self) -> StepReport {
+        let round = self.round;
+        self.round += 1;
+        let tele = metaai_telemetry::enabled().then(metrics);
+
+        let world = self.view.config_at(round);
+        let env = self.view.env_offset_at(round);
+        let reading = probe_health(&self.current, &world, env, &self.probes, round);
+        if let Some(m) = tele {
+            m.rounds.inc();
+            m.probe_accuracy.set(reading.probe_accuracy);
+            m.channel_residual.observe(reading.channel_residual);
+        }
+
+        let decision = self.policy.assess(&reading, round, &mut self.state);
+        let swap = if decision == Decision::Trigger {
+            if let Some(m) = tele {
+                m.triggers.inc();
+            }
+            let solve_start = Instant::now();
+            let fresh = Arc::new(redeploy_warm(&self.current, &world, env, &mut self.scratch));
+            let resolve_seconds = solve_start.elapsed().as_secs_f64();
+            if let Some(m) = tele {
+                m.resolve_seconds.observe(resolve_seconds);
+            }
+
+            let swap_start = Instant::now();
+            match self.entry.swap(fresh.clone()) {
+                Ok(epoch) => {
+                    let swap_seconds = swap_start.elapsed().as_secs_f64();
+                    if let Some(m) = tele {
+                        m.swaps.inc();
+                        m.swap_seconds.observe(swap_seconds);
+                    }
+                    self.current = fresh;
+                    Some(SwapRecord {
+                        round,
+                        epoch,
+                        resolve_seconds,
+                        swap_seconds,
+                    })
+                }
+                // Unreachable for a same-network re-solve (the shape is
+                // inherited), but a refused swap must never poison the
+                // loop: keep serving the old deployment and keep probing.
+                Err(_) => {
+                    if let Some(m) = tele {
+                        m.swap_refusals.inc();
+                    }
+                    None
+                }
+            }
+        } else {
+            if let Some(m) = tele {
+                m.holds.inc();
+            }
+            None
+        };
+
+        self.entry.refresh_epoch_age();
+        StepReport {
+            round,
+            reading,
+            decision,
+            swap,
+        }
+    }
+
+    /// Moves the controller onto a background thread stepping every
+    /// `interval`, until [`AdaptHandle::stop`] is called. The thread
+    /// spends its idle time sleeping — serving workers keep their cores
+    /// (std offers no portable priority control; yielding the interval is
+    /// the lever we have).
+    pub fn spawn(mut self, interval: Duration) -> AdaptHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = stop.clone();
+        let thread = thread::Builder::new()
+            .name("metaai-adapt".into())
+            .spawn(move || {
+                let mut reports = Vec::new();
+                while !stop_flag.load(Ordering::Relaxed) {
+                    reports.push(self.step());
+                    // Sleep in short slices so stop() returns promptly
+                    // even with slow intervals.
+                    let mut left = interval;
+                    while left > Duration::ZERO && !stop_flag.load(Ordering::Relaxed) {
+                        let nap = left.min(Duration::from_millis(20));
+                        thread::sleep(nap);
+                        left = left.saturating_sub(nap);
+                    }
+                }
+                (self, reports)
+            })
+            .expect("spawn adaptation thread");
+        AdaptHandle { stop, thread }
+    }
+}
+
+/// Handle to a background [`AdaptController`].
+pub struct AdaptHandle {
+    stop: Arc<AtomicBool>,
+    thread: thread::JoinHandle<(AdaptController, Vec<StepReport>)>,
+}
+
+impl AdaptHandle {
+    /// Signals the loop to stop and returns the controller (reusable —
+    /// its round counter and policy state survive) plus every step report.
+    pub fn stop(self) -> (AdaptController, Vec<StepReport>) {
+        self.stop.store(true, Ordering::Relaxed);
+        self.thread.join().expect("adaptation thread panicked")
+    }
+}

@@ -1,0 +1,59 @@
+//! `metaai.adapt.*` instruments, registered once with the global registry.
+
+use metaai_telemetry::{Counter, Gauge, Histogram};
+use std::sync::OnceLock;
+
+/// Controller instruments. One set process-wide: tenants share the
+/// instruments, so counts aggregate across controllers (the per-model
+/// split lives in the serve layer's `metaai.serve.model.*` family).
+pub(crate) struct AdaptMetrics {
+    /// Probe rounds executed.
+    pub rounds: Counter,
+    /// Rounds where the policy held the current deployment (healthy, in
+    /// hysteresis, or cooling down).
+    pub holds: Counter,
+    /// Re-solves triggered.
+    pub triggers: Counter,
+    /// Hot swaps accepted by the registry.
+    pub swaps: Counter,
+    /// Hot swaps refused (shape mismatch — should never fire for a
+    /// same-network re-solve; non-zero means a controller bug).
+    pub swap_refusals: Counter,
+    /// Latest probe accuracy observed by any controller.
+    pub probe_accuracy: Gauge,
+    /// Relative Frobenius residual between the live and deployed channel
+    /// matrices, per round.
+    pub channel_residual: Histogram,
+    /// Wall-clock seconds per warm re-solve.
+    pub resolve_seconds: Histogram,
+    /// Wall-clock seconds per registry swap (the installation alone,
+    /// excluding the re-solve).
+    pub swap_seconds: Histogram,
+}
+
+pub(crate) fn metrics() -> &'static AdaptMetrics {
+    static METRICS: OnceLock<AdaptMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = metaai_telemetry::global();
+        AdaptMetrics {
+            rounds: r.counter("metaai.adapt.rounds"),
+            holds: r.counter("metaai.adapt.holds"),
+            triggers: r.counter("metaai.adapt.triggers"),
+            swaps: r.counter("metaai.adapt.swaps"),
+            swap_refusals: r.counter("metaai.adapt.swap_refusals"),
+            probe_accuracy: r.gauge("metaai.adapt.probe_accuracy"),
+            channel_residual: r.histogram(
+                "metaai.adapt.channel_residual",
+                &[0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0],
+            ),
+            resolve_seconds: r.latency_histogram("metaai.adapt.resolve_seconds"),
+            swap_seconds: r.latency_histogram("metaai.adapt.swap_seconds"),
+        }
+    })
+}
+
+/// Registers the adaptation instruments with the global telemetry
+/// registry (so renderers list them before the first round runs).
+pub fn register_metrics() {
+    let _ = metrics();
+}

@@ -1,0 +1,197 @@
+//! When to re-solve: thresholds, hysteresis, and cooldown.
+//!
+//! A single bad probe round is weak evidence — fading dips, unlucky probe
+//! draws, and transient interference all produce them. The policy
+//! requires `hysteresis` *consecutive* unhealthy rounds before
+//! triggering, and after a trigger refuses to fire again for
+//! `cooldown_rounds` rounds so a re-solve gets a chance to take effect
+//! (and a channel drifting faster than the solver can track degrades
+//! gracefully instead of thrashing).
+
+use crate::probe::HealthReading;
+
+/// Staleness thresholds and debouncing for the adaptation loop.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TriggerPolicy {
+    /// A round is unhealthy when probe accuracy falls below this.
+    pub probe_accuracy_floor: f64,
+    /// … or when the live-vs-deployed channel residual exceeds this
+    /// (phase-aligned relative Frobenius norm, see
+    /// [`HealthReading::channel_residual`]).
+    pub residual_ceiling: f64,
+    /// Consecutive unhealthy rounds required to trigger.
+    pub hysteresis: u32,
+    /// Rounds after a trigger during which no new trigger fires.
+    pub cooldown_rounds: u64,
+}
+
+impl Default for TriggerPolicy {
+    fn default() -> Self {
+        TriggerPolicy {
+            probe_accuracy_floor: 0.7,
+            residual_ceiling: 0.25,
+            hysteresis: 2,
+            cooldown_rounds: 3,
+        }
+    }
+}
+
+/// Mutable policy memory carried between rounds.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PolicyState {
+    /// Consecutive unhealthy rounds so far.
+    pub streak: u32,
+    /// Round of the last trigger, if any.
+    pub last_trigger: Option<u64>,
+}
+
+/// The policy's verdict for one round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Decision {
+    /// Reading is within thresholds; streak reset.
+    Healthy,
+    /// Reading breached a threshold but the streak is still below the
+    /// hysteresis bar.
+    Unhealthy {
+        /// Consecutive unhealthy rounds, this one included.
+        streak: u32,
+    },
+    /// Unhealthy, but a recent trigger's cooldown suppresses re-firing.
+    CoolingDown {
+        /// Rounds until the cooldown expires.
+        remaining: u64,
+    },
+    /// Re-solve and swap now.
+    Trigger,
+}
+
+impl TriggerPolicy {
+    /// Whether a reading breaches either threshold.
+    pub fn unhealthy(&self, reading: &HealthReading) -> bool {
+        reading.probe_accuracy < self.probe_accuracy_floor
+            || reading.channel_residual > self.residual_ceiling
+    }
+
+    /// Folds one round's reading into `state` and returns the verdict.
+    pub fn assess(&self, reading: &HealthReading, round: u64, state: &mut PolicyState) -> Decision {
+        if !self.unhealthy(reading) {
+            state.streak = 0;
+            return Decision::Healthy;
+        }
+        if let Some(last) = state.last_trigger {
+            let since = round.saturating_sub(last);
+            if since < self.cooldown_rounds {
+                // The streak does not grow during cooldown: the rounds
+                // right after a swap observe the *previous* deployment's
+                // tail and must not pre-arm the next trigger.
+                state.streak = 0;
+                return Decision::CoolingDown {
+                    remaining: self.cooldown_rounds - since,
+                };
+            }
+        }
+        state.streak += 1;
+        if state.streak >= self.hysteresis {
+            state.streak = 0;
+            state.last_trigger = Some(round);
+            Decision::Trigger
+        } else {
+            Decision::Unhealthy {
+                streak: state.streak,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn healthy() -> HealthReading {
+        HealthReading {
+            probe_accuracy: 0.95,
+            channel_residual: 0.02,
+            margin_p50: 3.0,
+        }
+    }
+
+    fn stale() -> HealthReading {
+        HealthReading {
+            probe_accuracy: 0.4,
+            channel_residual: 0.6,
+            margin_p50: 1.1,
+        }
+    }
+
+    #[test]
+    fn healthy_rounds_never_trigger() {
+        let policy = TriggerPolicy::default();
+        let mut state = PolicyState::default();
+        for round in 0..20 {
+            assert_eq!(
+                policy.assess(&healthy(), round, &mut state),
+                Decision::Healthy
+            );
+        }
+        assert_eq!(state.last_trigger, None);
+    }
+
+    #[test]
+    fn hysteresis_debounces_single_dips() {
+        let policy = TriggerPolicy::default();
+        let mut state = PolicyState::default();
+        assert_eq!(
+            policy.assess(&stale(), 0, &mut state),
+            Decision::Unhealthy { streak: 1 }
+        );
+        // Recovery resets the streak…
+        assert_eq!(policy.assess(&healthy(), 1, &mut state), Decision::Healthy);
+        assert_eq!(
+            policy.assess(&stale(), 2, &mut state),
+            Decision::Unhealthy { streak: 1 }
+        );
+        // …so only consecutive dips trigger.
+        assert_eq!(policy.assess(&stale(), 3, &mut state), Decision::Trigger);
+        assert_eq!(state.last_trigger, Some(3));
+    }
+
+    #[test]
+    fn either_threshold_alone_is_unhealthy() {
+        let policy = TriggerPolicy::default();
+        let low_acc = HealthReading {
+            probe_accuracy: 0.5,
+            channel_residual: 0.01,
+            margin_p50: 2.0,
+        };
+        let high_residual = HealthReading {
+            probe_accuracy: 0.99,
+            channel_residual: 0.5,
+            margin_p50: 2.0,
+        };
+        assert!(policy.unhealthy(&low_acc));
+        assert!(policy.unhealthy(&high_residual));
+        assert!(!policy.unhealthy(&healthy()));
+    }
+
+    #[test]
+    fn cooldown_suppresses_refiring_then_rearms() {
+        let policy = TriggerPolicy {
+            hysteresis: 1,
+            cooldown_rounds: 3,
+            ..TriggerPolicy::default()
+        };
+        let mut state = PolicyState::default();
+        assert_eq!(policy.assess(&stale(), 10, &mut state), Decision::Trigger);
+        assert_eq!(
+            policy.assess(&stale(), 11, &mut state),
+            Decision::CoolingDown { remaining: 2 }
+        );
+        assert_eq!(
+            policy.assess(&stale(), 12, &mut state),
+            Decision::CoolingDown { remaining: 1 }
+        );
+        // Cooldown over: still stale → fires again.
+        assert_eq!(policy.assess(&stale(), 13, &mut state), Decision::Trigger);
+        assert_eq!(state.last_trigger, Some(13));
+    }
+}

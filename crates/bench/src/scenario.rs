@@ -7,7 +7,7 @@
 //! deterministic seeds of one workload. A *scenario* is a named way to
 //! exercise a materialized recipe (`offline-accuracy`,
 //! `engine-throughput`, `serve-load`, `serve-chaos`, `multi-tenant-mix`,
-//! `mobility-sweep`). The runner executes every scenario a recipe names
+//! `mobility-sweep`, `adaptive-mobility`). The runner executes every scenario a recipe names
 //! and emits one structured JSON result per (recipe, scenario), plus a
 //! merged report in the `BENCH_pr{N}.json` layout `bench_gate` parses.
 //!
@@ -29,10 +29,15 @@ use crate::exp_mobility;
 use crate::gate::Json;
 use crate::serveload::{self, LoadConfig, LoadReport, ModelTarget};
 use metaai::config::SystemConfig;
+use metaai::mobility::DriftSchedule;
 use metaai::pipeline::MetaAiSystem;
+use metaai_adapt::{
+    probe_health, AdaptController, HealthReading, MobilityDrift, ProbeSet, StepReport, SwapRecord,
+    TriggerPolicy,
+};
 use metaai_datasets::{generate, DatasetId, Scale};
 use metaai_math::rng::SimRng;
-use metaai_math::CVec;
+use metaai_math::{CVec, C64};
 use metaai_nn::augment::Augmentation;
 use metaai_nn::data::ComplexDataset;
 use metaai_nn::train::TrainConfig;
@@ -53,6 +58,7 @@ pub const SCENARIOS: &[&str] = &[
     "serve-chaos",
     "multi-tenant-mix",
     "mobility-sweep",
+    "adaptive-mobility",
 ];
 
 /// The seed a recipe gets when it does not name one. Fixed so that "the
@@ -133,6 +139,20 @@ pub struct Recipe {
     pub speeds_mps: Vec<f64>,
     /// Walking-interferer region for `offline-accuracy` (None = clear).
     pub interferer: Option<InterferenceRegion>,
+    /// Receiver walking speed for `adaptive-mobility`, in m/s.
+    pub drift_mps: f64,
+    /// Adaptation rounds for `adaptive-mobility`.
+    pub adapt_rounds: usize,
+    /// Probe-accuracy floor: the trigger threshold *and* the headline
+    /// bar the adaptive track must hold while the static track decays.
+    pub adapt_threshold: f64,
+    /// Channel-residual trigger ceiling (phase-aligned relative
+    /// Frobenius distance).
+    pub adapt_residual: f64,
+    /// Consecutive unhealthy rounds required before a re-solve.
+    pub adapt_hysteresis: u32,
+    /// Rounds after a swap during which no new trigger fires.
+    pub adapt_cooldown: u64,
 }
 
 fn base_recipe() -> Recipe {
@@ -161,6 +181,12 @@ fn base_recipe() -> Recipe {
         samples: 32,
         speeds_mps: vec![1.0],
         interferer: None,
+        drift_mps: 0.5,
+        adapt_rounds: 12,
+        adapt_threshold: 0.5,
+        adapt_residual: 0.2,
+        adapt_hysteresis: 1,
+        adapt_cooldown: 2,
     }
 }
 
@@ -387,6 +413,46 @@ impl Recipe {
                     recipe.speeds_mps = speeds;
                 }
                 "interferer" => recipe.interferer = parse_interferer(value).map_err(fail)?,
+                "drift-mps" => {
+                    recipe.drift_mps = value
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|v| v.is_finite() && *v > 0.0)
+                        .ok_or_else(|| {
+                            fail(format!(
+                                "`drift-mps` expects a positive number, got {value:?}"
+                            ))
+                        })?;
+                }
+                "adapt-rounds" => recipe.adapt_rounds = parse_num(key, value, 1).map_err(fail)?,
+                "adapt-threshold" => {
+                    recipe.adapt_threshold = value
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|v| v.is_finite() && (0.0..=1.0).contains(v))
+                        .ok_or_else(|| {
+                            fail(format!(
+                                "`adapt-threshold` expects a number in [0, 1], got {value:?}"
+                            ))
+                        })?;
+                }
+                "adapt-residual" => {
+                    recipe.adapt_residual = value
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|v| v.is_finite() && *v > 0.0)
+                        .ok_or_else(|| {
+                            fail(format!(
+                                "`adapt-residual` expects a positive number, got {value:?}"
+                            ))
+                        })?;
+                }
+                "adapt-hysteresis" => {
+                    recipe.adapt_hysteresis = parse_num(key, value, 1).map_err(fail)?
+                }
+                "adapt-cooldown" => {
+                    recipe.adapt_cooldown = parse_num(key, value, 0).map_err(fail)?
+                }
                 other => return Err(err(line_no, format!("unknown key `{other}`"))),
             }
         }
@@ -441,6 +507,12 @@ impl Recipe {
             "interferer = {}\n",
             self.interferer.map_or("none", InterferenceRegion::name)
         ));
+        out.push_str(&format!("drift-mps = {}\n", self.drift_mps));
+        out.push_str(&format!("adapt-rounds = {}\n", self.adapt_rounds));
+        out.push_str(&format!("adapt-threshold = {}\n", self.adapt_threshold));
+        out.push_str(&format!("adapt-residual = {}\n", self.adapt_residual));
+        out.push_str(&format!("adapt-hysteresis = {}\n", self.adapt_hysteresis));
+        out.push_str(&format!("adapt-cooldown = {}\n", self.adapt_cooldown));
         out
     }
 
@@ -1099,6 +1171,201 @@ fn mobility_sweep(recipe: &Recipe) -> Result<ScenarioOutcome, String> {
     })
 }
 
+/// Live requests sent per adaptation round in `adaptive-mobility` —
+/// enough to straddle every swap boundary without turning the scenario
+/// into a load test (`serve-load` covers throughput).
+const ADAPT_REQUESTS_PER_ROUND: u64 = 4;
+
+/// The adaptive-mobility backend: the same receiver walk, twice.
+///
+/// The *static* track probes the untouched deployment as it goes stale
+/// round by round. The *adaptive* track runs the `metaai-adapt` closed
+/// loop (probe → trigger → warm re-solve → hot swap) against a live
+/// server while clean traffic keeps flowing — every reply is verified
+/// bitwise against the deployment whose epoch it echoes, so a swap can
+/// never be observed as a wrong answer, only as a new epoch. The
+/// headline acceptance is enforced here, not just reported: over the
+/// back half of the walk the static track's probe accuracy must fall
+/// below `adapt-threshold` while the adaptive track holds at or above
+/// it, and a single dropped or errored request fails the scenario.
+fn adaptive_mobility(m: &Materialized) -> Result<ScenarioOutcome, String> {
+    let recipe = &m.recipe;
+    let t = m.tenants.first().ok_or("no tenants materialized")?;
+    let symbols = t.system.channels.cols();
+    let rounds = recipe.adapt_rounds as u64;
+    let schedule = DriftSchedule::paper_walk(recipe.drift_mps);
+    let probes = ProbeSet::from_dataset(&t.test, recipe.samples, recipe.seed);
+    let policy = TriggerPolicy {
+        probe_accuracy_floor: recipe.adapt_threshold,
+        residual_ceiling: recipe.adapt_residual,
+        hysteresis: recipe.adapt_hysteresis,
+        cooldown_rounds: recipe.adapt_cooldown,
+    };
+
+    // Static track: no controller — the deployment just goes stale.
+    let static_readings: Vec<HealthReading> = (0..rounds)
+        .map(|round| {
+            let world = schedule.config_at(&t.system.config, round);
+            probe_health(&t.system, &world, C64::ZERO, &probes, round)
+        })
+        .collect();
+
+    // Adaptive track, under live traffic.
+    let live = launch(m)?;
+    let adaptive = (|| -> Result<(Vec<StepReport>, u64), String> {
+        let entry = live.entries.first().ok_or("no registered models")?.clone();
+        let wire_id = entry.wire_id();
+        let view = MobilityDrift {
+            base: t.system.config.clone(),
+            schedule,
+        };
+        let mut ctl = AdaptController::new(entry.clone(), Box::new(view), probes.clone(), policy);
+        // Every deployment the entry ever serves, by epoch: the initial
+        // one plus each accepted swap's.
+        let mut deployments = vec![entry.current()];
+        let mut client =
+            TcpClient::connect_with(live.addr, ClientConfig::with_all(Duration::from_secs(5)))
+                .map_err(|e| format!("adaptive connect: {e}"))?;
+        let mut scratch = Vec::new();
+        let mut verified = 0u64;
+        let mut reports = Vec::new();
+        for round in 0..rounds {
+            let report = ctl.step();
+            if report.swap.is_some() {
+                deployments.push(entry.current());
+            }
+            // Clean traffic straddling the swap boundary. The sample
+            // space (3 000 000+) is disjoint from every other scenario's.
+            for k in 0..ADAPT_REQUESTS_PER_ROUND {
+                let sample = 3_000_000 + round * ADAPT_REQUESTS_PER_ROUND + k;
+                let input = chaos_clean_input(sample, symbols);
+                let scored = client
+                    .score_model(wire_id, sample, sample, input.as_slice().to_vec())
+                    .map_err(|e| format!("adaptive sample {sample}: io error {e}"))?
+                    .map_err(|e| {
+                        format!("adaptive sample {sample}: error reply {e} during adaptation")
+                    })?;
+                let dep = deployments
+                    .iter()
+                    .find(|d| d.epoch == scored.epoch)
+                    .ok_or_else(|| {
+                        format!(
+                            "adaptive sample {sample}: reply echoes unknown epoch {}",
+                            scored.epoch
+                        )
+                    })?;
+                let offline = dep
+                    .system
+                    .score_indexed(&input, dep.stream, sample, &mut scratch);
+                if scored.predicted != offline || scored.scores != scratch {
+                    return Err(format!(
+                        "adaptive sample {sample}: served reply differs from offline scoring \
+                         on epoch {}",
+                        scored.epoch
+                    ));
+                }
+                verified += 1;
+            }
+            reports.push(report);
+        }
+        Ok((reports, verified))
+    })();
+    live.shutdown()?;
+    let (reports, verified) = adaptive?;
+
+    let swaps: Vec<&SwapRecord> = reports.iter().filter_map(|r| r.swap.as_ref()).collect();
+    if swaps.is_empty() {
+        return Err(format!(
+            "the walk never triggered a re-solve ({rounds} rounds at {} m/s, \
+             residual ceiling {})",
+            recipe.drift_mps, recipe.adapt_residual
+        ));
+    }
+
+    // Headline acceptance, over the back half of the walk (the front
+    // half is shared warm-up where neither track has drifted much).
+    let back = (rounds / 2) as usize;
+    let mean_acc = |readings: &[f64]| readings.iter().sum::<f64>() / readings.len() as f64;
+    let static_tail = mean_acc(
+        &static_readings[back..]
+            .iter()
+            .map(|r| r.probe_accuracy)
+            .collect::<Vec<f64>>(),
+    );
+    let adaptive_tail = mean_acc(
+        &reports[back..]
+            .iter()
+            .map(|r| r.reading.probe_accuracy)
+            .collect::<Vec<f64>>(),
+    );
+    if static_tail >= recipe.adapt_threshold {
+        return Err(format!(
+            "static deployment never decayed: back-half accuracy {static_tail} >= \
+             threshold {} (walk too slow or too short to matter)",
+            recipe.adapt_threshold
+        ));
+    }
+    if adaptive_tail < recipe.adapt_threshold {
+        return Err(format!(
+            "adaptive deployment did not hold: back-half accuracy {adaptive_tail} < \
+             threshold {}",
+            recipe.adapt_threshold
+        ));
+    }
+
+    // Timing: swap-install latency p99 and warm re-solve throughput
+    // (scalar weights re-solved per second of solver wall time).
+    let mut swap_us: Vec<f64> = swaps.iter().map(|s| s.swap_seconds * 1e6).collect();
+    swap_us.sort_by(|a, b| a.partial_cmp(b).expect("latencies are never NaN"));
+    let p99 = swap_us[((swap_us.len() - 1) as f64 * 0.99).ceil() as usize];
+    let resolve_total: f64 = swaps.iter().map(|s| s.resolve_seconds).sum();
+    let weights = t.system.net.weights.rows() * t.system.net.weights.cols();
+    let weights_per_sec = (swaps.len() * weights) as f64 / resolve_total.max(f64::MIN_POSITIVE);
+
+    Ok(ScenarioOutcome {
+        fixed: Json::Obj(vec![
+            kv("rounds", num(rounds as f64)),
+            kv(
+                "accuracy",
+                Json::Obj(vec![
+                    kv("adaptive_tail_mean", num(adaptive_tail)),
+                    kv("static_tail_mean", num(static_tail)),
+                ]),
+            ),
+            kv(
+                "trigger_rounds",
+                Json::Arr(swaps.iter().map(|s| num(s.round as f64)).collect()),
+            ),
+            kv(
+                "epochs",
+                Json::Arr(swaps.iter().map(|s| num(s.epoch as f64)).collect()),
+            ),
+            kv(
+                "static_final_residual",
+                num(static_readings
+                    .last()
+                    .expect("rounds >= 1")
+                    .channel_residual),
+            ),
+            kv(
+                "adaptive_final_residual",
+                num(reports
+                    .last()
+                    .expect("rounds >= 1")
+                    .reading
+                    .channel_residual),
+            ),
+            kv("verified_requests", num(verified as f64)),
+            kv("request_errors", num(0.0)),
+        ]),
+        timing: Json::Obj(vec![
+            kv("swap_latency_p99_us", num(p99)),
+            kv("resolve_weights_per_sec", num(weights_per_sec)),
+            kv("resolve_total_seconds", num(resolve_total)),
+        ]),
+    })
+}
+
 // ---------------------------------------------------------------------
 // Runner
 // ---------------------------------------------------------------------
@@ -1126,6 +1393,7 @@ pub fn run_scenario(
         "serve-chaos" => serve_chaos(need(m, scenario)?),
         "multi-tenant-mix" => multi_tenant_mix(need(m, scenario)?),
         "mobility-sweep" => mobility_sweep(recipe),
+        "adaptive-mobility" => adaptive_mobility(need(m, scenario)?),
         other => Err(format!("unknown scenario {other:?}")),
     }
 }

@@ -310,9 +310,19 @@ pub fn infer(args: &Args) -> i32 {
 /// `file` under `name`, a bare `--model file` serves it as the default
 /// model (where v1 clients land). The flag repeats to serve several
 /// models on one port, each with its own queue and worker pool.
+///
+/// `--adapt <mps>` attaches one online-adaptation controller per model:
+/// the receiver walks the paper's arc at `<mps>` m/s and each
+/// controller probes, warm re-solves, and hot-swaps its deployment as
+/// the channel drifts (epochs tick up; clients only ever see the echo
+/// change). `--adapt-probes <dataset>` enables the accuracy probe on
+/// that dataset's held-out set; without it the policy is residual-only.
+/// `--adapt-interval-ms`, `--adapt-threshold`, `--adapt-residual`,
+/// `--adapt-hysteresis`, and `--adapt-cooldown` tune the loop.
 pub fn serve(args: &Args) -> i32 {
     metrics_begin(args);
     metaai_serve::register_metrics();
+    metaai_adapt::register_metrics();
     let specs = args.all("model");
     if specs.is_empty() {
         return fail("missing --model <file> (or --model <name>=<file>, repeatable)");
@@ -385,7 +395,102 @@ pub fn serve(args: &Args) -> i32 {
         args.get_or("policy", "shed"),
     );
     let server = builder.config(serve_cfg).start();
-    match metaai_serve::tcp::serve(listener, server) {
+
+    let mut adapt_handles = Vec::new();
+    if let Some(mps) = args.options.get("adapt") {
+        let mps: f64 = match mps
+            .parse::<f64>()
+            .ok()
+            .filter(|v| v.is_finite() && *v > 0.0)
+        {
+            Some(v) => v,
+            None => {
+                return fail(&format!(
+                    "--adapt expects a positive speed in m/s, got {mps:?}"
+                ))
+            }
+        };
+        let probe_dataset = match args.options.get("adapt-probes") {
+            None => None,
+            Some(name) => match parse_dataset(name) {
+                Ok(id) => Some(id),
+                Err(e) => return fail(&e),
+            },
+        };
+        let defaults = metaai_adapt::TriggerPolicy::default();
+        let policy = metaai_adapt::TriggerPolicy {
+            // Without labelled probes the accuracy signal is meaningless;
+            // staleness is then judged on the channel residual alone.
+            probe_accuracy_floor: if probe_dataset.is_some() {
+                args.num_or("adapt-threshold", defaults.probe_accuracy_floor)
+            } else {
+                0.0
+            },
+            residual_ceiling: args.num_or("adapt-residual", defaults.residual_ceiling),
+            hysteresis: args.num_or("adapt-hysteresis", defaults.hysteresis),
+            cooldown_rounds: args.num_or("adapt-cooldown", defaults.cooldown_rounds),
+        };
+        let interval = std::time::Duration::from_millis(args.num_or("adapt-interval-ms", 500u64));
+        for entry in server.registry().entries() {
+            let system = entry.current().system.clone();
+            let symbols = system.channels.cols();
+            let probes = match probe_dataset {
+                Some(id) => {
+                    let (_, test) = generate(id, Scale::Quick, seed).modulate(config.modulation);
+                    if test.input_len() != symbols {
+                        return fail(&format!(
+                            "--adapt-probes {}: {} symbols per sample, but model {:?} \
+                             serves {symbols}",
+                            args.get_or("adapt-probes", "?"),
+                            test.input_len(),
+                            entry.name(),
+                        ));
+                    }
+                    metaai_adapt::ProbeSet::from_dataset(&test, 32, seed)
+                }
+                None => {
+                    // Unlabelled random probes: enough to realize the
+                    // live channel and read the residual.
+                    let mut rng = SimRng::derive(seed, "serve-adapt-probes");
+                    let inputs: Vec<metaai_math::CVec> = (0..8)
+                        .map(|_| {
+                            metaai_math::CVec::from_vec(
+                                (0..symbols).map(|_| rng.complex_gaussian(1.0)).collect(),
+                            )
+                        })
+                        .collect();
+                    metaai_adapt::ProbeSet {
+                        labels: vec![0; inputs.len()],
+                        inputs,
+                        seed,
+                    }
+                }
+            };
+            let view = metaai_adapt::MobilityDrift {
+                base: system.config.clone(),
+                schedule: metaai::mobility::DriftSchedule::paper_walk(mps),
+            };
+            let ctl =
+                metaai_adapt::AdaptController::new(entry.clone(), Box::new(view), probes, policy);
+            adapt_handles.push((entry.name().to_string(), ctl.spawn(interval)));
+        }
+        println!(
+            "adaptation on: receiver walking at {mps} m/s, probing every {interval:?} \
+             (residual ceiling {}, accuracy floor {})",
+            policy.residual_ceiling, policy.probe_accuracy_floor,
+        );
+    }
+
+    let outcome = metaai_serve::tcp::serve(listener, server);
+    for (name, handle) in adapt_handles {
+        let (ctl, reports) = handle.stop();
+        let swaps = reports.iter().filter(|r| r.swap.is_some()).count();
+        println!(
+            "adaptation for {name}: {} rounds, {swaps} re-solve(s) swapped in",
+            ctl.rounds()
+        );
+    }
+    match outcome {
         Ok(()) => {
             println!("drained and stopped");
             metrics_finish(args).unwrap_or(0)
@@ -480,7 +585,7 @@ pub fn wdd(args: &Args) -> i32 {
 /// ```text
 /// metaai bench list
 /// metaai bench run --recipes recipes/quick [--out-dir scenario-results]
-///                  [--pr 8]
+///                  [--pr 9]
 /// metaai bench run --recipe recipes/quick/serve-clean.recipe
 /// ```
 ///
@@ -489,7 +594,7 @@ pub fn wdd(args: &Args) -> i32 {
 /// and exits non-zero if any scenario errors (the error still lands in
 /// the merged report, so the artifact shows what failed).
 ///
-/// `--merge-into BENCH_pr8.json` additionally splices the fresh
+/// `--merge-into BENCH_pr9.json` additionally splices the fresh
 /// `scenarios` subtree into an existing perf report — that is how the
 /// committed baseline carrying both perf and scenario keys is
 /// regenerated.
@@ -525,7 +630,7 @@ pub fn bench(args: &Args) -> i32 {
             if let Err(e) = std::fs::create_dir_all(out_dir) {
                 return fail(&format!("cannot create {out_dir}: {e}"));
             }
-            let pr: u32 = args.num_or("pr", 8);
+            let pr: u32 = args.num_or("pr", 9);
 
             let mut runs = Vec::new();
             let mut errors = 0usize;

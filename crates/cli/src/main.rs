@@ -60,7 +60,10 @@ COMMANDS:
   serve    Serve over-the-air inference on a TCP port (micro-batched;
            --port 7077 --workers N --max-batch 64 --max-delay-us 2000
            --queue-cap 1024 --policy shed|block; drain with loadgen
-           --shutdown)
+           --shutdown; --adapt MPS attaches the online-adaptation loop,
+           tuned by --adapt-probes DATASET --adapt-interval-ms N
+           --adapt-threshold F --adapt-residual F --adapt-hysteresis N
+           --adapt-cooldown N)
   scan     Beam-scan demo: estimate the receiver angle
   export   Dump a dataset contact sheet as a PGM image
   wdd      Weight-distribution-density sweep (Appendix A.2)

@@ -175,6 +175,64 @@ impl WeightMapper {
         }
     }
 
+    /// [`map`](Self::map), warm-started from a previous schedule's codes —
+    /// the online-adaptation path: after a small channel drift the old
+    /// configuration is already near the new optimum, so each (r, i)
+    /// solve is seeded with `warm.codes[r][i]` instead of the
+    /// phase-aligned initialization and typically converges in a sweep
+    /// or two.
+    ///
+    /// Deliberately **sequential**: the re-solve runs on the adaptation
+    /// controller's single low-priority thread, so it neither steals
+    /// cores from serving workers nor lets the worker count influence the
+    /// result (remap output is a pure function of its inputs). One
+    /// caller-owned `scratch` is reused across all `R × U` solves — reuse
+    /// it across rounds too.
+    pub fn remap(
+        &self,
+        weights: &CMat,
+        h_env_offset: C64,
+        warm: &WeightSchedule,
+        scratch: &mut SolverScratch,
+    ) -> WeightSchedule {
+        let tele = metaai_telemetry::enabled().then(metrics);
+        let _span = tele.map(|m| m.map_seconds.span());
+        let scale = self.weight_scale(weights);
+        let r = weights.rows();
+        let u = weights.cols();
+        assert_eq!(
+            (warm.num_outputs(), warm.num_symbols()),
+            (r, u),
+            "warm schedule shape must match the weight matrix"
+        );
+        if let Some(m) = tele {
+            m.maps.inc();
+            m.weights_mapped.add((r * u) as u64);
+        }
+
+        let mut codes = vec![vec![Vec::new(); u]; r];
+        let mut achieved = CMat::zeros(r, u);
+        let mut sq_sum = 0.0;
+        for row in 0..r {
+            for col in 0..u {
+                let target = weights[(row, col)] * scale - h_env_offset;
+                let res =
+                    self.solver
+                        .solve_warm(&[target], &warm.codes[row][col], &self.table, scratch);
+                achieved[(row, col)] = res.achieved[0];
+                sq_sum += res.residual * res.residual;
+                codes[row][col] = res.codes;
+            }
+        }
+
+        WeightSchedule {
+            codes,
+            achieved,
+            scale,
+            rms_residual: (sq_sum / (r * u) as f64).sqrt(),
+        }
+    }
+
     /// Relative weight-realization error: RMS residual divided by the RMS
     /// of the scaled targets. Small values (≪ 1) mean the hardware
     /// faithfully reproduces the trained network.
@@ -249,6 +307,47 @@ mod tests {
         let b = m.map(&w, C64::ZERO);
         assert_eq!(a.achieved, b.achieved);
         assert_eq!(a.codes, b.codes);
+    }
+
+    #[test]
+    fn remap_tracks_a_moved_link_as_well_as_a_cold_map() {
+        // Map against the paper geometry, nudge the receiver, and warm
+        // re-map against the new link from the old schedule: quality must
+        // stay within a whisker of a from-scratch map of the new link.
+        let config = SystemConfig::paper_default();
+        let array = MtsArray::paper_prototype(Prototype::DualBand, config.mts_center);
+        let before = WeightMapper::new(&config, &array);
+        let moved = SystemConfig {
+            rx: metaai_rf::geometry::place_at(
+                config.mts_center,
+                3.0,
+                metaai_rf::geometry::deg_to_rad(90.0 - 43.0),
+                config.rx.z,
+            ),
+            ..config.clone()
+        };
+        let after = WeightMapper::new(&moved, &array);
+
+        let w = random_weights(3, 6, 8);
+        let base = before.map(&w, C64::ZERO);
+        let cold = after.map(&w, C64::ZERO);
+        let mut scratch = SolverScratch::new();
+        let warm = after.remap(&w, C64::ZERO, &base, &mut scratch);
+
+        assert_eq!(warm.codes.len(), 3);
+        assert_eq!(warm.codes[0].len(), 6);
+        let warm_rel = after.relative_error(&w, &warm);
+        let cold_rel = after.relative_error(&w, &cold);
+        assert!(
+            warm_rel < cold_rel + 0.01,
+            "warm remap error {warm_rel} vs cold {cold_rel}"
+        );
+
+        // And it is a pure function of its inputs: scratch reuse across
+        // rounds changes nothing.
+        let again = after.remap(&w, C64::ZERO, &base, &mut scratch);
+        assert_eq!(warm.codes, again.codes);
+        assert_eq!(warm.achieved, again.achieved);
     }
 
     #[test]

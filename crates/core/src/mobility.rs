@@ -10,6 +10,7 @@
 
 use crate::config::SystemConfig;
 use metaai_mts::control::ControlModel;
+use metaai_rf::geometry::{deg_to_rad, place_at, rad_to_deg};
 
 /// Parameters of the recalibration race.
 #[derive(Clone, Copy, Debug)]
@@ -51,6 +52,56 @@ impl MobilityModel {
     /// `distance_m` stays within tolerance between recalibrations.
     pub fn supports(&self, control: &ControlModel, distance_m: f64, speed_mps: f64) -> bool {
         speed_mps <= self.max_trackable_speed(control, distance_m)
+    }
+}
+
+/// A deterministic receiver trajectory for driving drifting-channel
+/// simulations: the receiver walks an arc of constant radius around the
+/// metasurface at constant tangential speed, sampled every `step_s`
+/// seconds. Round 0 is the deployment geometry; each later round moves
+/// the receiver by `speed_mps · step_s` metres along the arc (decreasing
+/// azimuth, the same walk the mobility benchmark traces).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DriftSchedule {
+    /// Tangential receiver speed, m/s.
+    pub speed_mps: f64,
+    /// Arc radius around the metasurface centre, metres.
+    pub radius_m: f64,
+    /// Simulated time between rounds, seconds.
+    pub step_s: f64,
+    /// Azimuth at round 0, degrees (the solved deployment angle).
+    pub start_angle_deg: f64,
+}
+
+impl DriftSchedule {
+    /// The benchmark walk: the paper geometry's 3 m radius and 40° start,
+    /// sampled at 5 Hz.
+    pub fn paper_walk(speed_mps: f64) -> Self {
+        DriftSchedule {
+            speed_mps,
+            radius_m: 3.0,
+            step_s: 0.2,
+            start_angle_deg: 40.0,
+        }
+    }
+
+    /// Azimuth at `round`, degrees.
+    pub fn angle_at(&self, round: u64) -> f64 {
+        let deg_per_step = rad_to_deg(self.speed_mps * self.step_s / self.radius_m);
+        self.start_angle_deg - deg_per_step * round as f64
+    }
+
+    /// `base` with the receiver moved to this schedule's position at
+    /// `round` (same height as the deployment receiver, everything else
+    /// untouched).
+    pub fn config_at(&self, base: &SystemConfig, round: u64) -> SystemConfig {
+        let rx = place_at(
+            base.mts_center,
+            self.radius_m,
+            deg_to_rad(90.0 - self.angle_at(round)),
+            base.rx.z,
+        );
+        SystemConfig { rx, ..base.clone() }
     }
 }
 
@@ -98,6 +149,36 @@ mod tests {
         let near = m.max_trackable_speed(&c, 1.0);
         let far = m.max_trackable_speed(&c, 10.0);
         assert!((far / near - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drift_schedule_starts_at_the_deployment_geometry_and_walks_the_arc() {
+        let base = SystemConfig::paper_default();
+        let walk = DriftSchedule::paper_walk(1.5);
+        assert_eq!(walk.angle_at(0), 40.0);
+        let at0 = walk.config_at(&base, 0);
+        assert!(
+            (at0.rx.x - base.rx.x).abs() < 1e-9
+                && (at0.rx.y - base.rx.y).abs() < 1e-9
+                && (at0.rx.z - base.rx.z).abs() < 1e-9,
+            "round 0 is the solved position ({:?} vs {:?})",
+            at0.rx,
+            base.rx
+        );
+        // 1.5 m/s · 0.2 s on a 3 m arc = 0.1 rad ≈ 5.73° per round,
+        // decreasing azimuth.
+        let per_step = walk.angle_at(0) - walk.angle_at(1);
+        assert!((per_step - rad_to_deg(0.1)).abs() < 1e-9, "{per_step}");
+        // The receiver stays on the arc.
+        for round in [1u64, 5, 20] {
+            let cfg = walk.config_at(&base, round);
+            let dx = cfg.rx.x - base.mts_center.x;
+            let dy = cfg.rx.y - base.mts_center.y;
+            assert!(((dx * dx + dy * dy).sqrt() - 3.0).abs() < 1e-9);
+        }
+        // A zero-speed schedule never moves: the static baseline.
+        let frozen = DriftSchedule::paper_walk(0.0);
+        assert_eq!(frozen.angle_at(50), 40.0);
     }
 
     #[test]

@@ -300,6 +300,60 @@ pub fn redeploy(system: &MetaAiSystem, config: &SystemConfig) -> MetaAiSystem {
     moved
 }
 
+/// [`redeploy`], warm-started for the online-adaptation loop: re-solves
+/// the schedule against `config`'s geometry by seeding every per-weight
+/// descent with the *current* schedule's codes
+/// ([`WeightMapper::remap`]), instead of rebuilding from scratch.
+///
+/// Differences from a cold [`redeploy`], all deliberate:
+///
+/// * the **array is cloned**, not rebuilt — the physical surface (its
+///   atom count and fabrication phase noise) does not change because the
+///   receiver moved, whereas a cold redeploy re-injects noise and resets
+///   any custom atom count to the builder default;
+/// * the solve is **sequential** on the caller's thread, reusing
+///   `scratch` across rounds — no rayon fan-out competing with serving
+///   workers, and the result is independent of worker count;
+/// * the **noise floor is kept**, like `redeploy`.
+///
+/// The warm schedule may differ code-for-code from what a cold redeploy
+/// would find (coordinate descent from a different initialization can
+/// settle in a different quantization-noise-level minimum); it is held to
+/// the same realization-error standard, not bitwise equality.
+///
+/// `h_env_offset` is the Eqn-8 quasi-static environmental component the
+/// re-solve compensates (e.g. a sampled
+/// [`Interferer::scatter_gain`](metaai_rf::interference::Interferer::scatter_gain));
+/// pass [`C64::ZERO`] when the environment is clean.
+pub fn redeploy_warm(
+    system: &MetaAiSystem,
+    config: &SystemConfig,
+    h_env_offset: C64,
+    scratch: &mut metaai_mts::solver::SolverScratch,
+) -> MetaAiSystem {
+    let tele = metaai_telemetry::enabled().then(metrics);
+    let _span = tele.map(|m| m.deploy_seconds.span());
+    if let Some(m) = tele {
+        m.deploys.inc();
+    }
+    let array = system.array.clone();
+    let link = metaai_mts::channel::MtsLink::new(&array, config.tx, config.rx, config.freq_hz);
+    let mapper = WeightMapper::from_link(link, config.kappa);
+    let schedule = mapper.remap(&system.net.weights, h_env_offset, &system.schedule, scratch);
+    let channels = realize_channels(&schedule, &mapper.link, &array);
+    let planes = CPlanes::from_cmat(&channels);
+    MetaAiSystem {
+        config: config.clone(),
+        array,
+        mapper,
+        net: system.net.clone(),
+        schedule,
+        channels,
+        noise_floor: system.noise_floor,
+        planes,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -388,5 +442,39 @@ mod tests {
         // New geometry → new channels, but still functional.
         let ota = sys2.ota_accuracy(&test, "moved");
         assert!(ota > 0.6, "accuracy after redeploy {ota}");
+    }
+
+    #[test]
+    fn warm_redeploy_keeps_the_surface_and_matches_cold_quality() {
+        let (sys, test) = quick_system();
+        let moved = SystemConfig::paper_default().with_rx_at(3.0, 43.0);
+        let mut scratch = metaai_mts::solver::SolverScratch::new();
+        let warm = redeploy_warm(&sys, &moved, C64::ZERO, &mut scratch);
+        let cold = redeploy(&sys, &moved);
+
+        // The physical surface is untouched: same atoms, same fabrication
+        // noise — a receiver move cannot re-manufacture the array.
+        assert_eq!(warm.array.num_atoms(), sys.array.num_atoms());
+        for (a, b) in warm.array.atoms.iter().zip(&sys.array.atoms) {
+            assert_eq!(a.phase_error, b.phase_error);
+        }
+        assert_eq!(warm.net.weights, sys.net.weights);
+        assert_eq!(warm.noise_floor, sys.noise_floor);
+
+        // Warm and cold may settle in different quantization-level minima,
+        // but realize the weights equally faithfully and serve equally well.
+        assert!(
+            warm.realization_error() < cold.realization_error() + 0.01,
+            "warm {} vs cold {}",
+            warm.realization_error(),
+            cold.realization_error()
+        );
+        let ota = warm.ota_accuracy(&test, "warm-moved");
+        assert!(ota > 0.6, "accuracy after warm redeploy {ota}");
+
+        // And the warm path is deterministic across scratch reuse.
+        let again = redeploy_warm(&sys, &moved, C64::ZERO, &mut scratch);
+        assert_eq!(warm.schedule.codes, again.schedule.codes);
+        assert_eq!(warm.channels, again.channels);
     }
 }

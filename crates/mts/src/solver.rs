@@ -239,6 +239,50 @@ impl WeightSolver {
         table: &StateTable,
         scratch: &mut SolverScratch,
     ) -> SolveResult {
+        self.check_inputs(targets, table);
+        // Phase-aligned initialization against the first target: point each
+        // atom's contribution at the target direction.
+        scratch.codes.clear();
+        scratch.codes.extend(
+            self.phasors[0]
+                .iter()
+                .map(|u| PhaseCode::quantize(targets[0].arg() - u.arg(), self.bits)),
+        );
+        self.descend(targets, table, scratch)
+    }
+
+    /// [`solve_with`](Self::solve_with), but warm-started from `initial`
+    /// instead of the phase-aligned initialization — the online-adaptation
+    /// path: when the channel drifts a little, the previous round's codes
+    /// are already near the new optimum and descent converges in a sweep
+    /// or two instead of re-deriving the configuration from scratch.
+    ///
+    /// The descent body is the exact same kernel `solve_with` runs, so a
+    /// warm solve seeded with the codes the phase-aligned init would have
+    /// produced is bitwise identical to the cold solve.
+    pub fn solve_warm(
+        &self,
+        targets: &[C64],
+        initial: &[PhaseCode],
+        table: &StateTable,
+        scratch: &mut SolverScratch,
+    ) -> SolveResult {
+        self.check_inputs(targets, table);
+        assert_eq!(
+            initial.len(),
+            self.num_atoms(),
+            "warm start must cover every atom"
+        );
+        assert!(
+            initial.iter().all(|c| c.bits == self.bits),
+            "warm-start codes use a different bit depth"
+        );
+        scratch.codes.clear();
+        scratch.codes.extend_from_slice(initial);
+        self.descend(targets, table, scratch)
+    }
+
+    fn check_inputs(&self, targets: &[C64], table: &StateTable) {
         assert_eq!(
             targets.len(),
             self.num_targets(),
@@ -249,17 +293,19 @@ impl WeightSolver {
             self.num_targets(),
             "state table built for a different solver"
         );
+    }
+
+    /// The shared coordinate-descent body: `scratch.codes` must already
+    /// hold one code per atom (the initialization); everything after that
+    /// point is identical between cold and warm solves.
+    fn descend(
+        &self,
+        targets: &[C64],
+        table: &StateTable,
+        scratch: &mut SolverScratch,
+    ) -> SolveResult {
         let k = self.num_targets();
         let n_states = table.n_states;
-
-        // Phase-aligned initialization against the first target: point each
-        // atom's contribution at the target direction.
-        scratch.codes.clear();
-        scratch.codes.extend(
-            self.phasors[0]
-                .iter()
-                .map(|u| PhaseCode::quantize(targets[0].arg() - u.arg(), self.bits)),
-        );
         let codes = &mut scratch.codes;
 
         // Running sums per target (left fold from zero, matching `Sum`).
@@ -598,6 +644,78 @@ mod tests {
         let b = solver.solve_one(t);
         assert_eq!(a.codes, b.codes);
         assert_eq!(a.residual, b.residual);
+    }
+
+    #[test]
+    fn warm_solve_with_phase_aligned_codes_matches_cold_solve_bitwise() {
+        // Seeding `solve_warm` with exactly the codes the phase-aligned
+        // initialization would produce must reproduce `solve_with` bit for
+        // bit — the two entry points share one descent kernel.
+        let mut rng = SimRng::seed_from_u64(41);
+        for &(m, bits) in &[(64usize, 2u8), (96, 3)] {
+            let solver = WeightSolver::single(random_phasors(m, 2000 + m as u64), bits);
+            let table = solver.state_table();
+            let mut scratch = SolverScratch::new();
+            for _ in 0..5 {
+                let target = C64::from_polar(0.5 * m as f64 * rng.uniform(), rng.phase());
+                let aligned: Vec<PhaseCode> = solver.phasors[0]
+                    .iter()
+                    .map(|u| PhaseCode::quantize(target.arg() - u.arg(), bits))
+                    .collect();
+                let cold = solver.solve_with(&[target], &table, &mut scratch);
+                let warm = solver.solve_warm(&[target], &aligned, &table, &mut scratch);
+                assert_eq!(cold.codes, warm.codes);
+                assert_eq!(cold.sweeps, warm.sweeps);
+                assert_eq!(cold.residual.to_bits(), warm.residual.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn warm_solve_from_a_converged_solution_terminates_in_one_sweep() {
+        let solver = WeightSolver::single(random_phasors(256, 43), 2);
+        let table = solver.state_table();
+        let mut scratch = SolverScratch::new();
+        let target = C64::new(60.0, -25.0);
+        let cold = solver.solve_with(&[target], &table, &mut scratch);
+        assert!(
+            cold.sweeps < solver.max_sweeps,
+            "pick a target where descent converges ({} sweeps)",
+            cold.sweeps
+        );
+        let warm = solver.solve_warm(&[target], &cold.codes, &table, &mut scratch);
+        assert_eq!(warm.sweeps, 1, "a converged start changes nothing");
+        assert_eq!(warm.codes, cold.codes);
+        // The warm path recomputes the sums with a fresh fold where the
+        // cold path maintained them incrementally through descent, so the
+        // residual matches only to rounding, not bit for bit.
+        assert!((warm.residual - cold.residual).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warm_solve_tracks_a_nudged_target_cheaply() {
+        // The adaptation use case: solve once, nudge the target slightly,
+        // and the warm re-solve must stay accurate while sweeping no more
+        // than the cold re-solve would.
+        let solver = WeightSolver::single(random_phasors(256, 47), 2);
+        let table = solver.state_table();
+        let mut scratch = SolverScratch::new();
+        let before = C64::new(55.0, 30.0);
+        let after = before + C64::new(1.5, -2.0);
+        let base = solver.solve_with(&[before], &table, &mut scratch);
+        let cold = solver.solve_with(&[after], &table, &mut scratch);
+        let warm = solver.solve_warm(&[after], &base.codes, &table, &mut scratch);
+        assert!(
+            warm.sweeps < solver.max_sweeps,
+            "warm descent converged ({} sweeps)",
+            warm.sweeps
+        );
+        assert!(
+            warm.residual < cold.residual + 1.0,
+            "warm residual {} must stay in the cold solve's ballpark {}",
+            warm.residual,
+            cold.residual
+        );
     }
 
     #[test]

@@ -127,8 +127,13 @@ impl Interferer {
     }
 
     /// Scattered-path gain Tx→body→Rx at time `t`, with a random phase
-    /// drawn once and advanced by the body's motion-induced Doppler.
-    fn scatter_gain(&self, t: f64, tx: Point3, rx: Point3, freq_hz: f64, phase0: f64) -> C64 {
+    /// `phase0` drawn once (per realization) and advanced by the body's
+    /// motion-induced Doppler.
+    ///
+    /// Public since the online-adaptation loop samples it at coarse probe
+    /// cadence to form the quasi-static environmental offset `H_e` that
+    /// the Eqn-8 re-solve compensates.
+    pub fn scatter_gain(&self, t: f64, tx: Point3, rx: Point3, freq_hz: f64, phase0: f64) -> C64 {
         let p = self.position_at(t);
         let d = tx.distance(p) + p.distance(rx);
         let amp = friis_amplitude(d.max(0.1), freq_hz) * self.reflectivity;

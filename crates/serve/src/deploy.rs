@@ -37,6 +37,7 @@ use metaai_math::rng::SimRng;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
 
 /// FNV-1a offset basis (the hash behind [`SimRng::stream_id`]).
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -72,8 +73,18 @@ pub struct ModelEntry {
     /// swap derives its stream by folding in the epoch digits instead of
     /// formatting (and re-hashing) the whole label every time.
     stream_prefix: u64,
+    /// The output/symbol shape advertised in HELLO model tables, captured
+    /// from the initial system. v2 clients cache it for the lifetime of
+    /// the connection, so a swap may never change it (see
+    /// [`swap`](Self::swap)).
+    outputs: usize,
+    symbols: usize,
     active: RwLock<Arc<ServeDeployment>>,
     next_epoch: AtomicU64,
+    /// Construction instant; swap times are stored as nanoseconds since
+    /// this anchor so the epoch age is readable lock-free.
+    created: Instant,
+    swapped_nanos: AtomicU64,
     queue: BatchQueue,
     pub(crate) metrics: ModelMetrics,
     pub(crate) restarts: AtomicU64,
@@ -86,16 +97,22 @@ impl ModelEntry {
         prefix = fnv1a(prefix, name.as_bytes());
         let stream_prefix = fnv1a(prefix, b"-epoch-");
         let stream = stream_for_epoch(stream_prefix, 1);
+        let engine = system.engine();
+        let (outputs, symbols) = (engine.num_outputs(), engine.num_symbols());
         ModelEntry {
             name,
             wire_id,
             stream_prefix,
+            outputs,
+            symbols,
             active: RwLock::new(Arc::new(ServeDeployment {
                 system,
                 epoch: 1,
                 stream,
             })),
             next_epoch: AtomicU64::new(2),
+            created: Instant::now(),
+            swapped_nanos: AtomicU64::new(0),
             queue: BatchQueue::with_metrics(config, metrics.clone()),
             metrics,
             restarts: AtomicU64::new(0),
@@ -130,7 +147,22 @@ impl ModelEntry {
     /// returns its epoch. In-flight batches finish on their old `Arc`;
     /// the previous system is dropped when the last of them completes.
     /// Other models are untouched.
-    pub fn swap(&self, system: Arc<MetaAiSystem>) -> u64 {
+    ///
+    /// The offered system must score the same output/symbol shape this
+    /// entry advertised at registration — v2 clients cache that shape
+    /// from the HELLO model table for as long as their connection lives,
+    /// so a differently-shaped swap is refused with
+    /// [`ServeError::ShapeMismatch`] and the old deployment keeps
+    /// serving.
+    pub fn swap(&self, system: Arc<MetaAiSystem>) -> Result<u64, ServeError> {
+        let engine = system.engine();
+        let (outputs, symbols) = (engine.num_outputs(), engine.num_symbols());
+        if (outputs, symbols) != (self.outputs, self.symbols) {
+            return Err(ServeError::ShapeMismatch(format!(
+                "model {:?} advertises {}\u{d7}{} (outputs\u{d7}symbols), swap offered {outputs}\u{d7}{symbols}",
+                self.name, self.outputs, self.symbols
+            )));
+        }
         let epoch = self.next_epoch.fetch_add(1, Ordering::Relaxed);
         let deployment = Arc::new(ServeDeployment {
             system,
@@ -138,13 +170,34 @@ impl ModelEntry {
             stream: stream_for_epoch(self.stream_prefix, epoch),
         });
         *self.active.write().expect("deploy registry poisoned") = deployment;
+        self.swapped_nanos
+            .store(self.created.elapsed().as_nanos() as u64, Ordering::Relaxed);
         if let Some(m) = crate::metrics::tele() {
             m.deploy_swaps.inc();
         }
         if let Some(m) = self.metrics.on() {
             m.deploy_swaps.inc();
+            m.epoch_age_s.set(0.0);
         }
-        epoch
+        Ok(epoch)
+    }
+
+    /// How long the current deployment has been serving (time since the
+    /// last [`swap`](Self::swap), or since registration before the first
+    /// one).
+    pub fn epoch_age(&self) -> Duration {
+        self.created.elapsed().saturating_sub(Duration::from_nanos(
+            self.swapped_nanos.load(Ordering::Relaxed),
+        ))
+    }
+
+    /// Publishes [`epoch_age`](Self::epoch_age) to the
+    /// `metaai.serve.model.{name}.epoch_age_s` gauge. Scoring workers
+    /// call this per batch; the adaptation controller per probe round.
+    pub fn refresh_epoch_age(&self) {
+        if let Some(m) = self.metrics.on() {
+            m.epoch_age_s.set(self.epoch_age().as_secs_f64());
+        }
     }
 
     /// How many of this model's scoring workers have been restarted
@@ -236,11 +289,13 @@ impl DeploymentRegistry {
         self.default_entry().current()
     }
 
-    /// Swaps `name`'s deployment to `system`; returns the new epoch, or
-    /// [`ServeError::UnknownModel`] for an unregistered name.
+    /// Swaps `name`'s deployment to `system`; returns the new epoch,
+    /// [`ServeError::UnknownModel`] for an unregistered name, or
+    /// [`ServeError::ShapeMismatch`] when the offered system's shape
+    /// differs from what the entry's HELLO model table advertises.
     pub fn swap(&self, name: &str, system: Arc<MetaAiSystem>) -> Result<u64, ServeError> {
         match self.entry(name) {
-            Some(entry) => Ok(entry.swap(system)),
+            Some(entry) => entry.swap(system),
             None => Err(ServeError::UnknownModel),
         }
     }
@@ -253,8 +308,12 @@ mod tests {
     use metaai_nn::complex_lnn::ComplexLnn;
 
     fn tiny_system(seed: u64) -> Arc<MetaAiSystem> {
+        shaped_system(seed, 3, 16)
+    }
+
+    fn shaped_system(seed: u64, outputs: usize, symbols: usize) -> Arc<MetaAiSystem> {
         let mut rng = SimRng::seed_from_u64(seed);
-        let net = ComplexLnn::init(3, 16, &mut rng);
+        let net = ComplexLnn::init(outputs, symbols, &mut rng);
         Arc::new(
             MetaAiSystem::builder()
                 .config(SystemConfig::paper_default())
@@ -335,7 +394,7 @@ mod tests {
             assert_eq!(entry.current().epoch, 1);
             assert!(seen.insert(entry.current().stream), "epoch-1 collision");
             for expect in 2..6u64 {
-                let epoch = entry.swap(tiny_system(expect));
+                let epoch = entry.swap(tiny_system(expect)).expect("same shape");
                 assert_eq!(epoch, expect, "epochs are per-model, not global");
                 assert!(
                     seen.insert(entry.current().stream),
@@ -350,5 +409,65 @@ mod tests {
     #[should_panic(expected = "registered twice")]
     fn duplicate_model_names_are_rejected() {
         let _ = registry(&["alpha", "alpha"]);
+    }
+
+    #[test]
+    fn mismatched_shape_swaps_are_refused_and_the_old_deployment_survives() {
+        // The bugfix pin: v2 clients cache (outputs, symbols) from the
+        // HELLO model table for the lifetime of their connection, so a
+        // swap that changes either dimension must be rejected — not
+        // silently installed under the stale advertisement.
+        let r = registry(&["alpha"]);
+        let entry = r.entry("alpha").unwrap();
+        let before = entry.current();
+
+        for (outputs, symbols) in [(4usize, 16usize), (3, 8), (5, 32)] {
+            let err = entry
+                .swap(shaped_system(99, outputs, symbols))
+                .expect_err("shape changed");
+            assert!(
+                matches!(&err, ServeError::ShapeMismatch(why)
+                    if why.contains("alpha") && why.contains(&format!("{outputs}"))),
+                "got {err}"
+            );
+            assert!(!err.is_retryable(), "a shape mismatch never heals");
+        }
+        // Nothing was installed: same epoch, same system, and the epoch
+        // counter did not burn numbers on refused swaps.
+        let after = entry.current();
+        assert_eq!(after.epoch, before.epoch);
+        assert!(Arc::ptr_eq(&after.system, &before.system));
+        assert_eq!(entry.swap(tiny_system(2)).expect("matching shape"), 2);
+        assert_eq!(r.swap("alpha", tiny_system(3)).expect("via registry"), 3);
+        assert!(matches!(
+            r.swap("alpha", shaped_system(99, 4, 16)),
+            Err(ServeError::ShapeMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn epoch_age_resets_on_swap() {
+        let r = registry(&["alpha"]);
+        let entry = r.entry("alpha").unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        let before = entry.epoch_age();
+        assert!(before >= Duration::from_millis(20), "aged {before:?}");
+        entry.swap(tiny_system(2)).expect("same shape");
+        let after = entry.epoch_age();
+        assert!(after < before, "swap resets the age ({after:?})");
+    }
+
+    #[test]
+    fn epoch_age_gauge_follows_refresh_and_swap() {
+        metaai_telemetry::set_enabled(true);
+        let r = registry(&["age-gauge-model"]);
+        let entry = r.entry("age-gauge-model").unwrap();
+        let gauge =
+            metaai_telemetry::global().gauge("metaai.serve.model.age-gauge-model.epoch_age_s");
+        std::thread::sleep(Duration::from_millis(10));
+        entry.refresh_epoch_age();
+        assert!(gauge.value() > 0.0, "refresh published a positive age");
+        entry.swap(tiny_system(2)).expect("same shape");
+        assert_eq!(gauge.value(), 0.0, "swap zeroes the staleness gauge");
     }
 }

@@ -112,6 +112,11 @@ pub enum ServeError {
     /// The peer speaks a protocol version this side does not; negotiated
     /// at the v2 handshake (see [`wire`]). Connection-level and fatal.
     UnsupportedVersion,
+    /// A hot swap offered a system whose output/symbol shape differs from
+    /// the shape the entry advertised in its HELLO model table. Accepting
+    /// it would silently invalidate every v2 client's cached metadata, so
+    /// the swap is refused and the old deployment keeps serving.
+    ShapeMismatch(String),
 }
 
 impl ServeError {
@@ -126,6 +131,7 @@ impl ServeError {
             ServeError::WorkerPanicked => 6,
             ServeError::UnknownModel => 7,
             ServeError::UnsupportedVersion => 8,
+            ServeError::ShapeMismatch(_) => 9,
         }
     }
 
@@ -140,6 +146,7 @@ impl ServeError {
             6 => ServeError::WorkerPanicked,
             7 => ServeError::UnknownModel,
             8 => ServeError::UnsupportedVersion,
+            9 => ServeError::ShapeMismatch("rejected by server".to_string()),
             _ => ServeError::Disconnected,
         }
     }
@@ -174,6 +181,9 @@ impl std::fmt::Display for ServeError {
             ServeError::UnsupportedVersion => {
                 write!(f, "peer speaks an unsupported protocol version")
             }
+            ServeError::ShapeMismatch(why) => {
+                write!(f, "swap rejected, shape differs from advertised: {why}")
+            }
         }
     }
 }
@@ -197,10 +207,14 @@ mod tests {
         ] {
             assert_eq!(ServeError::from_code(e.code()), e);
         }
-        // BadRequest keeps the code, not the message.
+        // BadRequest and ShapeMismatch keep the code, not the message.
         assert_eq!(
             ServeError::from_code(ServeError::BadRequest("x".into()).code()).code(),
             4
+        );
+        assert_eq!(
+            ServeError::from_code(ServeError::ShapeMismatch("x".into()).code()).code(),
+            9
         );
     }
 
@@ -219,6 +233,7 @@ mod tests {
             ServeError::Disconnected,
             ServeError::UnknownModel,
             ServeError::UnsupportedVersion,
+            ServeError::ShapeMismatch("x".into()),
         ] {
             assert!(!e.is_retryable(), "{e} should be fatal");
         }

@@ -104,6 +104,12 @@ pub(crate) struct ModelMetrics {
     pub expired_total: Counter,
     pub deploy_swaps: Counter,
     pub worker_restarts: Counter,
+    /// Seconds since this model's deployment last changed. Reset to zero
+    /// by a hot swap and refreshed by scoring workers per batch (and by
+    /// the adaptation controller per probe round), so staleness is
+    /// visible even on an idle model the moment traffic or probing
+    /// touches it.
+    pub epoch_age_s: Gauge,
 }
 
 impl ModelMetrics {
@@ -123,6 +129,7 @@ impl ModelMetrics {
             expired_total: r.counter(&name("expired_total")),
             deploy_swaps: r.counter(&name("deploy_swaps")),
             worker_restarts: r.counter(&name("worker_restarts")),
+            epoch_age_s: r.gauge(&name("epoch_age_s")),
         }
     }
 
@@ -191,6 +198,7 @@ mod tests {
             "metaai.serve.model.unit-test-model.expired_total",
             "metaai.serve.model.unit-test-model.deploy_swaps",
             "metaai.serve.model.unit-test-model.worker_restarts",
+            "metaai.serve.model.unit-test-model.epoch_age_s",
         ] {
             assert!(
                 names.iter().any(|n| n == expected),

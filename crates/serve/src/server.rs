@@ -180,9 +180,10 @@ impl Server {
     }
 
     /// Installs `system` as the **default model's** new deployment;
-    /// returns its epoch. Keyed swaps go through
-    /// [`deploy_model`](Self::deploy_model).
-    pub fn deploy(&self, system: Arc<MetaAiSystem>) -> u64 {
+    /// returns its epoch, or [`ServeError::ShapeMismatch`] when the
+    /// system's shape differs from what the entry advertises. Keyed swaps
+    /// go through [`deploy_model`](Self::deploy_model).
+    pub fn deploy(&self, system: Arc<MetaAiSystem>) -> Result<u64, ServeError> {
         self.registry.default_entry().swap(system)
     }
 
@@ -369,6 +370,7 @@ fn worker_loop(entry: &ModelEntry, faults: &FaultInjector) {
         // takes effect at the next flush, and in-flight work finishes on
         // the epoch it started on.
         let deployment = entry.current();
+        entry.refresh_epoch_age();
         let n_symbols = deployment.system.engine().num_symbols();
         let mut guard = BatchGuard::new(batch);
         for i in 0..guard.slots.len() {

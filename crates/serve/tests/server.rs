@@ -140,7 +140,7 @@ fn hot_swap_changes_the_epoch_without_downtime() {
     assert_eq!(before.epoch, 1);
 
     let replacement = common::tiny_system(99);
-    assert_eq!(server.deploy(replacement.clone()), 2);
+    assert_eq!(server.deploy(replacement.clone()), Ok(2));
 
     let after = client.score(request(0)).expect("epoch 2");
     assert_eq!(after.epoch, 2);
