@@ -195,6 +195,22 @@ impl AdaptController {
     }
 }
 
+/// A controller thread that died mid-round, reported at shutdown instead
+/// of re-thrown into the caller.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ControllerPanic {
+    /// The panic message (or a placeholder for non-string payloads).
+    pub message: String,
+}
+
+impl std::fmt::Display for ControllerPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "adaptation controller thread panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for ControllerPanic {}
+
 /// Handle to a background [`AdaptController`].
 pub struct AdaptHandle {
     stop: Arc<AtomicBool>,
@@ -204,8 +220,28 @@ pub struct AdaptHandle {
 impl AdaptHandle {
     /// Signals the loop to stop and returns the controller (reusable —
     /// its round counter and policy state survive) plus every step report.
-    pub fn stop(self) -> (AdaptController, Vec<StepReport>) {
+    ///
+    /// A controller thread that panicked mid-round (a probe hitting a
+    /// poisoned deployment, a view with a bug) already stopped adapting
+    /// long before shutdown; re-propagating the panic here would crash
+    /// the *serving* caller at teardown — the one moment it can still
+    /// drain cleanly. Instead the death is surfaced as a typed
+    /// [`ControllerPanic`] and counted on
+    /// `metaai.adapt.controller_panics`, so operators see a dead loop in
+    /// telemetry rather than a shutdown crash.
+    pub fn stop(self) -> Result<(AdaptController, Vec<StepReport>), ControllerPanic> {
         self.stop.store(true, Ordering::Relaxed);
-        self.thread.join().expect("adaptation thread panicked")
+        match self.thread.join() {
+            Ok(pair) => Ok(pair),
+            Err(payload) => {
+                metrics().controller_panics.inc();
+                let message = payload
+                    .downcast_ref::<&'static str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                Err(ControllerPanic { message })
+            }
+        }
     }
 }

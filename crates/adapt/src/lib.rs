@@ -38,7 +38,7 @@ pub mod policy;
 pub mod probe;
 pub mod view;
 
-pub use controller::{AdaptController, AdaptHandle, StepReport, SwapRecord};
+pub use controller::{AdaptController, AdaptHandle, ControllerPanic, StepReport, SwapRecord};
 pub use metrics::register_metrics;
 pub use policy::{Decision, PolicyState, TriggerPolicy};
 pub use probe::{probe_health, HealthReading, ProbeSet};

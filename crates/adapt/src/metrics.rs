@@ -19,6 +19,10 @@ pub(crate) struct AdaptMetrics {
     /// Hot swaps refused (shape mismatch — should never fire for a
     /// same-network re-solve; non-zero means a controller bug).
     pub swap_refusals: Counter,
+    /// Controller threads found dead (panicked) at
+    /// [`AdaptHandle::stop`](crate::AdaptHandle::stop). Non-zero means a
+    /// tenant silently stopped adapting at some earlier round.
+    pub controller_panics: Counter,
     /// Latest probe accuracy observed by any controller.
     pub probe_accuracy: Gauge,
     /// Relative Frobenius residual between the live and deployed channel
@@ -41,6 +45,7 @@ pub(crate) fn metrics() -> &'static AdaptMetrics {
             triggers: r.counter("metaai.adapt.triggers"),
             swaps: r.counter("metaai.adapt.swaps"),
             swap_refusals: r.counter("metaai.adapt.swap_refusals"),
+            controller_panics: r.counter("metaai.adapt.controller_panics"),
             probe_accuracy: r.gauge("metaai.adapt.probe_accuracy"),
             channel_residual: r.histogram(
                 "metaai.adapt.channel_residual",

@@ -3,9 +3,10 @@
 //!
 //! The serving path cannot see drift — it scores against the channels
 //! realized at deployment time. The probe re-realizes the deployed
-//! schedule against the world's current geometry (the same live-link
-//! construction the [`metaai::feedback`] tracker uses), scores a fixed
-//! seeded probe set over it, and reports three signals:
+//! schedule against the world's current geometry
+//! ([`MetaAiSystem::realize_live`] — one live link for a single surface,
+//! every hop re-linked for a stacked cascade), scores a fixed seeded
+//! probe set over it, and reports three signals:
 //!
 //! * **probe accuracy** — ground truth on the probe labels;
 //! * **channel residual** — *phase-aligned* relative Frobenius distance
@@ -25,7 +26,6 @@
 //! bitwise reproducible across runs and worker counts.
 
 use metaai::feedback::FeedbackMonitor;
-use metaai::ota::realize_channels;
 use metaai::{MetaAiSystem, OtaEngine, SystemConfig};
 use metaai_math::rng::SimRng;
 use metaai_math::stats::argmax;
@@ -98,9 +98,7 @@ pub fn probe_health(
     probes: &ProbeSet,
     round: u64,
 ) -> HealthReading {
-    let live_link =
-        metaai_mts::channel::MtsLink::new(&deployed.array, world.tx, world.rx, world.freq_hz);
-    let mut live = realize_channels(&deployed.schedule, &live_link, &deployed.array);
+    let mut live = deployed.realize_live(world);
     if env_offset != C64::ZERO {
         for h in live.as_mut_slice() {
             *h += env_offset;
@@ -131,12 +129,23 @@ pub fn probe_health(
         }
         margins.push(FeedbackMonitor::margin(&scores));
     }
-    margins.sort_by(|a, b| a.partial_cmp(b).expect("margins are never NaN"));
     HealthReading {
         probe_accuracy: correct as f64 / probes.len() as f64,
         channel_residual,
-        margin_p50: margins[margins.len() / 2],
+        margin_p50: median_margin(margins),
     }
+}
+
+/// Median margin under IEEE 754 total order (see
+/// [`metaai_math::stats`]'s ordering contract): a degenerate channel can
+/// produce ±∞ or NaN margins (e.g. `∞ / ∞` when every class score
+/// saturates), and those must skew the reported median — never panic the
+/// `metaai-adapt` thread mid-round. NaN sorts after +∞, so a reading
+/// dominated by degenerate probes surfaces as a non-finite median the
+/// policy can observe.
+fn median_margin(mut margins: Vec<f64>) -> f64 {
+    margins.sort_by(f64::total_cmp);
+    margins[margins.len() / 2]
 }
 
 #[cfg(test)]
@@ -195,6 +204,34 @@ mod tests {
         // A different round draws different realizations.
         let c = probe_health(&sys, &drifted, C64::ZERO, &probes, 4);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn nan_margins_sort_instead_of_panicking() {
+        // Regression: the median used `partial_cmp(..).expect("margins
+        // are never NaN")` — one degenerate probe killed the adaptation
+        // thread. Under total order the NaN ranks after +∞ and the median
+        // is still well-defined.
+        assert_eq!(median_margin(vec![1.2, f64::NAN, 0.5]), 1.2);
+        assert!(median_margin(vec![f64::INFINITY, f64::NAN]).is_nan());
+        assert!(median_margin(vec![f64::NAN, f64::NAN]).is_nan());
+        assert_eq!(median_margin(vec![3.0, 1.0, 2.0]), 2.0);
+    }
+
+    #[test]
+    fn a_degenerate_channel_yields_a_reading_not_a_panic() {
+        // An unbounded environmental offset saturates every probe score;
+        // margins become ∞/∞ = NaN (or ∞). The reading must come back
+        // with non-finite diagnostics instead of panicking the thread.
+        let (sys, test) = trained_system();
+        let probes = ProbeSet::from_dataset(&test, 8, 7);
+        let offset = C64::new(f64::INFINITY, 0.0);
+        let reading = probe_health(&sys, &sys.config, offset, &probes, 0);
+        assert!(
+            !reading.margin_p50.is_finite(),
+            "saturated scores must surface as a non-finite margin, got {}",
+            reading.margin_p50
+        );
     }
 
     #[test]

@@ -168,6 +168,49 @@ fn adaptation_is_bitwise_deterministic_across_runs_and_worker_counts() {
     std::env::remove_var("RAYON_NUM_THREADS");
 }
 
+/// A view whose very first probe round panics — stands in for any bug
+/// that kills the controller thread mid-round.
+struct PanickingView;
+
+impl metaai_adapt::ChannelView for PanickingView {
+    fn config_at(&self, _round: u64) -> SystemConfig {
+        panic!("injected probe failure")
+    }
+}
+
+#[test]
+fn a_dead_controller_thread_is_reported_not_repropagated() {
+    // Regression: stop() used `join().expect("adaptation thread
+    // panicked")`, so a controller that died rounds ago crashed the
+    // *caller* at shutdown. The death must come back as a typed error
+    // and be observable on the `metaai.adapt.controller_panics` counter.
+    metaai_telemetry::set_enabled(true);
+    metaai_adapt::register_metrics();
+    let before = metaai_telemetry::global()
+        .counter("metaai.adapt.controller_panics")
+        .value();
+
+    let system = tiny_system(13);
+    let entry = entry_for(system);
+    let ctl = AdaptController::new(entry, Box::new(PanickingView), probes(), residual_policy());
+    let handle = ctl.spawn(Duration::from_millis(1));
+    std::thread::sleep(Duration::from_millis(30));
+    let err = match handle.stop() {
+        Ok(_) => panic!("the controller thread should have died"),
+        Err(e) => e,
+    };
+    assert!(
+        err.message.contains("injected probe failure"),
+        "panic payload lost: {err}"
+    );
+
+    let after = metaai_telemetry::global()
+        .counter("metaai.adapt.controller_panics")
+        .value();
+    assert!(after > before, "controller death must land on the counter");
+    metaai_telemetry::set_enabled(false);
+}
+
 #[test]
 fn the_background_thread_steps_and_stops_cleanly() {
     let mut seen = 0;
@@ -176,7 +219,7 @@ fn the_background_thread_steps_and_stops_cleanly() {
         let (ctl, _entry) = walking_controller(0.5);
         let handle = ctl.spawn(Duration::from_millis(1));
         std::thread::sleep(Duration::from_millis(50));
-        let (ctl, reports) = handle.stop();
+        let (ctl, reports) = handle.stop().expect("controller thread healthy");
         assert_eq!(ctl.rounds(), reports.len() as u64);
         seen = reports.len();
         if seen > 0 {

@@ -40,6 +40,7 @@ use metaai_math::rng::SimRng;
 use metaai_math::{CVec, C64};
 use metaai_nn::augment::Augmentation;
 use metaai_nn::data::ComplexDataset;
+use metaai_nn::engine::TrainEngine;
 use metaai_nn::train::TrainConfig;
 use metaai_rf::environment::EnvironmentKind;
 use metaai_rf::interference::{InterferenceRegion, Interferer};
@@ -59,6 +60,7 @@ pub const SCENARIOS: &[&str] = &[
     "multi-tenant-mix",
     "mobility-sweep",
     "adaptive-mobility",
+    "stacked-accuracy",
 ];
 
 /// The seed a recipe gets when it does not name one. Fixed so that "the
@@ -153,6 +155,11 @@ pub struct Recipe {
     pub adapt_hysteresis: u32,
     /// Rounds after a swap during which no new trigger fires.
     pub adapt_cooldown: u64,
+    /// Cascaded metasurface layers for `stacked-accuracy` (≥ 2).
+    pub layers: usize,
+    /// Total meta-atom budget `stacked-accuracy` holds fixed while
+    /// comparing a single surface against an L-layer stack.
+    pub atom_budget: usize,
 }
 
 fn base_recipe() -> Recipe {
@@ -187,6 +194,8 @@ fn base_recipe() -> Recipe {
         adapt_residual: 0.2,
         adapt_hysteresis: 1,
         adapt_cooldown: 2,
+        layers: 2,
+        atom_budget: 64,
     }
 }
 
@@ -298,8 +307,8 @@ impl Recipe {
     ///
     /// Unknown keys, duplicate scalar keys, unknown scenario names, and
     /// malformed values are all rejected with the 1-based line number.
-    /// Every omitted key takes a fixed default (see [`base_recipe`]'s
-    /// fields via [`Recipe::render`]), so a recipe file plus this parser
+    /// Every omitted key takes a fixed default (`base_recipe` — visible
+    /// through [`Recipe::render`]), so a recipe file plus this parser
     /// fully determines the workload.
     pub fn parse(text: &str) -> Result<Recipe, RecipeError> {
         let mut recipe = base_recipe();
@@ -453,6 +462,8 @@ impl Recipe {
                 "adapt-cooldown" => {
                     recipe.adapt_cooldown = parse_num(key, value, 0).map_err(fail)?
                 }
+                "layers" => recipe.layers = parse_num(key, value, 2).map_err(fail)?,
+                "atom-budget" => recipe.atom_budget = parse_num(key, value, 2).map_err(fail)?,
                 other => return Err(err(line_no, format!("unknown key `{other}`"))),
             }
         }
@@ -513,6 +524,8 @@ impl Recipe {
         out.push_str(&format!("adapt-residual = {}\n", self.adapt_residual));
         out.push_str(&format!("adapt-hysteresis = {}\n", self.adapt_hysteresis));
         out.push_str(&format!("adapt-cooldown = {}\n", self.adapt_cooldown));
+        out.push_str(&format!("layers = {}\n", self.layers));
+        out.push_str(&format!("atom-budget = {}\n", self.atom_budget));
         out
     }
 
@@ -1316,7 +1329,7 @@ fn adaptive_mobility(m: &Materialized) -> Result<ScenarioOutcome, String> {
     // Timing: swap-install latency p99 and warm re-solve throughput
     // (scalar weights re-solved per second of solver wall time).
     let mut swap_us: Vec<f64> = swaps.iter().map(|s| s.swap_seconds * 1e6).collect();
-    swap_us.sort_by(|a, b| a.partial_cmp(b).expect("latencies are never NaN"));
+    swap_us.sort_by(f64::total_cmp);
     let p99 = swap_us[((swap_us.len() - 1) as f64 * 0.99).ceil() as usize];
     let resolve_total: f64 = swaps.iter().map(|s| s.resolve_seconds).sum();
     let weights = t.system.net.weights.rows() * t.system.net.weights.cols();
@@ -1366,14 +1379,96 @@ fn adaptive_mobility(m: &Materialized) -> Result<ScenarioOutcome, String> {
     })
 }
 
+/// Equal-budget single-vs-stacked comparison: train ONE network on the
+/// recipe's dataset, deploy it once on a single surface of `atom-budget`
+/// atoms and once as a `layers`-deep cascade over the *same total
+/// budget* (balanced L-th-root factorization), and score both over the
+/// air. The digital model is identical by construction, so the entire
+/// gap is realization quality: per-layer 2-bit lattices compose (phases
+/// add, magnitudes multiply) and residual compensation gives every
+/// weight L corrective solves instead of one. The scenario FAILS unless
+/// the stack wins — this is the regression gate for the stacked path.
+fn stacked_accuracy(recipe: &Recipe) -> Result<ScenarioOutcome, String> {
+    if recipe.layers < 2 {
+        return Err(format!(
+            "stacked-accuracy needs layers >= 2, got {}",
+            recipe.layers
+        ));
+    }
+    let config = SystemConfig {
+        seed: recipe.seed,
+        environment: recipe.environment,
+        snr_db: recipe.snr_db,
+        ..SystemConfig::paper_default()
+    };
+    let (train, test) =
+        generate(recipe.dataset, recipe.scale, recipe.seed).modulate(config.modulation);
+    let tcfg = TrainConfig {
+        epochs: recipe.epochs,
+        seed: recipe.seed,
+        ..TrainConfig::default()
+    }
+    .with_augmentation(Augmentation::cdfa_default())
+    .with_augmentation(Augmentation::noise_default());
+    let net = TrainEngine::new(tcfg).train(&train);
+
+    let single = MetaAiSystem::builder()
+        .config(config.clone())
+        .num_atoms(recipe.atom_budget)
+        .deploy(net.clone());
+    let stacked = MetaAiSystem::builder()
+        .config(config)
+        .num_atoms(recipe.atom_budget)
+        .layers(recipe.layers)
+        .deploy(net);
+
+    let digital = single.digital_accuracy(&test);
+    let single_ota = single.ota_accuracy(&test, &format!("scenario-{}-single", recipe.name));
+    let stacked_ota = stacked.ota_accuracy(&test, &format!("scenario-{}-stacked", recipe.name));
+    let single_err = single.realization_error();
+    let stacked_err = stacked.realization_error();
+    if stacked_ota <= single_ota {
+        return Err(format!(
+            "stacked cascade must beat the single surface at an equal {}-atom budget: \
+             stacked {:.4} <= single {:.4} (realization error {:.4} vs {:.4})",
+            recipe.atom_budget, stacked_ota, single_ota, stacked_err, single_err
+        ));
+    }
+    Ok(ScenarioOutcome {
+        fixed: Json::Obj(vec![
+            kv("layers", num(recipe.layers as f64)),
+            kv("atom_budget", num(recipe.atom_budget as f64)),
+            kv(
+                "accuracy",
+                Json::Obj(vec![
+                    kv("digital", num(digital)),
+                    kv("single_ota", num(single_ota)),
+                    kv("stacked_ota", num(stacked_ota)),
+                ]),
+            ),
+            kv(
+                "realization_error",
+                Json::Obj(vec![
+                    kv("single", num(single_err)),
+                    kv("stacked", num(stacked_err)),
+                ]),
+            ),
+            kv("test_samples", num(test.len() as f64)),
+        ]),
+        timing: Json::Obj(Vec::new()),
+    })
+}
+
 // ---------------------------------------------------------------------
 // Runner
 // ---------------------------------------------------------------------
 
 /// Whether a scenario needs trained tenants (everything except the
-/// mobility sweep, which trains its own tracker via `exp_mobility`).
+/// mobility sweep, which trains its own tracker via `exp_mobility`, and
+/// the stacked comparison, which deploys its own pair of systems at a
+/// custom atom budget).
 fn needs_materialize(scenario: &str) -> bool {
-    scenario != "mobility-sweep"
+    scenario != "mobility-sweep" && scenario != "stacked-accuracy"
 }
 
 /// Runs one scenario against a recipe. `m` may be `None` only for
@@ -1394,6 +1489,7 @@ pub fn run_scenario(
         "multi-tenant-mix" => multi_tenant_mix(need(m, scenario)?),
         "mobility-sweep" => mobility_sweep(recipe),
         "adaptive-mobility" => adaptive_mobility(need(m, scenario)?),
+        "stacked-accuracy" => stacked_accuracy(recipe),
         other => Err(format!("unknown scenario {other:?}")),
     }
 }

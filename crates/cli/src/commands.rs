@@ -119,6 +119,10 @@ pub fn train(args: &Args) -> i32 {
         Err(e) => return fail(&e),
     };
     let tcfg = robust_train_config(args);
+    let layers: usize = args.num_or("layers", 1);
+    if layers == 0 {
+        return fail("--layers expects at least 1");
+    }
     println!(
         "training on {} samples ({} classes, U = {} symbols), {} epochs…",
         s.train.len(),
@@ -127,7 +131,16 @@ pub fn train(args: &Args) -> i32 {
         tcfg.epochs
     );
     let t0 = std::time::Instant::now();
-    let (net, stats) = train_complex_with_stats(&s.train, &tcfg);
+    let (net, stats) = if layers > 1 {
+        // Product-parameterized stack factors W_0 ⊙ … ⊙ W_{L-1}; the
+        // saved model is their effective (composed) network, which any
+        // stacked deployment can re-factorize.
+        println!("stacked mode: {layers} cascaded surfaces (product parameterization)");
+        let (weights, stats) = metaai_sim::train_stack_with_stats(&s.train, layers, &tcfg);
+        (weights.effective_net(), stats)
+    } else {
+        train_complex_with_stats(&s.train, &tcfg)
+    };
     let last = stats.last().expect("at least one epoch");
     println!(
         "done in {:.1?}: train loss {:.4}, train accuracy {:.2} %",
@@ -483,12 +496,18 @@ pub fn serve(args: &Args) -> i32 {
 
     let outcome = metaai_serve::tcp::serve(listener, server);
     for (name, handle) in adapt_handles {
-        let (ctl, reports) = handle.stop();
-        let swaps = reports.iter().filter(|r| r.swap.is_some()).count();
-        println!(
-            "adaptation for {name}: {} rounds, {swaps} re-solve(s) swapped in",
-            ctl.rounds()
-        );
+        match handle.stop() {
+            Ok((ctl, reports)) => {
+                let swaps = reports.iter().filter(|r| r.swap.is_some()).count();
+                println!(
+                    "adaptation for {name}: {} rounds, {swaps} re-solve(s) swapped in",
+                    ctl.rounds()
+                );
+            }
+            // A dead adaptation loop must not turn a clean drain into a
+            // crash; the death is already on metaai.adapt.controller_panics.
+            Err(panic) => eprintln!("adaptation for {name}: {panic}"),
+        }
     }
     match outcome {
         Ok(()) => {
@@ -585,7 +604,7 @@ pub fn wdd(args: &Args) -> i32 {
 /// ```text
 /// metaai bench list
 /// metaai bench run --recipes recipes/quick [--out-dir scenario-results]
-///                  [--pr 9]
+///                  [--pr 10]
 /// metaai bench run --recipe recipes/quick/serve-clean.recipe
 /// ```
 ///
@@ -594,7 +613,7 @@ pub fn wdd(args: &Args) -> i32 {
 /// and exits non-zero if any scenario errors (the error still lands in
 /// the merged report, so the artifact shows what failed).
 ///
-/// `--merge-into BENCH_pr9.json` additionally splices the fresh
+/// `--merge-into BENCH_pr10.json` additionally splices the fresh
 /// `scenarios` subtree into an existing perf report — that is how the
 /// committed baseline carrying both perf and scenario keys is
 /// regenerated.

@@ -53,6 +53,8 @@ USAGE:
 
 COMMANDS:
   train    Train a complex linear classifier on a synthetic dataset
+           (--layers L ≥ 2 trains product-parameterized factors for an
+           L-layer stacked metasurface cascade)
   eval     Evaluate a saved model digitally and over the air
   deploy   Solve the metasurface schedule for a saved model and report
            realization quality and control-budget numbers

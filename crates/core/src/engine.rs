@@ -583,7 +583,7 @@ impl<'a> OtaEngine<'a> {
     /// The scalar reference kernel: the pre-fusion per-row loop, kept as
     /// the executable specification the fused kernel is proptested against
     /// (and as the `legacy` arm of the `engine_throughput` bench). It is
-    /// also the production path below [`FUSED_MIN_ROWS`] output rows,
+    /// also the production path below `FUSED_MIN_ROWS` output rows,
     /// where the fused kernel's chip stage cannot amortize.
     ///
     /// Performs `K×U` chip re-derivations where the fused kernel does `U`;

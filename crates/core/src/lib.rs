@@ -18,7 +18,10 @@
 //! ([`parallel`], Eqns 9–10), multi-sensor fusion ([`fusion`],
 //! Eqns 11–12), the end-to-end energy/latency model of Appendix A.4
 //! ([`energy`]), receiver-mobility recalibration ([`mobility`]), and the
-//! confidence-feedback reconfiguration protocol ([`feedback`]).
+//! confidence-feedback reconfiguration protocol ([`feedback`]). Stacked
+//! L-layer cascades are modeled in [`metaai_sim`] and deployed through
+//! the same [`pipeline::SystemBuilder`] via
+//! [`layers(L)`](pipeline::SystemBuilder::layers).
 //!
 //! Start with [`config::SystemConfig`] and [`pipeline::MetaAiSystem`]; the
 //! `examples/` directory of the workspace shows complete flows.
@@ -41,4 +44,4 @@ pub use config::SystemConfig;
 pub use engine::{InferenceOutcome, InferenceRequest, OtaEngine};
 pub use mapper::{WeightMapper, WeightSchedule};
 pub use ota::{OtaConditions, OtaReceiver};
-pub use pipeline::{MetaAiSystem, SystemBuilder};
+pub use pipeline::{MetaAiSystem, StackDeployment, SystemBuilder};

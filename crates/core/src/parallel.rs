@@ -303,7 +303,7 @@ impl SubcarrierParallel {
             .iter()
             .flat_map(|h| h.iter().map(|z| z.abs()))
             .collect();
-        mags.sort_by(|a, b| a.partial_cmp(b).expect("finite magnitudes"));
+        mags.sort_by(f64::total_cmp);
         let p99 = mags[((mags.len() - 1) as f64 * 0.99) as usize].max(1e-12);
         let sigma = config.kappa * reach / p99;
 

@@ -14,6 +14,7 @@ use metaai_nn::engine::TrainEngine;
 use metaai_nn::train::TrainConfig;
 use metaai_rf::environment::{EnvChannel, Environment};
 use metaai_rf::noise::Awgn;
+use metaai_sim::{realize_stack, train_stack, StackSchedule, StackSolver, StackSpec, StackWeights};
 use metaai_telemetry::{Counter, Histogram};
 use std::sync::OnceLock;
 
@@ -43,6 +44,19 @@ pub fn register_metrics() {
     let _ = metrics();
 }
 
+/// A deployed L-layer cascade ([`metaai_sim`]): the stack's geometry,
+/// the trained per-layer weight factors, and the per-layer 2-bit
+/// programme realizing them.
+pub struct StackDeployment {
+    /// Per-layer surfaces and hop links, in path order.
+    pub geometry: metaai_sim::StackGeometry,
+    /// Trained layer factors `W_l` (their entrywise product is the
+    /// system's effective network).
+    pub weights: StackWeights,
+    /// Per-layer residual-compensated 2-bit schedules.
+    pub schedule: StackSchedule,
+}
+
 /// A fully deployed MetaAI installation: the trained digital network, the
 /// metasurface programme realizing it, and the physical channels the
 /// receiver will see.
@@ -68,9 +82,27 @@ pub struct MetaAiSystem {
     /// reference geometry sees `config.snr_db`. Redeployments keep the
     /// floor: moving the receiver changes signal power, not noise.
     pub noise_floor: f64,
+    /// The stacked cascade behind `channels`, when this deployment is an
+    /// L-layer stack (`None` for the paper's single-surface deployment).
+    /// For stacks, `array`/`mapper`/`schedule` describe layer 0 only —
+    /// the composed truth lives here.
+    pub stack: Option<StackDeployment>,
     /// Column-major re/im planes of `channels`, split once at deployment
     /// so per-request engines ([`MetaAiSystem::engine`]) skip the split.
     planes: CPlanes,
+}
+
+/// Layer 0 of a stack schedule viewed as a legacy single-surface
+/// [`WeightSchedule`] — keeps `system.schedule` populated for code that
+/// reports scale/residual without being stack-aware.
+fn legacy_schedule(stack: &StackSchedule) -> WeightSchedule {
+    let first = &stack.layers[0];
+    WeightSchedule {
+        codes: first.codes.clone(),
+        achieved: first.achieved.clone(),
+        scale: first.scale,
+        rms_residual: first.rms_residual,
+    }
 }
 
 /// Staged construction of a [`MetaAiSystem`].
@@ -91,6 +123,7 @@ pub struct MetaAiSystem {
 pub struct SystemBuilder {
     config: SystemConfig,
     num_atoms: usize,
+    layers: usize,
 }
 
 impl Default for SystemBuilder {
@@ -98,6 +131,7 @@ impl Default for SystemBuilder {
         SystemBuilder {
             config: SystemConfig::paper_default(),
             num_atoms: 256,
+            layers: 1,
         }
     }
 }
@@ -110,9 +144,26 @@ impl SystemBuilder {
     }
 
     /// Sets the meta-atom count (default 256; the Fig 7 sweep varies it).
+    /// For stacked deployments this is the *total* budget, split
+    /// near-equally across the layers — stacked-vs-single comparisons
+    /// stay at equal hardware cost.
     pub fn num_atoms(mut self, num_atoms: usize) -> Self {
         assert!(num_atoms > 0, "an array needs at least one atom");
         self.num_atoms = num_atoms;
+        self
+    }
+
+    /// Sets the number of cascaded metasurface layers (default 1).
+    ///
+    /// `layers(1)` is exactly the paper's single-surface deployment —
+    /// same RNG streams, same mapper, bitwise-identical system. With
+    /// `layers ≥ 2`, [`deploy`](Self::deploy) factorizes the network
+    /// across the stack and [`train_and_deploy`](Self::train_and_deploy)
+    /// trains product-parameterized layer factors
+    /// ([`metaai_sim::train_stack`]) instead.
+    pub fn layers(mut self, layers: usize) -> Self {
+        assert!(layers >= 1, "a deployment needs at least one layer");
+        self.layers = layers;
         self
     }
 
@@ -121,6 +172,10 @@ impl SystemBuilder {
     /// the physical channels, and anchors the receiver noise floor at the
     /// configured SNR.
     pub fn deploy(self, net: ComplexLnn) -> MetaAiSystem {
+        if self.layers > 1 {
+            let weights = StackWeights::from_effective(&net.weights, self.layers);
+            return self.deploy_stack(weights);
+        }
         let tele = metaai_telemetry::enabled().then(metrics);
         let _span = tele.map(|m| m.deploy_seconds.span());
         if let Some(m) = tele {
@@ -146,15 +201,78 @@ impl SystemBuilder {
             schedule,
             channels,
             noise_floor,
+            stack: None,
+            planes,
+        }
+    }
+
+    /// Deploys pre-trained stack factors as an L-layer cascade: lays the
+    /// surfaces out along the Tx → Rx path (injecting per-layer seeded
+    /// fabrication noise from `atom-phase-noise-layer-{l}` streams),
+    /// solves every layer's 2-bit programme with residual compensation,
+    /// and realizes the composed effective channel — the scoring engine
+    /// downstream sees a [`CMat`] exactly as in the single-surface case.
+    pub fn deploy_stack(self, weights: StackWeights) -> MetaAiSystem {
+        let tele = metaai_telemetry::enabled().then(metrics);
+        let _span = tele.map(|m| m.deploy_seconds.span());
+        if let Some(m) = tele {
+            m.deploys.inc();
+        }
+        let config = self.config;
+        let spec = StackSpec::new(
+            config.prototype,
+            config.freq_hz,
+            config.tx,
+            config.rx,
+            config.mts_center,
+            weights.num_layers(),
+            self.num_atoms,
+        );
+        let mut geometry = metaai_sim::StackGeometry::build(&spec);
+        if config.atom_phase_noise > 0.0 {
+            for (l, surface) in geometry.surfaces.iter_mut().enumerate() {
+                let mut rng = SimRng::derive(config.seed, &format!("atom-phase-noise-layer-{l}"));
+                surface.inject_phase_noise(config.atom_phase_noise, &mut rng);
+            }
+        }
+        let solver = StackSolver::new(&geometry, config.kappa);
+        let stack_schedule = solver.solve(&weights.factors, C64::ZERO);
+        let channels = realize_stack(&geometry, &stack_schedule);
+        let noise_floor = signal_power(&channels) / metaai_math::stats::from_db(config.snr_db);
+        let planes = CPlanes::from_cmat(&channels);
+        let net = weights.effective_net();
+        let array = geometry.surfaces[0].clone();
+        let mapper = WeightMapper::new(&config, &array);
+        let schedule = legacy_schedule(&stack_schedule);
+        MetaAiSystem {
+            config,
+            array,
+            mapper,
+            net,
+            schedule,
+            channels,
+            noise_floor,
+            stack: Some(StackDeployment {
+                geometry,
+                weights,
+                schedule: stack_schedule,
+            }),
             planes,
         }
     }
 
     /// Trains a network on `train` (through the batched, deterministic
-    /// [`TrainEngine`]) and deploys it.
+    /// [`TrainEngine`]) and deploys it. With [`layers`](Self::layers) ≥ 2
+    /// this trains product-parameterized stack factors instead
+    /// ([`metaai_sim::train_stack`]) and deploys the cascade.
     pub fn train_and_deploy(self, train: &ComplexDataset, tcfg: &TrainConfig) -> MetaAiSystem {
-        let net = TrainEngine::new(tcfg.clone()).train(train);
-        self.deploy(net)
+        if self.layers > 1 {
+            let weights = train_stack(train, self.layers, tcfg);
+            self.deploy_stack(weights)
+        } else {
+            let net = TrainEngine::new(tcfg.clone()).train(train);
+            self.deploy(net)
+        }
     }
 }
 
@@ -281,10 +399,45 @@ impl MetaAiSystem {
         self.ota_accuracy_with(test, label, |rng| self.default_conditions(n, rng))
     }
 
-    /// Relative weight-realization error of the deployed schedule.
+    /// Relative weight-realization error of the deployed schedule. For a
+    /// stacked deployment this is the *composed* cascade error
+    /// ([`StackSchedule::relative_error`]), not any single layer's.
     pub fn realization_error(&self) -> f64 {
-        self.mapper
-            .relative_error(&self.net.weights, &self.schedule)
+        match &self.stack {
+            Some(stack) => stack.schedule.relative_error(&stack.weights.factors),
+            None => self
+                .mapper
+                .relative_error(&self.net.weights, &self.schedule),
+        }
+    }
+
+    /// Number of cascaded metasurface layers (1 for the single-surface
+    /// deployment).
+    pub fn num_layers(&self) -> usize {
+        self.stack.as_ref().map_or(1, |s| s.geometry.num_layers())
+    }
+
+    /// Re-realizes the *deployed* programme against `world`'s geometry —
+    /// what the receiver would actually see if the endpoints moved while
+    /// the schedule stayed frozen. Single-surface deployments rebuild the
+    /// one live link; stacks re-link every hop and compose. Health probes
+    /// use this to measure drift without being stack-aware.
+    pub fn realize_live(&self, world: &SystemConfig) -> CMat {
+        match &self.stack {
+            Some(stack) => {
+                let live = stack.geometry.relinked(world.tx, world.rx, world.freq_hz);
+                realize_stack(&live, &stack.schedule)
+            }
+            None => {
+                let link = metaai_mts::channel::MtsLink::new(
+                    &self.array,
+                    world.tx,
+                    world.rx,
+                    world.freq_hz,
+                );
+                realize_channels(&self.schedule, &link, &self.array)
+            }
+        }
     }
 }
 
@@ -336,6 +489,40 @@ pub fn redeploy_warm(
     if let Some(m) = tele {
         m.deploys.inc();
     }
+    if let Some(stack) = &system.stack {
+        // Stacked analogue: same physical surfaces, every hop re-linked
+        // against the moved endpoints, every layer warm-resolved from its
+        // current codes (sequentially, with the caller's scratch).
+        let geometry = stack
+            .geometry
+            .relinked(config.tx, config.rx, config.freq_hz);
+        let solver = StackSolver::new(&geometry, config.kappa);
+        let stack_schedule = solver.resolve_warm(
+            &stack.weights.factors,
+            h_env_offset,
+            &stack.schedule,
+            scratch,
+        );
+        let channels = realize_stack(&geometry, &stack_schedule);
+        let planes = CPlanes::from_cmat(&channels);
+        let array = geometry.surfaces[0].clone();
+        let link = metaai_mts::channel::MtsLink::new(&array, config.tx, config.rx, config.freq_hz);
+        return MetaAiSystem {
+            config: config.clone(),
+            array,
+            mapper: WeightMapper::from_link(link, config.kappa),
+            net: system.net.clone(),
+            schedule: legacy_schedule(&stack_schedule),
+            channels,
+            noise_floor: system.noise_floor,
+            stack: Some(StackDeployment {
+                geometry,
+                weights: stack.weights.clone(),
+                schedule: stack_schedule,
+            }),
+            planes,
+        };
+    }
     let array = system.array.clone();
     let link = metaai_mts::channel::MtsLink::new(&array, config.tx, config.rx, config.freq_hz);
     let mapper = WeightMapper::from_link(link, config.kappa);
@@ -350,6 +537,7 @@ pub fn redeploy_warm(
         schedule,
         channels,
         noise_floor: system.noise_floor,
+        stack: None,
         planes,
     }
 }
@@ -442,6 +630,91 @@ mod tests {
         // New geometry → new channels, but still functional.
         let ota = sys2.ota_accuracy(&test, "moved");
         assert!(ota > 0.6, "accuracy after redeploy {ota}");
+    }
+
+    #[test]
+    fn a_stacked_deployment_serves_like_a_single_surface() {
+        let train = toy_problem(3, 32, 40, 0.35, 50, 150);
+        let test = toy_problem(3, 32, 20, 0.35, 50, 250);
+        let tcfg = TrainConfig {
+            epochs: 20,
+            ..TrainConfig::default()
+        }
+        .with_augmentation(metaai_nn::augment::Augmentation::cdfa_default());
+        let sys = MetaAiSystem::builder()
+            .config(SystemConfig::paper_default())
+            .num_atoms(256)
+            .layers(2)
+            .train_and_deploy(&train, &tcfg);
+        assert_eq!(sys.num_layers(), 2);
+        let stack = sys.stack.as_ref().expect("a 2-layer system has a stack");
+        assert_eq!(stack.geometry.total_atoms(), 256);
+        assert!(sys.digital_accuracy(&test) > 0.9);
+        let rel = sys.realization_error();
+        assert!(rel < 0.1, "composed realization error {rel}");
+        let ota = sys.ota_accuracy(&test, "stacked");
+        assert!(ota > 0.7, "stacked OTA accuracy {ota}");
+        // The deployed cascade re-realized at its own geometry IS the
+        // deployed channel matrix.
+        let live = sys.realize_live(&sys.config);
+        assert_eq!(live, sys.channels);
+    }
+
+    #[test]
+    fn one_layer_is_exactly_the_single_surface_deployment() {
+        let train = toy_problem(3, 32, 30, 0.35, 50, 151);
+        let tcfg = TrainConfig {
+            epochs: 10,
+            ..TrainConfig::default()
+        };
+        let plain = MetaAiSystem::builder()
+            .config(SystemConfig::paper_default())
+            .train_and_deploy(&train, &tcfg);
+        let one = MetaAiSystem::builder()
+            .config(SystemConfig::paper_default())
+            .layers(1)
+            .train_and_deploy(&train, &tcfg);
+        assert!(one.stack.is_none(), "layers(1) short-circuits the stack");
+        assert_eq!(one.net.weights, plain.net.weights);
+        assert_eq!(one.schedule.codes, plain.schedule.codes);
+        assert_eq!(one.channels, plain.channels);
+    }
+
+    #[test]
+    fn stacked_warm_redeploy_keeps_surfaces_and_quality() {
+        let train = toy_problem(3, 32, 40, 0.35, 50, 152);
+        let test = toy_problem(3, 32, 20, 0.35, 50, 252);
+        let tcfg = TrainConfig {
+            epochs: 20,
+            ..TrainConfig::default()
+        }
+        .with_augmentation(metaai_nn::augment::Augmentation::cdfa_default());
+        let sys = MetaAiSystem::builder()
+            .config(SystemConfig::paper_default())
+            .layers(2)
+            .train_and_deploy(&train, &tcfg);
+        let moved = SystemConfig::paper_default().with_rx_at(3.0, 43.0);
+        let mut scratch = metaai_mts::solver::SolverScratch::new();
+        let warm = redeploy_warm(&sys, &moved, C64::ZERO, &mut scratch);
+
+        let (ws, ss) = (warm.stack.as_ref().unwrap(), sys.stack.as_ref().unwrap());
+        for (a, b) in ws.geometry.surfaces.iter().zip(&ss.geometry.surfaces) {
+            assert_eq!(a.num_atoms(), b.num_atoms());
+            for (x, y) in a.atoms.iter().zip(&b.atoms) {
+                assert_eq!(x.phase_error, y.phase_error);
+            }
+        }
+        assert_eq!(warm.noise_floor, sys.noise_floor);
+        assert!(
+            warm.realization_error() < sys.realization_error() + 0.05,
+            "warm stacked redeploy error {}",
+            warm.realization_error()
+        );
+        let ota = warm.ota_accuracy(&test, "stacked-warm");
+        assert!(ota > 0.6, "accuracy after stacked warm redeploy {ota}");
+
+        let again = redeploy_warm(&sys, &moved, C64::ZERO, &mut scratch);
+        assert_eq!(warm.channels, again.channels);
     }
 
     #[test]

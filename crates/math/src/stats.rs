@@ -2,6 +2,18 @@
 //!
 //! The experiment harness reports percentiles and CDFs (Figs 12 and 19 of
 //! the paper); the networks need softmax/argmax and dB conversions.
+//!
+//! # Ordering contract
+//!
+//! Every order statistic in this workspace — [`percentile`] here, and the
+//! margin/latency/magnitude sorts in the harness crates — ranks `f64`
+//! samples with [`f64::total_cmp`], the IEEE 754 `totalOrder` predicate:
+//! `-NaN < -∞ < … < -0.0 < +0.0 < … < +∞ < NaN`. A degenerate sample
+//! (a NaN score out of a zero-norm geometry, an ∞/∞ margin) therefore
+//! sorts to the tail and *skews the reported statistic*, instead of
+//! panicking the thread that measured it the way
+//! `partial_cmp(..).expect(..)` did. Callers that must reject NaN should
+//! filter before ranking, not rely on the sort to crash.
 
 /// Arithmetic mean; 0 for an empty slice.
 pub fn mean(xs: &[f64]) -> f64 {
@@ -20,12 +32,14 @@ pub fn std_dev(xs: &[f64]) -> f64 {
     (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
 }
 
-/// Linear-interpolated percentile, `p` in `[0, 100]`. Panics on empty input.
+/// Linear-interpolated percentile, `p` in `[0, 100]`. Panics on empty
+/// input. NaN samples rank after +∞ (see the module-level ordering
+/// contract), so low percentiles of a mostly-clean series stay finite.
 pub fn percentile(xs: &[f64], p: f64) -> f64 {
     assert!(!xs.is_empty(), "percentile of empty slice");
     assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
     let mut sorted: Vec<f64> = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    sorted.sort_by(f64::total_cmp);
     let rank = p / 100.0 * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
@@ -108,6 +122,15 @@ mod tests {
         // Order must not matter.
         let shuffled = [3.0, 1.0, 4.0, 2.0];
         assert!((percentile(&shuffled, 50.0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_ranks_nan_after_infinity_instead_of_panicking() {
+        let xs = [2.0, f64::NAN, 1.0, f64::INFINITY, 3.0];
+        // NaN is the top of the total order: low percentiles are finite.
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 50.0), 3.0);
+        assert!(percentile(&xs, 100.0).is_nan());
     }
 
     #[test]

@@ -88,7 +88,7 @@ pub fn estimate_receiver_angle(
     let profile = scan(array, link, lo_rad, hi_rad, steps);
     profile
         .iter()
-        .max_by(|a, b| a.power.partial_cmp(&b.power).expect("finite power"))
+        .max_by(|a, b| a.power.total_cmp(&b.power))
         .expect("non-empty scan")
         .angle_rad
 }

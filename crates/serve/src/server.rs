@@ -2,7 +2,8 @@
 //! together, plus the in-process [`Client`] handle and the
 //! [`ServerBuilder`].
 //!
-//! Every registered model owns a private [`BatchQueue`] and a dedicated
+//! Every registered model owns a private
+//! [`BatchQueue`](crate::batcher::BatchQueue) and a dedicated
 //! pool of `config.workers` scoring threads — that fixed allocation *is*
 //! the scheduler's isolation guarantee: one tenant's backlog fills its
 //! own queue and saturates its own workers, and cannot starve or shed

@@ -1,0 +1,55 @@
+//! Stacked multi-layer metasurface inference — the L-layer cascade as a
+//! first-class workload.
+//!
+//! The paper's deployment is a single programmable surface: one trained
+//! complex LNN `W ∈ ℂ^{R×U}`, one 2-bit schedule, one far-field link.
+//! Stacked intelligent metasurfaces (Stylianopoulos et al.,
+//! arXiv:2504.00233) cascade L programmable surfaces along the Tx → Rx
+//! path; the receiver sees the *product* channel
+//!
+//! ```text
+//! H_eff[r, i] = Π_l  α_l · A_l[r, i]
+//! ```
+//!
+//! where `A_l` is the normalized atom sum layer `l` programs for weight
+//! `(r, i)` and `α_l` is that hop's common amplitude. This crate models
+//! the cascade over the existing [`metaai_mts`] types:
+//!
+//! * [`stack`] — cascade geometry: per-layer [`MtsArray`]s placed along
+//!   the path, one [`MtsLink`] per hop, re-linkable when the endpoints
+//!   move ([`stack::StackGeometry`]);
+//! * [`train`] — product-parameterized layer weights
+//!   `W_eff = W_0 ⊙ W_1 ⊙ …` trained jointly by Wirtinger descent with
+//!   counter-derived per-layer RNG streams (`train-stack-layer-{l}`), so
+//!   the factors are bitwise independent of the rayon worker count
+//!   ([`train::train_stack`]);
+//! * [`solve`] — per-layer reuse of the 2-bit state-table solver
+//!   ([`metaai_mts::solver::WeightSolver::solve_with`], plus the warm
+//!   variant for online adaptation), with *residual compensation*: layer
+//!   `l` retargets against the error the layers before it actually
+//!   accumulated, so the cascade's multiplicative quantization error is
+//!   actively cancelled rather than compounded ([`solve::StackSolver`]).
+//!
+//! The digital expressivity of the product parameterization equals a
+//! single LNN (an entrywise product of complex scalars is one complex
+//! scalar) — the stacked win is *physical*. Each layer re-radiates the
+//! full aperture sum of the one before it, so at an equal total atom
+//! budget the composed programmed path is far stronger than a single
+//! surface's (`reach(M/L)^L ≫ reach(M)`), lifting it further above the
+//! absolute-scale environmental leakage the cancellation scheme can't
+//! fully remove; meanwhile the residual compensation keeps the L
+//! per-layer 2-bit quantization errors from compounding
+//! multiplicatively. `metaai::pipeline` composes the effective
+//! [`CMat`](metaai_math::CMat) from this crate's schedules, so the fused
+//! scoring engine, serving, and hot swap are unchanged downstream.
+//!
+//! [`MtsArray`]: metaai_mts::array::MtsArray
+//! [`MtsLink`]: metaai_mts::channel::MtsLink
+
+pub mod solve;
+pub mod stack;
+pub mod train;
+
+pub use solve::{realize_stack, LayerSchedule, StackSchedule, StackSolver};
+pub use stack::{StackGeometry, StackSpec};
+pub use train::{train_stack, train_stack_with_stats, StackWeights};

@@ -1,0 +1,522 @@
+//! Per-layer 2-bit quantization of the stack, with residual compensation.
+//!
+//! Each layer reuses the single-surface machinery unchanged: a
+//! [`WeightSolver`] over that hop's path phasors, its precomputed
+//! [`StateTable`], and [`solve_with`](WeightSolver::solve_with) /
+//! [`solve_warm`](WeightSolver::solve_warm) with a caller-owned
+//! [`SolverScratch`]. Layer `l` scales its factor by
+//! `σ_l = κ·reach_l / max|W_l|`, exactly the single-surface rule.
+//!
+//! The cascade multiplies per-layer *achieved* sums, so quantization
+//! errors compound multiplicatively — unless later layers aim at what the
+//! earlier ones actually delivered. Solving layers in path order per
+//! weight, layer `l`'s target is
+//!
+//! ```text
+//! t_l[r,i] = σ_l·W_l[r,i] · (Π_{k<l} σ_k·W_k[r,i]) / (Π_{k<l} A_k[r,i])
+//! ```
+//!
+//! (clamped to the layer's reachable disc): the correction ratio steers
+//! the running product back onto the ideal trajectory, giving every
+//! weight L greedy descent shots at its target instead of one. The last
+//! layer can also fold in an Eqn-8 environmental offset, mirroring the
+//! single-surface compensation.
+
+use crate::stack::StackGeometry;
+use metaai_math::{CMat, C64};
+use metaai_mts::atom::PhaseCode;
+use metaai_mts::solver::{SolverScratch, StateTable, WeightSolver};
+use metaai_telemetry::{Counter, Histogram};
+use rayon::prelude::*;
+use std::sync::OnceLock;
+
+/// Stack-solver instruments, registered once with the global registry.
+struct StackMetrics {
+    solves: Counter,
+    weights_solved: Counter,
+    solve_seconds: Histogram,
+}
+
+fn metrics() -> &'static StackMetrics {
+    static METRICS: OnceLock<StackMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = metaai_telemetry::global();
+        StackMetrics {
+            solves: r.counter("metaai.sim.stack.solves"),
+            weights_solved: r.counter("metaai.sim.stack.weights_solved"),
+            solve_seconds: r.latency_histogram("metaai.sim.stack.solve_seconds"),
+        }
+    })
+}
+
+/// Registers the stack solver's instruments with the global registry.
+pub fn register_metrics() {
+    let _ = metrics();
+}
+
+/// Entrywise product of a non-empty list of same-shape matrices.
+pub fn entrywise_product(factors: &[CMat]) -> CMat {
+    assert!(!factors.is_empty(), "empty factor list");
+    let (r, u) = (factors[0].rows(), factors[0].cols());
+    CMat::from_fn(r, u, |row, col| {
+        factors.iter().fold(C64::ONE, |acc, f| acc * f[(row, col)])
+    })
+}
+
+/// Weights solved per parallel work item in [`StackSolver::solve`] —
+/// same chunking rule as the single-surface mapper.
+const SOLVE_CHUNK: usize = 32;
+
+/// One weight's solve through the whole cascade: per-layer
+/// `(codes, achieved, residual)` in path order.
+type WeightSolve = Vec<(Vec<PhaseCode>, C64, f64)>;
+
+/// One layer's solved programme: codes, achieved normalized sums, the
+/// layer scale σ_l, and the RMS residual of this layer's targets.
+#[derive(Clone, Debug)]
+pub struct LayerSchedule {
+    /// `codes[r][i]` is this layer's atom configuration for weight `(r, i)`.
+    pub codes: Vec<Vec<Vec<PhaseCode>>>,
+    /// Achieved normalized sums `A_l[r, i]`, `R × U`.
+    pub achieved: CMat,
+    /// The layer scale σ_l applied before solving.
+    pub scale: f64,
+    /// RMS residual against this layer's (compensated) targets.
+    pub rms_residual: f64,
+}
+
+/// The full cascade programme: one [`LayerSchedule`] per layer.
+#[derive(Clone, Debug)]
+pub struct StackSchedule {
+    /// Layer schedules in path order.
+    pub layers: Vec<LayerSchedule>,
+}
+
+impl StackSchedule {
+    /// Number of output classes.
+    pub fn num_outputs(&self) -> usize {
+        self.layers[0].achieved.rows()
+    }
+
+    /// Number of input symbols.
+    pub fn num_symbols(&self) -> usize {
+        self.layers[0].achieved.cols()
+    }
+
+    /// Relative realization error of the *composed* cascade: the
+    /// Frobenius distance between the achieved product `Π A_l` and the
+    /// ideal `Π σ_l·W_l`, over the ideal's norm. The single-layer case
+    /// reduces to the single-surface relative error.
+    pub fn relative_error(&self, factors: &[CMat]) -> f64 {
+        assert_eq!(factors.len(), self.layers.len(), "one factor per layer");
+        let (r, u) = (self.num_outputs(), self.num_symbols());
+        let mut err_sq = 0.0;
+        let mut ideal_sq = 0.0;
+        for row in 0..r {
+            for col in 0..u {
+                let mut ideal = C64::ONE;
+                let mut achieved = C64::ONE;
+                for (f, l) in factors.iter().zip(&self.layers) {
+                    ideal *= f[(row, col)] * l.scale;
+                    achieved *= l.achieved[(row, col)];
+                }
+                err_sq += (achieved - ideal).norm_sq();
+                ideal_sq += ideal.norm_sq();
+            }
+        }
+        (err_sq / ideal_sq.max(f64::MIN_POSITIVE)).sqrt()
+    }
+}
+
+/// Per-layer solver state shared by every weight's solve.
+struct LayerSolver {
+    solver: WeightSolver,
+    table: StateTable,
+    limit: f64,
+}
+
+/// Quantizes stack factors onto the cascade's surfaces, one 2-bit solve
+/// per (layer, output, symbol).
+pub struct StackSolver {
+    layers: Vec<LayerSolver>,
+    /// κ safety factor shared by every layer.
+    pub kappa: f64,
+}
+
+impl StackSolver {
+    /// Builds per-layer solvers over `geom`'s hop links.
+    pub fn new(geom: &StackGeometry, kappa: f64) -> Self {
+        assert!(kappa > 0.0 && kappa <= 1.0, "κ must be in (0, 1]");
+        let layers = geom
+            .links
+            .iter()
+            .map(|link| {
+                let solver = WeightSolver::single(link.path_phasors.clone(), 2);
+                let table = solver.state_table();
+                let limit = kappa * solver.reachable_radius(0);
+                LayerSolver {
+                    solver,
+                    table,
+                    limit,
+                }
+            })
+            .collect();
+        StackSolver { layers, kappa }
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Per-layer scales `σ_l = κ·reach_l / max|W_l|`.
+    pub fn scales(&self, factors: &[CMat]) -> Vec<f64> {
+        assert_eq!(factors.len(), self.layers.len(), "one factor per layer");
+        self.layers
+            .iter()
+            .zip(factors)
+            .map(|(l, f)| {
+                let max_w = f.max_abs();
+                assert!(max_w > 0.0, "cannot map an all-zero weight factor");
+                l.limit / max_w
+            })
+            .collect()
+    }
+
+    /// Solves one weight through every layer in path order, compensating
+    /// each layer's target for the residual the previous layers actually
+    /// accumulated. Returns per-layer `(codes, achieved, residual)`.
+    fn solve_weight(
+        &self,
+        (row, col): (usize, usize),
+        factors: &[CMat],
+        scales: &[f64],
+        env_offset_norm: C64,
+        warm: Option<&StackSchedule>,
+        scratch: &mut SolverScratch,
+    ) -> WeightSolve {
+        let last = self.layers.len() - 1;
+        let mut ideal_prod = C64::ONE;
+        let mut achieved_prod = C64::ONE;
+        let mut out = Vec::with_capacity(self.layers.len());
+        for (l, layer) in self.layers.iter().enumerate() {
+            let ideal = factors[l][(row, col)] * scales[l];
+            // Steer the running product back onto the ideal trajectory;
+            // the final layer additionally absorbs the Eqn-8 offset.
+            let desired = if l == last {
+                ideal_prod * ideal - env_offset_norm
+            } else {
+                ideal_prod * ideal
+            };
+            let mut target = if achieved_prod.norm_sq() > f64::MIN_POSITIVE {
+                desired / achieved_prod
+            } else {
+                ideal
+            };
+            if target.abs() > layer.limit {
+                target = C64::from_polar(layer.limit, target.arg());
+            }
+            let res = match warm {
+                Some(w) => layer.solver.solve_warm(
+                    &[target],
+                    &w.layers[l].codes[row][col],
+                    &layer.table,
+                    scratch,
+                ),
+                None => layer.solver.solve_with(&[target], &layer.table, scratch),
+            };
+            let achieved = res.achieved[0];
+            out.push((res.codes, achieved, res.residual));
+            ideal_prod *= ideal;
+            achieved_prod *= achieved;
+        }
+        out
+    }
+
+    /// Solves the full cascade programme for `factors` (cold start,
+    /// rayon-parallel over weights; chunking cannot influence results
+    /// because every weight's L solves are independent of its neighbours).
+    /// `env_offset_norm` is the Eqn-8 compensation in the cascade's
+    /// normalized units (`H_e / Π_l α_l`), or zero.
+    pub fn solve(&self, factors: &[CMat], env_offset_norm: C64) -> StackSchedule {
+        let tele = metaai_telemetry::enabled().then(metrics);
+        let _span = tele.map(|m| m.solve_seconds.span());
+        let scales = self.scales(factors);
+        let (r, u) = (factors[0].rows(), factors[0].cols());
+        if let Some(m) = tele {
+            m.solves.inc();
+            m.weights_solved.add((self.layers.len() * r * u) as u64);
+        }
+
+        let total = r * u;
+        let per_chunk: Vec<Vec<WeightSolve>> = (0..total.div_ceil(SOLVE_CHUNK))
+            .into_par_iter()
+            .map(|c| {
+                let mut scratch = SolverScratch::new();
+                let lo = c * SOLVE_CHUNK;
+                let hi = (lo + SOLVE_CHUNK).min(total);
+                (lo..hi)
+                    .map(|idx| {
+                        self.solve_weight(
+                            (idx / u, idx % u),
+                            factors,
+                            &scales,
+                            env_offset_norm,
+                            None,
+                            &mut scratch,
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+
+        self.collect_schedule(r, u, &scales, per_chunk.into_iter().flatten())
+    }
+
+    /// [`solve`](Self::solve), warm-started from a previous cascade
+    /// programme — the online-adaptation path. Deliberately sequential on
+    /// the caller's thread with one reusable `scratch`, like the
+    /// single-surface warm remap: no rayon fan-out competing with serving
+    /// workers, and the result is a pure function of its inputs.
+    pub fn resolve_warm(
+        &self,
+        factors: &[CMat],
+        env_offset_norm: C64,
+        warm: &StackSchedule,
+        scratch: &mut SolverScratch,
+    ) -> StackSchedule {
+        let tele = metaai_telemetry::enabled().then(metrics);
+        let _span = tele.map(|m| m.solve_seconds.span());
+        let scales = self.scales(factors);
+        let (r, u) = (factors[0].rows(), factors[0].cols());
+        assert_eq!(
+            (warm.num_outputs(), warm.num_symbols()),
+            (r, u),
+            "warm schedule shape must match the weight factors"
+        );
+        if let Some(m) = tele {
+            m.solves.inc();
+            m.weights_solved.add((self.layers.len() * r * u) as u64);
+        }
+
+        let solved = (0..r * u).map(|idx| {
+            self.solve_weight(
+                (idx / u, idx % u),
+                factors,
+                &scales,
+                env_offset_norm,
+                Some(warm),
+                scratch,
+            )
+        });
+        // The iterator is lazy; collect before assembling per-layer views.
+        let solved: Vec<_> = solved.collect();
+        self.collect_schedule(r, u, &scales, solved.into_iter())
+    }
+
+    fn collect_schedule(
+        &self,
+        r: usize,
+        u: usize,
+        scales: &[f64],
+        solved: impl Iterator<Item = WeightSolve>,
+    ) -> StackSchedule {
+        let n_layers = self.layers.len();
+        let mut codes: Vec<Vec<Vec<Vec<PhaseCode>>>> = (0..n_layers)
+            .map(|_| vec![vec![Vec::new(); u]; r])
+            .collect();
+        let mut achieved: Vec<CMat> = (0..n_layers).map(|_| CMat::zeros(r, u)).collect();
+        let mut sq_sums = vec![0.0; n_layers];
+        for (idx, per_layer) in solved.enumerate() {
+            let (row, col) = (idx / u, idx % u);
+            for (l, (c, a, resid)) in per_layer.into_iter().enumerate() {
+                codes[l][row][col] = c;
+                achieved[l][(row, col)] = a;
+                sq_sums[l] += resid * resid;
+            }
+        }
+        let layers = codes
+            .into_iter()
+            .zip(achieved)
+            .zip(sq_sums)
+            .zip(scales)
+            .map(|(((codes, achieved), sq_sum), &scale)| LayerSchedule {
+                codes,
+                achieved,
+                scale,
+                rms_residual: (sq_sum / (r * u) as f64).sqrt(),
+            })
+            .collect();
+        StackSchedule { layers }
+    }
+}
+
+/// Realizes the cascade's *physical* effective channel `H_eff[r, i] =
+/// Π_l α_l · A_l[r, i]` on (possibly imperfect) surfaces: per-atom
+/// fabrication phase errors and stuck-at faults apply on top of each
+/// layer's programmed codes — the stacked analogue of the single-surface
+/// `realize_channels`.
+pub fn realize_stack(geom: &StackGeometry, schedule: &StackSchedule) -> CMat {
+    assert_eq!(
+        geom.num_layers(),
+        schedule.layers.len(),
+        "geometry/schedule layer mismatch"
+    );
+    let (r, u) = (schedule.num_outputs(), schedule.num_symbols());
+    CMat::from_fn(r, u, |row, col| {
+        geom.surfaces
+            .iter()
+            .zip(&geom.links)
+            .zip(&schedule.layers)
+            .fold(C64::ONE, |acc, ((surface, link), layer)| {
+                let codes = &layer.codes[row][col];
+                let sum: C64 = codes
+                    .iter()
+                    .zip(&surface.atoms)
+                    .zip(&link.path_phasors)
+                    .map(|((code, atom), &path)| {
+                        let eff = atom.stuck_at.unwrap_or(*code);
+                        path * C64::from_polar(atom.amplitude, eff.phase() + atom.phase_error)
+                    })
+                    .sum();
+                acc * sum * link.alpha
+            })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stack::StackSpec;
+    use crate::train::StackWeights;
+    use metaai_math::rng::SimRng;
+    use metaai_mts::array::Prototype;
+    use metaai_rf::geometry::Point3;
+
+    fn geometry(layers: usize, total: usize) -> StackGeometry {
+        StackGeometry::build(&StackSpec::new(
+            Prototype::DualBand,
+            5.25e9,
+            Point3::new(-0.5, 0.87, 1.1),
+            Point3::new(1.5, 2.6, 1.0),
+            Point3::new(0.0, 0.0, 1.1),
+            layers,
+            total,
+        ))
+    }
+
+    fn random_factors(layers: usize, r: usize, u: usize, seed: u64) -> Vec<CMat> {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let w = CMat::from_fn(r, u, |_, _| rng.complex_gaussian(1.0));
+        StackWeights::from_effective(&w, layers).factors
+    }
+
+    #[test]
+    fn a_solved_cascade_tracks_the_ideal_product() {
+        let geom = geometry(2, 64);
+        let solver = StackSolver::new(&geom, 0.9);
+        let factors = random_factors(2, 3, 6, 1);
+        let sched = solver.solve(&factors, C64::ZERO);
+        assert_eq!(sched.layers.len(), 2);
+        assert_eq!(sched.layers[0].codes[2][5].len(), 32);
+        let rel = sched.relative_error(&factors);
+        assert!(rel < 0.1, "cascade realization error {rel}");
+    }
+
+    #[test]
+    fn solving_is_deterministic_and_chunking_free() {
+        let geom = geometry(2, 32);
+        let solver = StackSolver::new(&geom, 0.9);
+        let factors = random_factors(2, 2, 5, 2);
+        let a = solver.solve(&factors, C64::ZERO);
+        let b = solver.solve(&factors, C64::ZERO);
+        for (x, y) in a.layers.iter().zip(&b.layers) {
+            assert_eq!(x.codes, y.codes);
+            assert_eq!(x.achieved, y.achieved);
+        }
+    }
+
+    #[test]
+    fn residual_compensation_beats_independent_layer_solves() {
+        // Solve the same factors with compensation (path order, corrected
+        // targets) and without (each layer aiming only at its own ideal):
+        // the composed error with compensation must not be worse.
+        let geom = geometry(2, 32);
+        let solver = StackSolver::new(&geom, 0.9);
+        let factors = random_factors(2, 3, 8, 3);
+        let sched = solver.solve(&factors, C64::ZERO);
+        let compensated = sched.relative_error(&factors);
+
+        // Independent solve: layer 1 vs its own ideal, ignoring layer 0's
+        // achieved error — emulated by solving each factor as a one-layer
+        // stack and composing by hand.
+        let scales = solver.scales(&factors);
+        let mut err_sq = 0.0;
+        let mut ideal_sq = 0.0;
+        let mut scratch = SolverScratch::new();
+        for row in 0..3 {
+            for col in 0..8 {
+                let mut ideal = C64::ONE;
+                let mut achieved = C64::ONE;
+                for (l, layer) in solver.layers.iter().enumerate() {
+                    let t = factors[l][(row, col)] * scales[l];
+                    let res = layer.solver.solve_with(&[t], &layer.table, &mut scratch);
+                    ideal *= t;
+                    achieved *= res.achieved[0];
+                }
+                err_sq += (achieved - ideal).norm_sq();
+                ideal_sq += ideal.norm_sq();
+            }
+        }
+        let independent = (err_sq / ideal_sq).sqrt();
+        assert!(
+            compensated <= independent + 1e-12,
+            "compensated {compensated} vs independent {independent}"
+        );
+    }
+
+    #[test]
+    fn warm_resolve_matches_cold_quality_after_a_move() {
+        let geom = geometry(2, 32);
+        let factors = random_factors(2, 2, 6, 4);
+        let cold_solver = StackSolver::new(&geom, 0.9);
+        let base = cold_solver.solve(&factors, C64::ZERO);
+
+        let moved = geom.relinked(
+            Point3::new(-0.5, 0.87, 1.1),
+            Point3::new(1.1, 2.8, 1.0),
+            geom.freq_hz,
+        );
+        let solver = StackSolver::new(&moved, 0.9);
+        let cold = solver.solve(&factors, C64::ZERO);
+        let mut scratch = SolverScratch::new();
+        let warm = solver.resolve_warm(&factors, C64::ZERO, &base, &mut scratch);
+        let warm_rel = warm.relative_error(&factors);
+        let cold_rel = cold.relative_error(&factors);
+        assert!(
+            warm_rel < cold_rel + 0.02,
+            "warm {warm_rel} vs cold {cold_rel}"
+        );
+        // Pure function of its inputs: scratch reuse changes nothing.
+        let again = solver.resolve_warm(&factors, C64::ZERO, &base, &mut scratch);
+        for (x, y) in warm.layers.iter().zip(&again.layers) {
+            assert_eq!(x.codes, y.codes);
+        }
+    }
+
+    #[test]
+    fn realize_composes_layer_sums_and_alphas() {
+        let geom = geometry(2, 32);
+        let solver = StackSolver::new(&geom, 0.9);
+        let factors = random_factors(2, 2, 4, 5);
+        let sched = solver.solve(&factors, C64::ZERO);
+        let h = realize_stack(&geom, &sched);
+        // Perfect hardware: the realized channel is exactly
+        // Π α_l · achieved_l.
+        let expect = geom.links[0].alpha
+            * geom.links[1].alpha
+            * sched.layers[0].achieved[(1, 3)]
+            * sched.layers[1].achieved[(1, 3)];
+        assert!((h[(1, 3)] - expect).abs() < 1e-12 * expect.abs().max(1.0));
+    }
+}

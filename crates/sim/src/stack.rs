@@ -1,0 +1,270 @@
+//! Cascade geometry: L programmable surfaces along the Tx → Rx path.
+//!
+//! Surface 0 sits at the single-surface deployment's `mts_center`; each
+//! further layer is placed `layer_spacing_m` downrange along the straight
+//! line toward the receiver (the paper-stack arrangement of parallel
+//! surfaces a few tens of wavelengths apart). Hop `l` is an ordinary
+//! far-field [`MtsLink`] through surface `l`: its "transmitter" is the
+//! previous surface's center (or the real Tx for the first hop) and its
+//! "receiver" the next surface's center (or the real Rx for the last) —
+//! the rank-1 far-field cascade of Eqn 4 applied per layer.
+
+use metaai_mts::array::{MtsArray, Prototype};
+use metaai_mts::channel::MtsLink;
+use metaai_rf::geometry::Point3;
+use metaai_rf::pathloss::wavelength;
+
+/// Everything needed to lay out an L-layer cascade.
+#[derive(Clone, Debug)]
+pub struct StackSpec {
+    /// Meta-atom prototype shared by every layer.
+    pub prototype: Prototype,
+    /// Carrier frequency.
+    pub freq_hz: f64,
+    /// Transmitter position.
+    pub tx: Point3,
+    /// Receiver position.
+    pub rx: Point3,
+    /// Center of the first surface (the single-surface `mts_center`).
+    pub first_center: Point3,
+    /// Number of layers, ≥ 1.
+    pub layers: usize,
+    /// Total atom budget, split near-equally across layers (earlier
+    /// layers absorb the remainder) — stacked-vs-single comparisons stay
+    /// at equal hardware cost.
+    pub total_atoms: usize,
+    /// Inter-surface spacing along the path, in meters.
+    pub layer_spacing_m: f64,
+}
+
+impl StackSpec {
+    /// Spec with the default inter-surface spacing of 10 λ.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        prototype: Prototype,
+        freq_hz: f64,
+        tx: Point3,
+        rx: Point3,
+        first_center: Point3,
+        layers: usize,
+        total_atoms: usize,
+    ) -> Self {
+        StackSpec {
+            prototype,
+            freq_hz,
+            tx,
+            rx,
+            first_center,
+            layers,
+            total_atoms,
+            layer_spacing_m: 10.0 * wavelength(freq_hz),
+        }
+    }
+
+    /// Per-layer atom counts: `total_atoms` split near-equally, first
+    /// layers taking the remainder.
+    pub fn atoms_per_layer(&self) -> Vec<usize> {
+        assert!(self.layers >= 1, "a stack needs at least one layer");
+        assert!(
+            self.total_atoms >= self.layers,
+            "atom budget {} cannot cover {} layers",
+            self.total_atoms,
+            self.layers
+        );
+        let base = self.total_atoms / self.layers;
+        let extra = self.total_atoms % self.layers;
+        (0..self.layers)
+            .map(|l| base + usize::from(l < extra))
+            .collect()
+    }
+}
+
+/// A realized cascade: per-layer surfaces and the hop links between them.
+#[derive(Clone, Debug)]
+pub struct StackGeometry {
+    /// Carrier frequency the links were built for.
+    pub freq_hz: f64,
+    /// One surface per layer, in path order.
+    pub surfaces: Vec<MtsArray>,
+    /// `links[l]` is hop `l`: previous waypoint → surface `l` → next
+    /// waypoint.
+    pub links: Vec<MtsLink>,
+}
+
+impl StackGeometry {
+    /// Lays out the cascade described by `spec`.
+    pub fn build(spec: &StackSpec) -> Self {
+        let counts = spec.atoms_per_layer();
+        let toward_rx = spec.rx - spec.first_center;
+        let span = toward_rx.norm();
+        let depth = spec.layer_spacing_m * (spec.layers - 1) as f64;
+        assert!(
+            depth < span,
+            "stack depth {depth} m reaches past the receiver ({span} m away)"
+        );
+        let dir = toward_rx.normalized();
+        let surfaces: Vec<MtsArray> = counts
+            .iter()
+            .enumerate()
+            .map(|(l, &m)| {
+                let offset = spec.layer_spacing_m * l as f64;
+                let center = Point3::new(
+                    spec.first_center.x + dir.x * offset,
+                    spec.first_center.y + dir.y * offset,
+                    spec.first_center.z + dir.z * offset,
+                );
+                MtsArray::with_atom_count(spec.prototype, m, center)
+            })
+            .collect();
+        let links = hop_links(&surfaces, spec.tx, spec.rx, spec.freq_hz);
+        StackGeometry {
+            freq_hz: spec.freq_hz,
+            surfaces,
+            links,
+        }
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.surfaces.len()
+    }
+
+    /// Total atoms across all layers.
+    pub fn total_atoms(&self) -> usize {
+        self.surfaces.iter().map(MtsArray::num_atoms).sum()
+    }
+
+    /// The same physical surfaces re-linked against moved endpoints —
+    /// the cascade analogue of rebuilding a single [`MtsLink`] after the
+    /// receiver walked. The surfaces (atom counts, fabrication noise,
+    /// positions) are untouched: endpoints move, hardware does not.
+    pub fn relinked(&self, tx: Point3, rx: Point3, freq_hz: f64) -> StackGeometry {
+        let surfaces = self.surfaces.clone();
+        let links = hop_links(&surfaces, tx, rx, freq_hz);
+        StackGeometry {
+            freq_hz,
+            surfaces,
+            links,
+        }
+    }
+}
+
+/// Builds hop `l`'s link (previous waypoint → surface `l` → next
+/// waypoint), then anchors the *composed* common gain `Π α_l` to the
+/// direct single-surface reflectarray budget through the first surface.
+///
+/// The far-field product-distance law is the wrong model for the
+/// inter-surface segments: adjacent layers sit ~10 λ apart, deep inside
+/// each other's aperture near field, where plane-to-plane coupling is
+/// nearly lossless — applying `λ²/(4π)²·d₁·d₂` per hop would charge the
+/// cascade ~40 dB of fictitious loss and let the environmental leakage
+/// swamp it. We keep the per-atom propagation *phases* of every hop
+/// (they steer the solve) and spread the direct budget evenly across
+/// layers: `α_l = α_direct^{1/L}`, so `Π α_l = α_direct` exactly and a
+/// 1-layer stack reduces to the ordinary [`MtsLink`].
+fn hop_links(surfaces: &[MtsArray], tx: Point3, rx: Point3, freq_hz: f64) -> Vec<MtsLink> {
+    let last = surfaces.len() - 1;
+    let mut links: Vec<MtsLink> = surfaces
+        .iter()
+        .enumerate()
+        .map(|(l, surface)| {
+            let from = if l == 0 { tx } else { surfaces[l - 1].center };
+            let to = if l == last {
+                rx
+            } else {
+                surfaces[l + 1].center
+            };
+            MtsLink::new(surface, from, to, freq_hz)
+        })
+        .collect();
+    if last > 0 {
+        let direct = MtsLink::new(&surfaces[0], tx, rx, freq_hz);
+        let per_layer = direct.alpha.powf(1.0 / surfaces.len() as f64);
+        for link in &mut links {
+            link.alpha = per_layer;
+        }
+    }
+    links
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(layers: usize, total: usize) -> StackSpec {
+        StackSpec::new(
+            Prototype::DualBand,
+            5.25e9,
+            Point3::new(-0.5, 0.87, 1.1),
+            Point3::new(1.5, 2.6, 1.0),
+            Point3::new(0.0, 0.0, 1.1),
+            layers,
+            total,
+        )
+    }
+
+    #[test]
+    fn atoms_split_near_equally_with_early_remainder() {
+        assert_eq!(spec(2, 64).atoms_per_layer(), vec![32, 32]);
+        assert_eq!(spec(3, 64).atoms_per_layer(), vec![22, 21, 21]);
+        assert_eq!(spec(1, 7).atoms_per_layer(), vec![7]);
+    }
+
+    #[test]
+    fn surfaces_march_toward_the_receiver() {
+        let s = spec(3, 48);
+        let g = StackGeometry::build(&s);
+        assert_eq!(g.num_layers(), 3);
+        assert_eq!(g.total_atoms(), 48);
+        let d0 = g.surfaces[0].center.distance(s.rx);
+        let d1 = g.surfaces[1].center.distance(s.rx);
+        let d2 = g.surfaces[2].center.distance(s.rx);
+        assert!(d0 > d1 && d1 > d2, "layers must step down-range");
+        let step = g.surfaces[0].center.distance(g.surfaces[1].center);
+        assert!((step - s.layer_spacing_m).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hops_chain_tx_through_surfaces_to_rx() {
+        let s = spec(2, 32);
+        let g = StackGeometry::build(&s);
+        assert_eq!(g.links.len(), 2);
+        assert_eq!(g.links[0].tx, s.tx);
+        assert_eq!(g.links[0].rx, g.surfaces[1].center);
+        assert_eq!(g.links[1].tx, g.surfaces[0].center);
+        assert_eq!(g.links[1].rx, s.rx);
+    }
+
+    #[test]
+    fn the_composed_budget_matches_the_direct_link() {
+        // Inter-surface coupling is lossless: Π α_l equals the α of the
+        // direct Tx → surface 0 → Rx link, so stacked and single-surface
+        // deployments compete at the same link budget.
+        let s = spec(3, 48);
+        let g = StackGeometry::build(&s);
+        let direct = MtsLink::new(&g.surfaces[0], s.tx, s.rx, s.freq_hz);
+        let composed: f64 = g.links.iter().map(|l| l.alpha).product();
+        assert!((composed - direct.alpha).abs() < 1e-12 * direct.alpha);
+    }
+
+    #[test]
+    fn relink_keeps_surfaces_and_moves_endpoints() {
+        let s = spec(2, 32);
+        let g = StackGeometry::build(&s);
+        let rx2 = Point3::new(2.0, 2.0, 1.0);
+        let r = g.relinked(s.tx, rx2, s.freq_hz);
+        assert_eq!(r.surfaces[0].center, g.surfaces[0].center);
+        assert_eq!(r.links[1].rx, rx2);
+        assert_ne!(r.links[1].path_phasors, g.links[1].path_phasors);
+        // The first hop only feeds the (unmoved) second surface.
+        assert_eq!(r.links[0].path_phasors, g.links[0].path_phasors);
+    }
+
+    #[test]
+    #[should_panic(expected = "reaches past the receiver")]
+    fn a_stack_deeper_than_the_range_is_rejected() {
+        let mut s = spec(2, 32);
+        s.layer_spacing_m = 10.0;
+        StackGeometry::build(&s);
+    }
+}
